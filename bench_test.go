@@ -1,0 +1,616 @@
+// Package prospector's root benchmark suite regenerates every figure
+// of the paper at benchmark scale and measures the substrates the
+// evaluation depends on (LP solve times, planning, execution), plus
+// the ablation benches DESIGN.md calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package prospector
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/aggregate"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/experiments"
+	"prospector/internal/lp"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/query"
+	"prospector/internal/sample"
+	"prospector/internal/sim"
+	"prospector/internal/workload"
+)
+
+// --- One bench per paper figure / study -----------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	cfg := experiments.Figure3Config{
+		Nodes: 40, K: 8, Samples: 10, Eval: 5, Trials: 1, Seed: 1,
+		BudgetFracs:   []float64{0.1, 0.3, 0.6},
+		AccuracySteps: []float64{0.5, 1},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	cfg := experiments.Figure4Config{
+		Nodes: 30, K: 6, Samples: 8, Eval: 4, Trials: 1, Seed: 2,
+		StdDevs: []float64{0.5, 4, 10}, BudgetFrac: 0.3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := experiments.ZonesConfig{
+		Zones: 4, K: 6, Background: 12, Samples: 8, Eval: 4, Trials: 1, Seed: 3,
+		Territorial: true, BudgetFracs: []float64{0.15, 0.4},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := experiments.ZonesConfig{
+		Zones: 4, K: 4, Background: 8, Samples: 6, Eval: 3, Trials: 1, Seed: 4,
+		Territorial: true, FixedBudgetFrac: 0.3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	cfg := experiments.Figure8Config{
+		Nodes: 18, K: 4, Samples: 5, Eval: 3, Trials: 1, Seed: 5,
+		BudgetMults: []float64{1.05, 1.4},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	cfg := experiments.DefaultFigure9Config()
+	cfg.Trials = 1
+	cfg.Lab.Epochs = 50
+	cfg.SampleEpochs, cfg.SampleWindow, cfg.Eval = 15, 10, 8
+	cfg.BudgetFracs = []float64{0.15, 0.4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Figure9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleSizeStudy(b *testing.B) {
+	cfg := experiments.SampleSizeConfig{
+		Nodes: 24, K: 5, Eval: 4, Trials: 1, Seed: 6,
+		SampleCounts: []int{1, 10, 25}, BudgetFrac: 0.3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.SampleSizeStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstallCostStudy(b *testing.B) {
+	cfg := experiments.InstallCostConfig{
+		Nodes: 24, K: 5, Samples: 8, Trials: 1, Seed: 7,
+		BudgetFracs: []float64{0.2, 0.4},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.InstallCostStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- LP solve-time study (the paper's in-text CPLEX timings) --------
+
+type benchScenario struct {
+	cfg core.Config
+	env exec.Env
+}
+
+func benchGaussian(b testing.TB, seed int64, nodes, k, samples int) *benchScenario {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := sample.MustNewSet(nodes, k, 0)
+	if err := set.AddAll(workload.Draw(src, samples)); err != nil {
+		b.Fatal(err)
+	}
+	costs := plan.NewCosts(net, energy.DefaultModel())
+	return &benchScenario{
+		cfg: core.Config{Net: net, Costs: costs, Samples: set, K: k},
+		env: exec.Env{Net: net, Costs: costs},
+	}
+}
+
+func benchPlanner(b *testing.B, mk func(core.Config) (core.Planner, error), nodes, k, samples int, budgetFrac float64) {
+	b.Helper()
+	s := benchGaussian(b, 11, nodes, k, samples)
+	naive, err := core.NaiveKPlan(s.cfg.Net, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := budgetFrac * naive.CollectionCost(s.cfg.Net, s.cfg.Costs)
+	pl, err := mk(s.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Plan(budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPNoFilterPlan60(b *testing.B) {
+	benchPlanner(b, func(c core.Config) (core.Planner, error) { return core.NewLPNoFilter(c) }, 60, 10, 15, 0.3)
+}
+
+func BenchmarkLPNoFilterPlan120(b *testing.B) {
+	benchPlanner(b, func(c core.Config) (core.Planner, error) { return core.NewLPNoFilter(c) }, 120, 20, 20, 0.3)
+}
+
+func BenchmarkLPFilterPlan60(b *testing.B) {
+	benchPlanner(b, func(c core.Config) (core.Planner, error) { return core.NewLPFilter(c) }, 60, 10, 15, 0.3)
+}
+
+func BenchmarkLPFilterPlan120(b *testing.B) {
+	benchPlanner(b, func(c core.Config) (core.Planner, error) { return core.NewLPFilter(c) }, 120, 20, 20, 0.3)
+}
+
+func BenchmarkProofPlan30(b *testing.B) {
+	s := benchGaussian(b, 12, 30, 6, 6)
+	pp, err := core.NewProofPlanner(s.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := pp.MinBudget() * 1.4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.Plan(budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexPricing ablates the entering rule (Dantzig vs Bland)
+// on a representative LP+LF program.
+func BenchmarkSimplexPricing(b *testing.B) {
+	for _, pr := range []struct {
+		name string
+		p    lp.Pricing
+	}{{"Dantzig", lp.Dantzig}, {"Bland", lp.Bland}} {
+		b.Run(pr.name, func(b *testing.B) {
+			s := benchGaussian(b, 13, 36, 8, 8)
+			s.cfg.LP = lp.Options{Pricing: pr.p, MaxIters: 2_000_000}
+			pl, err := core.NewLPFilter(s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			naive, err := core.NaiveKPlan(s.cfg.Net, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			budget := 0.3 * naive.CollectionCost(s.cfg.Net, s.cfg.Costs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Plan(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyVariants ablates the paper's colsum priority against
+// the cost-aware extension.
+func BenchmarkGreedyVariants(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mk   func(core.Config) (core.Planner, error)
+	}{
+		{"Paper", func(c core.Config) (core.Planner, error) { return core.NewGreedy(c) }},
+		{"CostAware", func(c core.Config) (core.Planner, error) { return core.NewGreedyCostAware(c) }},
+		{"KnapsackDP", func(c core.Config) (core.Planner, error) { return core.NewKnapsack(c) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			benchPlanner(b, v.mk, 80, 12, 15, 0.3)
+		})
+	}
+}
+
+// BenchmarkProofStrictC3 ablates the strict c.3 linearization against
+// the paper's omit-the-row formulation.
+func BenchmarkProofStrictC3(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mk   func(core.Config) (*core.ProofPlanner, error)
+	}{
+		{"Strict", core.NewProofPlanner},
+		{"PaperC3", core.NewProofPlannerPaperC3},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s := benchGaussian(b, 14, 24, 5, 5)
+			pp, err := v.mk(s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			budget := pp.MinBudget() * 1.4
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.Plan(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoundingRepair ablates the budget repair + refill pass.
+func BenchmarkRoundingRepair(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"WithRepair", false}, {"PlainRounding", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			s := benchGaussian(b, 15, 60, 10, 12)
+			s.cfg.DisableRepair = v.disable
+			pl, err := core.NewLPFilter(s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			naive, err := core.NaiveKPlan(s.cfg.Net, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			budget := 0.3 * naive.CollectionCost(s.cfg.Net, s.cfg.Costs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Plan(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Execution-engine microbenches -----------------------------------
+
+func BenchmarkExecFiltering(b *testing.B) {
+	s := benchGaussian(b, 16, 100, 15, 10)
+	pl, err := core.NewLPFilter(s.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := core.NaiveKPlan(s.cfg.Net, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pl.Plan(0.3 * naive.CollectionCost(s.cfg.Net, s.cfg.Costs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := s.cfg.Samples.Values(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(s.env, p, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecProofAndMopUp(b *testing.B) {
+	s := benchGaussian(b, 17, 40, 8, 6)
+	pp, err := core.NewProofPlanner(s.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pp.Plan(pp.MinBudget() * 1.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := s.cfg.Samples.Values(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(s.env, p, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.State.MopUp(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveOne(b *testing.B) {
+	s := benchGaussian(b, 18, 60, 10, 5)
+	vals := s.cfg.Samples.Values(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.NaiveOne(s.env, vals, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	set := sample.MustNewSet(200, 20, 50)
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := set.Add(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.Build(network.DefaultBuildConfig(200), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPresolve ablates the LP presolve reductions on the PROOF
+// program, where chain/bandwidth structure collapses heavily.
+func BenchmarkPresolve(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"WithPresolve", false}, {"NoPresolve", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			s := benchGaussian(b, 21, 26, 5, 5)
+			s.cfg.DisablePresolve = v.disable
+			pp, err := core.NewProofPlanner(s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			budget := pp.MinBudget() * 1.4
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.Plan(budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimRun measures the discrete-event simulator against the
+// analytic executor on the same plan.
+func BenchmarkSimRun(b *testing.B) {
+	s := benchGaussian(b, 22, 80, 10, 6)
+	p, err := core.NaiveKPlan(s.cfg.Net, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := s.cfg.Samples.Values(0)
+	cfg := sim.DefaultConfig(s.cfg.Net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, p, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParse measures the declarative front end.
+func BenchmarkQueryParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse("SELECT TOP 8 FROM sensors BUDGET 30% USING LP+LF SAMPLES 20"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPSRoundTrip measures MPS serialization of an LP+LF model.
+func BenchmarkMPSRoundTrip(b *testing.B) {
+	m := lp.NewModel()
+	rng := rand.New(rand.NewSource(23))
+	var ids []lp.VarID
+	for j := 0; j < 200; j++ {
+		ids = append(ids, m.MustVar(0, 1, rng.NormFloat64(), ""))
+	}
+	for r := 0; r < 150; r++ {
+		var terms []lp.Term
+		for _, id := range ids {
+			if rng.Float64() < 0.1 {
+				terms = append(terms, lp.Term{Var: id, Coef: rng.NormFloat64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, lp.Term{Var: ids[0], Coef: 1})
+		}
+		m.MustConstr(terms, lp.LE, rng.Float64()*5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := lp.WriteMPS(&buf, m, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lp.ReadMPS(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMopUpVariants compares the broadcast mop-up against the
+// per-child tailored refinement the paper sketches and dismisses as
+// bringing "only marginal benefits". The bench reports phase-2 energy
+// per protocol alongside runtime.
+func BenchmarkMopUpVariants(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		tailored bool
+	}{{"Broadcast", false}, {"Tailored", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			s := benchGaussian(b, 24, 50, 10, 6)
+			pp, err := core.NewProofPlanner(s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := pp.Plan(pp.MinBudget() * 1.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vals := s.cfg.Samples.Values(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			energyTotal := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := exec.Run(s.env, p, vals)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mop, err := res.State.MopUpWith(10, exec.MopUpOptions{Tailored: v.tailored})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energyTotal += mop.Ledger.Total()
+			}
+			b.ReportMetric(energyTotal/float64(b.N), "mJ-phase2/op")
+		})
+	}
+}
+
+// BenchmarkAggregateCollect measures the TAG aggregation layer.
+func BenchmarkAggregateCollect(b *testing.B) {
+	s := benchGaussian(b, 25, 150, 10, 3)
+	vals := s.cfg.Samples.Values(0)
+	for _, tc := range []struct {
+		name string
+		kind aggregate.Kind
+	}{{"Max", aggregate.Max}, {"Avg", aggregate.Avg}, {"Median", aggregate.Median}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aggregate.Collect(s.env, tc.kind, vals, aggregate.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQDigest measures digest insertion and merging.
+func BenchmarkQDigest(b *testing.B) {
+	rng := rand.New(rand.NewSource(26))
+	data := make([]uint64, 1000)
+	for i := range data {
+		data[i] = uint64(rng.Intn(1 << 12))
+	}
+	b.Run("Add1000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := aggregate.NewQDigest(12, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, x := range data {
+				if err := q.Add(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Merge", func(b *testing.B) {
+		mk := func(seed int64) *aggregate.QDigest {
+			r := rand.New(rand.NewSource(seed))
+			q, _ := aggregate.NewQDigest(12, 10)
+			for i := 0; i < 500; i++ {
+				_ = q.Add(uint64(r.Intn(1 << 12)))
+			}
+			return q
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := mk(1)
+			if err := a.Merge(mk(2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLPFilterPlan200 exercises the solver at the paper's full
+// evaluation scale (hundreds of nodes, 25 samples); the paper reports
+// CPLEX needing seconds-to-tens-of-seconds here.
+func BenchmarkLPFilterPlan200(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multi-second LP; skipped in -short")
+	}
+	benchPlanner(b, func(c core.Config) (core.Planner, error) { return core.NewLPFilter(c) }, 200, 25, 25, 0.3)
+}

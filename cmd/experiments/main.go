@@ -1,0 +1,171 @@
+// Command experiments regenerates the paper's figures and in-text
+// studies, printing each as a text table and optionally writing CSV
+// files for plotting.
+//
+// Usage:
+//
+//	experiments [-fig all|3|4|5|7|8|9|samplesize|installcost|spatial|lossymedium|naivetradeoff] [-csv DIR] [-quick] [-plot]
+//
+// -quick shrinks every experiment to a smoke-test scale (seconds
+// instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"prospector/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run: all, 3, 4, 5, 7, 8, 9, samplesize, installcost, spatial, lossymedium, naivetradeoff")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
+	quick := flag.Bool("quick", false, "shrink experiments to smoke-test scale")
+	plot := flag.Bool("plot", false, "render an ASCII chart under each table")
+	flag.Parse()
+
+	runs := map[string]func() (*experiments.Result, error){
+		"3": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultFigure3Config()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 30, 6, 8, 5, 1
+			}
+			return experiments.Figure3(cfg)
+		},
+		"4": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultFigure4Config()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 24, 5, 8, 4, 1
+				cfg.StdDevs = []float64{0.25, 2, 6, 12}
+			}
+			return experiments.Figure4(cfg)
+		},
+		"5": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultZonesConfig()
+			if *quick {
+				cfg.Zones, cfg.K, cfg.Background, cfg.Samples, cfg.Eval, cfg.Trials = 3, 5, 10, 8, 5, 1
+				cfg.BudgetFracs = []float64{0.15, 0.3, 0.5}
+			}
+			return experiments.Figure5(cfg)
+		},
+		"7": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultZonesConfig()
+			if *quick {
+				cfg.K, cfg.Background, cfg.Samples, cfg.Eval, cfg.Trials = 4, 8, 6, 4, 1
+			}
+			return experiments.Figure7(cfg)
+		},
+		"8": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultFigure8Config()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 18, 4, 5, 4, 1
+				cfg.BudgetMults = []float64{1.05, 1.3, 1.6}
+			}
+			return experiments.Figure8(cfg)
+		},
+		"9": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultFigure9Config()
+			if *quick {
+				cfg.Trials = 1
+				cfg.Lab.Epochs = 60
+				cfg.SampleEpochs, cfg.SampleWindow, cfg.Eval = 20, 10, 10
+				cfg.BudgetFracs = []float64{0.1, 0.3, 0.5}
+			}
+			return experiments.Figure9(cfg)
+		},
+		"samplesize": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultSampleSizeConfig()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Eval, cfg.Trials = 24, 5, 4, 1
+				cfg.SampleCounts = []int{1, 5, 15, 30}
+			}
+			return experiments.SampleSizeStudy(cfg)
+		},
+		"installcost": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultInstallCostConfig()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Trials = 24, 5, 8, 1
+			}
+			return experiments.InstallCostStudy(cfg)
+		},
+		"spatial": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultSpatialStudyConfig()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 24, 5, 8, 4, 1
+				cfg.LengthScales = []float64{0, 20}
+			}
+			return experiments.SpatialStudy(cfg)
+		},
+		"naivetradeoff": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultNaiveTradeoffConfig()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Eval, cfg.Trials = 25, 5, 3, 1
+				cfg.Batches = []int{1, 2, 5}
+			}
+			return experiments.NaiveTradeoffStudy(cfg)
+		},
+		"lossymedium": func() (*experiments.Result, error) {
+			cfg := experiments.DefaultLossyMediumConfig()
+			if *quick {
+				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 20, 4, 6, 3, 1
+				cfg.LossProbs = []float64{0, 0.3}
+			}
+			return experiments.LossyMediumStudy(cfg)
+		},
+	}
+	order := []string{"3", "4", "5", "7", "8", "9", "samplesize", "installcost", "spatial", "lossymedium", "naivetradeoff"}
+
+	var selected []string
+	switch strings.ToLower(*fig) {
+	case "all":
+		selected = order
+	default:
+		if _, ok := runs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: all %s\n", *fig, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		selected = []string{*fig}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range selected {
+		start := time.Now()
+		res, err := runs[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *plot {
+			fmt.Println(res.Plot(72, 20))
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", res.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

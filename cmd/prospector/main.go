@@ -1,0 +1,256 @@
+// Command prospector demonstrates the full planning pipeline on one
+// synthetic sensor network: it builds a random deployment, collects
+// samples, plans a top-k query with the chosen PROSPECTOR algorithm
+// under an energy budget, executes the plan on fresh epochs, and
+// reports cost and accuracy against the NAIVE-k baseline.
+//
+// Usage:
+//
+//	prospector [-nodes N] [-k K] [-samples S] [-budget-frac F]
+//	           [-planner greedy|lp-lf|lp+lf|proof|exact] [-seed SEED] [-epochs E]
+//	           [-describe] [-dot FILE] [-sim] [-loss P]
+//
+// -sim executes through the discrete-event mote simulator (reporting
+// latency and per-node energy) instead of the analytic executor;
+// -loss adds a uniform per-link loss probability to the simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+	"prospector/internal/sim"
+	"prospector/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prospector:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes      = flag.Int("nodes", 60, "network size including the root")
+		k          = flag.Int("k", 10, "top-k rank bound")
+		nSamples   = flag.Int("samples", 15, "past samples used for planning")
+		budgetFrac = flag.Float64("budget-frac", 0.3, "energy budget as a fraction of NAIVE-k's cost")
+		planner    = flag.String("planner", "lp+lf", "greedy, lp-lf, lp+lf, proof, or exact")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		epochs     = flag.Int("epochs", 10, "evaluation epochs")
+		describe   = flag.Bool("describe", false, "print the per-node plan table")
+		dotFile    = flag.String("dot", "", "write the network+plan as Graphviz DOT to this file")
+		useSim     = flag.Bool("sim", false, "execute through the discrete-event mote simulator")
+		lossProb   = flag.Float64("loss", 0, "uniform per-link loss probability for -sim")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	net, err := network.Build(network.DefaultBuildConfig(*nodes), rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %v\n", net)
+
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(*nodes), rng)
+	if err != nil {
+		return err
+	}
+	set, err := sample.NewSet(*nodes, *k, 0)
+	if err != nil {
+		return err
+	}
+	if err := set.AddAll(workload.Draw(src, *nSamples)); err != nil {
+		return err
+	}
+	model := energy.DefaultModel()
+	costs := plan.NewCosts(net, model)
+	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k}
+	env := exec.Env{Net: net, Costs: costs}
+
+	naivePlan, err := core.NaiveKPlan(net, *k)
+	if err != nil {
+		return err
+	}
+	naiveCost := naivePlan.CollectionCost(net, costs) + naivePlan.TriggerCost(net, costs)
+	budget := *budgetFrac * naiveCost
+	fmt.Printf("NAIVE-%d collection cost: %.1f mJ; budget: %.1f mJ (%.0f%%)\n",
+		*k, naiveCost, budget, 100**budgetFrac)
+
+	truth := workload.Draw(src, *epochs)
+	switch *planner {
+	case "exact":
+		ex, err := core.NewExact(cfg)
+		if err != nil {
+			return err
+		}
+		if min := ex.MinPhase1Budget(); budget < min {
+			fmt.Printf("raising budget to the proof minimum %.1f mJ\n", min*1.05)
+			budget = min * 1.05
+		}
+		p, err := ex.Planner().Plan(budget)
+		if err != nil {
+			return err
+		}
+		for e, vals := range truth {
+			res, err := ex.RunWithPlan(env, p, vals)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("epoch %2d: phase1=%.1f mJ phase2=%.1f mJ proven=%d/%d mopped=%v top=%v\n",
+				e, res.Phase1.Total(), res.Phase2.Total(), res.ProvenPhase1, *k,
+				res.MoppedUp, heads(res.Answer, 3))
+		}
+		return nil
+	case "proof":
+		pp, err := core.NewProofPlanner(cfg)
+		if err != nil {
+			return err
+		}
+		if min := pp.MinBudget(); budget < min {
+			fmt.Printf("raising budget to the proof minimum %.1f mJ\n", min*1.05)
+			budget = min * 1.05
+		}
+		p, err := pp.Plan(budget)
+		if err != nil {
+			return err
+		}
+		return report(env, p, truth, *k)
+	default:
+		var pl core.Planner
+		switch *planner {
+		case "greedy":
+			pl, err = core.NewGreedy(cfg)
+		case "lp-lf":
+			pl, err = core.NewLPNoFilter(cfg)
+		case "lp+lf":
+			pl, err = core.NewLPFilter(cfg)
+		default:
+			return fmt.Errorf("unknown planner %q", *planner)
+		}
+		if err != nil {
+			return err
+		}
+		p, err := pl.Plan(budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s plan: %v\n", pl.Name(), p)
+		if *describe {
+			fmt.Print(p.Describe(net))
+		}
+		if *dotFile != "" {
+			if err := writeDOT(net, p, *dotFile); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *dotFile)
+		}
+		if *useSim {
+			return simReport(net, p, truth, *k, *lossProb, rng)
+		}
+		return report(env, p, truth, *k)
+	}
+}
+
+func writeDOT(net *network.Network, p *plan.Plan, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := net.WriteDOT(f, "prospector", p.Bandwidth); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// simReport executes the plan through the discrete-event simulator,
+// reporting latency, retransmissions, and the hottest radios.
+func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand) error {
+	if p.Kind == plan.Selection {
+		return fmt.Errorf("-sim supports filtering/proof plans (use -planner lp+lf or proof)")
+	}
+	cfg := sim.DefaultConfig(net)
+	if loss > 0 {
+		probs := make([]float64, net.Size())
+		for i := 1; i < net.Size(); i++ {
+			probs[i] = loss
+		}
+		cfg.LossProb = probs
+		cfg.Rng = rng
+	}
+	nodeEnergy := make([]float64, net.Size())
+	totalAcc, totalCost, totalLat := 0.0, 0.0, 0.0
+	retrans := 0
+	for e, vals := range truth {
+		res, err := sim.Run(cfg, p, vals)
+		if err != nil {
+			return err
+		}
+		acc := exec.Accuracy(res.Returned, vals, k)
+		totalAcc += acc
+		totalCost += res.Ledger.Total()
+		totalLat += res.Latency
+		retrans += res.Retransmissions
+		for i, en := range res.NodeEnergy {
+			nodeEnergy[i] += en
+		}
+		fmt.Printf("epoch %2d: cost=%.1f mJ latency=%.2fs accuracy=%.0f%% retrans=%d dropped=%d\n",
+			e, res.Ledger.Total(), res.Latency, 100*acc, res.Retransmissions, res.Dropped)
+	}
+	n := float64(len(truth))
+	fmt.Printf("mean: cost=%.1f mJ latency=%.2fs accuracy=%.1f%% (%d retransmissions total)\n",
+		totalCost/n, totalLat/n, 100*totalAcc/n, retrans)
+	// The three hottest radios: the lifetime bottlenecks.
+	type hot struct {
+		id network.NodeID
+		mj float64
+	}
+	var hs []hot
+	for i, mj := range nodeEnergy {
+		hs = append(hs, hot{network.NodeID(i), mj})
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a].mj > hs[b].mj })
+	fmt.Print("hottest radios:")
+	for i := 0; i < 3 && i < len(hs); i++ {
+		fmt.Printf(" node %d (%.1f mJ, depth %d)", hs[i].id, hs[i].mj, net.Depth(hs[i].id))
+	}
+	fmt.Println()
+	return nil
+}
+
+func report(env exec.Env, p *plan.Plan, truth [][]float64, k int) error {
+	totalAcc, totalCost := 0.0, 0.0
+	for e, vals := range truth {
+		res, err := exec.Run(env, p, vals)
+		if err != nil {
+			return err
+		}
+		acc := res.Accuracy(vals, k)
+		totalAcc += acc
+		totalCost += res.Ledger.Total()
+		fmt.Printf("epoch %2d: cost=%.1f mJ accuracy=%.0f%% proven=%d top=%v\n",
+			e, res.Ledger.Total(), 100*acc, res.Proven, heads(res.Returned, 3))
+	}
+	n := float64(len(truth))
+	fmt.Printf("mean: cost=%.1f mJ accuracy=%.1f%%\n", totalCost/n, 100*totalAcc/n)
+	return nil
+}
+
+func heads(vs []exec.ValueAt, n int) []string {
+	var out []string
+	for i := 0; i < n && i < len(vs); i++ {
+		out = append(out, fmt.Sprintf("n%d=%.1f", vs[i].Node, vs[i].Val))
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Lifetime uses the discrete-event mote simulator to answer the
+// question the whole paper is about: how much longer does the network
+// live under budgeted approximate plans than under the exact NAIVE-k
+// baseline?
+//
+// Each node starts with the same battery budget. Every epoch the query
+// runs through the simulator, which meters each radio individually
+// (senders pay more than receivers, relays pay most of all). The
+// network is "dead" when the first participating node's battery
+// empties — the hot-relay problem every real deployment hits.
+//
+//	go run ./examples/lifetime
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+	"prospector/internal/sim"
+	"prospector/internal/workload"
+)
+
+func main() {
+	const (
+		nodes     = 50
+		k         = 8
+		batteryMJ = 4000.0
+	)
+	rng := rand.New(rand.NewSource(3))
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := sample.MustNewSet(nodes, k, 0)
+	if err := samples.AddAll(workload.Draw(src, 15)); err != nil {
+		log.Fatal(err)
+	}
+	costs := plan.NewCosts(net, energy.DefaultModel())
+	cfg := core.Config{Net: net, Costs: costs, Samples: samples, K: k}
+
+	naive, err := core.NaiveKPlan(net, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := core.NewLPFilter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgeted, err := planner.Plan(0.3 * naive.CollectionCost(net, costs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: %v, battery %.0f mJ per node\n\n", net, batteryMJ)
+	for _, tc := range []struct {
+		name string
+		p    *plan.Plan
+	}{
+		{"NAIVE-k (exact)", naive},
+		{"LP+LF @30% budget", budgeted},
+	} {
+		epochs, hotNode, acc := runUntilDead(net, tc.p, src, batteryMJ, k)
+		fmt.Printf("%-18s lifetime %4d epochs; first dead node %2d (depth %d); mean accuracy %.0f%%\n",
+			tc.name, epochs, hotNode, net.Depth(hotNode), 100*acc)
+	}
+	fmt.Println("\nthe budgeted plan trades some accuracy for a substantially longer lifetime,")
+	fmt.Println("and the first battery to die sits at or next to the root, where traffic converges")
+}
+
+// runUntilDead replays epochs through the simulator until some node's
+// cumulative energy exceeds the battery, returning the epoch count, the
+// first dead node, and the mean accuracy.
+func runUntilDead(net *network.Network, p *plan.Plan, src workload.Source, battery float64, k int) (int, network.NodeID, float64) {
+	spent := make([]float64, net.Size())
+	cfg := sim.DefaultConfig(net)
+	accSum := 0.0
+	for epoch := 1; ; epoch++ {
+		truth := src.Next()
+		res, err := sim.Run(cfg, p, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accSum += exec.Accuracy(res.Returned, truth, k)
+		for i, e := range res.NodeEnergy {
+			spent[i] += e
+			if spent[i] >= battery {
+				return epoch, network.NodeID(i), accSum / float64(epoch)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module prospector
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package aggregate implements TAG-style in-network aggregation, the
+// substrate the paper builds on (Madden et al.'s TAG, the paper's [10])
+// and contrasts against (q-digest quantile summaries, the paper's
+// [14]). Each node merges its children's partial state with its own
+// reading and forwards one bounded-size record, so a whole-network
+// aggregate costs one message per node regardless of k.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QDigest is the quantile summary of Shrivastava et al. (SenSys 2004):
+// a compressed histogram over the complete binary tree of value ranges
+// [0, 2^logU). Its size stays O(compression * logU) under merging, and
+// quantile queries err by at most (logU / compression) * n ranks.
+type QDigest struct {
+	logU        uint // domain is [0, 2^logU)
+	compression int  // the paper's k
+	count       int64
+	// nodes maps tree positions (1-based heap numbering over the range
+	// tree) to counts. Leaves are positions 2^logU .. 2^(logU+1)-1.
+	nodes map[uint64]int64
+}
+
+// NewQDigest creates an empty digest over the integer domain
+// [0, 2^logU) with the given compression factor (larger = bigger
+// summaries, smaller rank error).
+func NewQDigest(logU uint, compression int) (*QDigest, error) {
+	if logU < 1 || logU > 32 {
+		return nil, fmt.Errorf("aggregate: logU must be in [1,32], got %d", logU)
+	}
+	if compression < 1 {
+		return nil, fmt.Errorf("aggregate: compression must be positive, got %d", compression)
+	}
+	return &QDigest{logU: logU, compression: compression, nodes: map[uint64]int64{}}, nil
+}
+
+// leafPos returns the tree position of value x's leaf.
+func (q *QDigest) leafPos(x uint64) uint64 { return (uint64(1) << q.logU) + x }
+
+// Add inserts one occurrence of the integer value x. Compression runs
+// lazily, once the summary grows past its high-water mark.
+func (q *QDigest) Add(x uint64) error {
+	if x >= uint64(1)<<q.logU {
+		return fmt.Errorf("aggregate: value %d outside domain [0,2^%d)", x, q.logU)
+	}
+	q.nodes[q.leafPos(x)]++
+	q.count++
+	q.compressIfLarge()
+	return nil
+}
+
+// compressIfLarge defers the O(size log size) sweep until the summary
+// exceeds a small multiple of its steady-state size.
+func (q *QDigest) compressIfLarge() {
+	if len(q.nodes) > 3*q.compression*int(q.logU)/2+8 {
+		q.Compress()
+	}
+}
+
+// Count returns the number of inserted values.
+func (q *QDigest) Count() int64 { return q.count }
+
+// Size returns the number of stored (position, count) entries — the
+// message size driver.
+func (q *QDigest) Size() int { return len(q.nodes) }
+
+// Merge folds another digest (same domain and compression) into q.
+func (q *QDigest) Merge(o *QDigest) error {
+	if o.logU != q.logU || o.compression != q.compression {
+		return fmt.Errorf("aggregate: merging incompatible digests (logU %d/%d, k %d/%d)",
+			q.logU, o.logU, q.compression, o.compression)
+	}
+	for pos, c := range o.nodes {
+		q.nodes[pos] += c
+	}
+	q.count += o.count
+	q.Compress() // merges always compress: their result goes on the air
+	return nil
+}
+
+// Compress restores the q-digest invariant: any non-root node whose
+// count plus parent and sibling counts is below n/k gets folded into
+// its parent. Bottom-up sweep, as in the paper.
+func (q *QDigest) Compress() {
+	if q.count == 0 {
+		return
+	}
+	threshold := q.count / int64(q.compression)
+	if threshold < 1 {
+		threshold = 1
+	}
+	// Process deepest levels first: positions sorted descending.
+	positions := make([]uint64, 0, len(q.nodes))
+	for pos := range q.nodes {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] > positions[j] })
+	for _, pos := range positions {
+		if pos <= 1 {
+			continue // root never folds
+		}
+		c, ok := q.nodes[pos]
+		if !ok {
+			continue // already folded this sweep
+		}
+		sibling := pos ^ 1
+		parent := pos >> 1
+		total := c + q.nodes[sibling] + q.nodes[parent]
+		if total < threshold {
+			q.nodes[parent] = total
+			delete(q.nodes, pos)
+			delete(q.nodes, sibling)
+		}
+	}
+}
+
+// Quantile returns an estimate of the phi-quantile (0 <= phi <= 1) of
+// the inserted values. The estimate's rank error is bounded by
+// (logU/compression) * Count().
+func (q *QDigest) Quantile(phi float64) (uint64, error) {
+	if q.count == 0 {
+		return 0, fmt.Errorf("aggregate: quantile of an empty digest")
+	}
+	if phi < 0 || phi > 1 {
+		return 0, fmt.Errorf("aggregate: phi must be in [0,1], got %g", phi)
+	}
+	target := int64(math.Ceil(phi * float64(q.count)))
+	if target < 1 {
+		target = 1
+	}
+	// Postorder over stored nodes ordered by their range upper bound
+	// (then by size, smaller ranges first), accumulating counts.
+	type entry struct {
+		lo, hi uint64 // value range covered
+		c      int64
+	}
+	entries := make([]entry, 0, len(q.nodes))
+	for pos, c := range q.nodes {
+		lo, hi := q.rangeOf(pos)
+		entries = append(entries, entry{lo: lo, hi: hi, c: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].hi != entries[j].hi {
+			return entries[i].hi < entries[j].hi
+		}
+		return entries[i].lo > entries[j].lo
+	})
+	run := int64(0)
+	for _, e := range entries {
+		run += e.c
+		if run >= target {
+			return e.hi, nil
+		}
+	}
+	// Numeric slack: return the max.
+	return entries[len(entries)-1].hi, nil
+}
+
+// rangeOf returns the value range [lo, hi] covered by tree position pos.
+func (q *QDigest) rangeOf(pos uint64) (lo, hi uint64) {
+	depth := uint(63 - leadingZeros(pos))
+	span := q.logU - depth
+	base := (pos - (uint64(1) << depth)) << span
+	return base, base + (uint64(1) << span) - 1
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(uint64(1)<<uint(i)) != 0 {
+			return 63 - i
+		}
+		n++
+	}
+	return 64
+}
+
+// ErrorBound returns the maximum rank error of Quantile answers.
+func (q *QDigest) ErrorBound() int64 {
+	return int64(q.logU) * q.count / int64(q.compression)
+}
+
+// Entries exports the digest's (position, count) pairs for
+// serialization, compressing first — the exported form is what goes on
+// the air. EntryBytes is the wire size of one pair.
+func (q *QDigest) Entries() map[uint64]int64 {
+	q.Compress()
+	out := make(map[uint64]int64, len(q.nodes))
+	for p, c := range q.nodes {
+		out[p] = c
+	}
+	return out
+}
+
+// EntryBytes is the encoded size of one digest entry on the wire: a
+// 2-byte tree position (domains up to 2^14) plus a 2-byte count
+// (networks up to 65535 readings) — the compact encoding Shrivastava
+// et al. assume for fixed-size summary messages.
+const EntryBytes = 4
+
+// FromEntries reconstructs a digest from exported entries.
+func FromEntries(logU uint, compression int, entries map[uint64]int64) (*QDigest, error) {
+	q, err := NewQDigest(logU, compression)
+	if err != nil {
+		return nil, err
+	}
+	for pos, c := range entries {
+		if pos < 1 || pos >= uint64(1)<<(logU+1) {
+			return nil, fmt.Errorf("aggregate: entry position %d out of range", pos)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("aggregate: negative count %d", c)
+		}
+		q.nodes[pos] += c
+		q.count += c
+	}
+	// No compression here: the wire form from Entries is already
+	// compressed, and re-sweeping would change the structure (the
+	// sweep is not idempotent — new parents can fold further).
+	return q, nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+)
+
+// AdaptivePolicy tunes the long-running query controller implementing
+// the operational policies of Section 4.4: plan re-calculation at the
+// base station with dissemination only when it pays, periodic
+// proof-carrying spot checks driving the re-sampling rate, and
+// exploration/exploitation sampling.
+type AdaptivePolicy struct {
+	// ReplanEvery is how many epochs pass between re-optimizations at
+	// the base station (free: the station has line power).
+	ReplanEvery int
+	// ImproveFactor is how much better (in expected sample hits) a
+	// recomputed plan must be before the controller pays to
+	// disseminate it. The paper: "only if this plan performs
+	// considerably better than the current one, do we disseminate it."
+	ImproveFactor float64
+	// CheckEvery is how many epochs pass between proof-carrying spot
+	// checks of result accuracy.
+	CheckEvery int
+	// CheckBudgetMult scales the spot check's phase-1 budget over the
+	// proof minimum.
+	CheckBudgetMult float64
+	// SpotCheckSamples caps how many recent samples the spot check's
+	// PROOF program plans over (its LP grows with samples x nodes x
+	// depth; accuracy of this knowledge only affects cost, never
+	// correctness). 0 means 5.
+	SpotCheckSamples int
+	// LowAccuracy is the proven fraction below which the sampling
+	// rate doubles; HighAccuracy is the fraction above which it
+	// halves (never leaving [MinRate, MaxRate]).
+	LowAccuracy, HighAccuracy float64
+	MinRate, MaxRate          float64
+}
+
+// DefaultAdaptivePolicy returns moderate settings.
+func DefaultAdaptivePolicy() AdaptivePolicy {
+	return AdaptivePolicy{
+		ReplanEvery:     10,
+		ImproveFactor:   1.15,
+		CheckEvery:      25,
+		CheckBudgetMult: 1.3,
+		LowAccuracy:     0.5,
+		HighAccuracy:    0.9,
+		MinRate:         0.02,
+		MaxRate:         0.5,
+	}
+}
+
+func (p AdaptivePolicy) validate() error {
+	if p.ReplanEvery < 1 || p.CheckEvery < 1 {
+		return fmt.Errorf("core: ReplanEvery and CheckEvery must be positive")
+	}
+	if p.ImproveFactor < 1 {
+		return fmt.Errorf("core: ImproveFactor must be >= 1, got %g", p.ImproveFactor)
+	}
+	if p.MinRate <= 0 || p.MaxRate > 1 || p.MinRate > p.MaxRate {
+		return fmt.Errorf("core: sampling rates must satisfy 0 < min <= max <= 1")
+	}
+	return nil
+}
+
+// Runner executes a standing approximate top-k query epoch after
+// epoch, adapting to drift per Section 4.4. Drive it by calling Step
+// with each new epoch's ground-truth readings.
+type Runner struct {
+	cfg       Config
+	policy    AdaptivePolicy
+	planner   Planner
+	budget    float64
+	env       exec.Env
+	collector *sample.Collector
+	current   *plan.Plan
+	currentEV int // expected sample hits of the current plan
+	epoch     int
+	// Stats accumulates what the run spent and achieved.
+	Stats RunnerStats
+}
+
+// RunnerStats summarizes a Runner's history.
+type RunnerStats struct {
+	Epochs        int
+	Replans       int
+	Disseminated  int
+	SpotChecks    int
+	SamplesTaken  int
+	Energy        energy.Ledger
+	AccuracySum   float64 // vs ground truth, for reporting only
+	ProvenLastChk int
+}
+
+// MeanAccuracy returns the mean ground-truth accuracy across epochs.
+func (s RunnerStats) MeanAccuracy() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return s.AccuracySum / float64(s.Epochs)
+}
+
+// NewRunner assembles the adaptive controller. The planner is re-run
+// every ReplanEvery epochs against the evolving sample window; budget
+// bounds each collection phase.
+func NewRunner(cfg Config, planner Planner, budget float64, policy AdaptivePolicy, rng *rand.Rand) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	if planner == nil {
+		return nil, fmt.Errorf("core: runner needs a planner")
+	}
+	collector, err := sample.NewCollector(cfg.Samples, cfg.Net, cfg.Costs.Model(), policy.MinRate*2, rng)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:       cfg,
+		policy:    policy,
+		planner:   planner,
+		budget:    budget,
+		env:       exec.Env{Net: cfg.Net, Costs: cfg.Costs},
+		collector: collector,
+	}
+	if err := r.replan(true); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Plan returns the currently installed plan.
+func (r *Runner) Plan() *plan.Plan { return r.current }
+
+// planValue scores a plan by its expected sample hits.
+func (r *Runner) planValue(p *plan.Plan) int {
+	switch p.Kind {
+	case plan.Selection:
+		return selectionObjective(r.cfg, p.Chosen)
+	default:
+		return bandwidthCoverage(r.cfg, p.Bandwidth)
+	}
+}
+
+// replan recomputes the optimal plan at the base station and installs
+// it if it is the first plan or beats the current one by
+// ImproveFactor. Installation pays the dissemination cost.
+func (r *Runner) replan(force bool) error {
+	p, err := r.planner.Plan(r.budget)
+	if err != nil {
+		return err
+	}
+	r.Stats.Replans++
+	value := r.planValue(p)
+	if !force && float64(value) < float64(r.currentEV)*r.policy.ImproveFactor {
+		return nil // not considerably better; keep the installed plan
+	}
+	r.current = p
+	r.currentEV = value
+	r.Stats.Disseminated++
+	r.Stats.Energy.Install += p.InstallCost(r.cfg.Net, r.cfg.Costs)
+	return nil
+}
+
+// Step processes one epoch: maybe sample, maybe replan, maybe spot
+// check, then execute the standing query. It returns the epoch's
+// result.
+func (r *Runner) Step(truth []float64) (*exec.Result, error) {
+	r.epoch++
+	r.Stats.Epochs++
+	sampled, err := r.collector.Observe(truth)
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		r.Stats.SamplesTaken++
+	}
+	if r.epoch%r.policy.ReplanEvery == 0 {
+		if err := r.replan(false); err != nil {
+			return nil, err
+		}
+	}
+	if r.epoch%r.policy.CheckEvery == 0 {
+		if err := r.spotCheck(truth); err != nil {
+			return nil, err
+		}
+	}
+	res, err := exec.Run(r.env, r.current, truth)
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Energy.Add(res.Ledger)
+	r.Stats.AccuracySum += res.Accuracy(truth, r.cfg.K)
+	return res, nil
+}
+
+// spotCheck runs a proof-carrying plan to measure, without trusting
+// the model, how many of the top k the sample-driven plans can still
+// prove — and adjusts the sampling rate accordingly (the paper's
+// re-sampling policy).
+func (r *Runner) spotCheck(truth []float64) error {
+	cfg := r.cfg
+	cap := r.policy.SpotCheckSamples
+	if cap <= 0 {
+		cap = 5
+	}
+	if cfg.Samples.Len() > cap {
+		trimmed := sample.MustNewSet(cfg.Samples.Nodes(), cfg.Samples.K(), cap)
+		for j := cfg.Samples.Len() - cap; j < cfg.Samples.Len(); j++ {
+			if err := trimmed.Add(cfg.Samples.Values(j)); err != nil {
+				return err
+			}
+		}
+		cfg.Samples = trimmed
+	}
+	pp, err := NewProofPlanner(cfg)
+	if err != nil {
+		return err
+	}
+	p, err := pp.Plan(pp.MinBudget() * r.policy.CheckBudgetMult)
+	if err != nil {
+		return err
+	}
+	res, err := exec.Run(r.env, p, truth)
+	if err != nil {
+		return err
+	}
+	r.Stats.SpotChecks++
+	r.Stats.Energy.Add(res.Ledger)
+	proven := res.Proven
+	if proven > r.cfg.K {
+		proven = r.cfg.K
+	}
+	r.Stats.ProvenLastChk = proven
+	frac := float64(proven) / float64(r.cfg.K)
+	rate := r.collector.Rate()
+	switch {
+	case frac < r.policy.LowAccuracy:
+		rate *= 2
+	case frac > r.policy.HighAccuracy:
+		rate /= 2
+	default:
+		return nil
+	}
+	if rate < r.policy.MinRate {
+		rate = r.policy.MinRate
+	}
+	if rate > r.policy.MaxRate {
+		rate = r.policy.MaxRate
+	}
+	return r.collector.SetRate(rate)
+}
+
+// SamplingRate exposes the collector's current rate (for tests and
+// telemetry).
+func (r *Runner) SamplingRate() float64 { return r.collector.Rate() }

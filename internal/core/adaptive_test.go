@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+	"prospector/internal/workload"
+)
+
+func TestAdaptiveRunnerSteadyState(t *testing.T) {
+	s := makeScenario(t, 20, 24, 5, 8)
+	rng := rand.New(rand.NewSource(21))
+	lf, err := NewLPFilter(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveKPlan(s.cfg.Net, s.cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 0.35 * naive.CollectionCost(s.cfg.Net, s.cfg.Costs)
+	policy := DefaultAdaptivePolicy()
+	policy.ReplanEvery = 5
+	policy.CheckEvery = 10
+	r, err := NewRunner(s.cfg, lf, budget, policy, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(24), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 20; e++ {
+		if _, err := r.Step(src.Next()); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	st := r.Stats
+	if st.Epochs != 20 {
+		t.Errorf("epochs = %d", st.Epochs)
+	}
+	if st.Replans < 5 { // 1 initial + 20/5
+		t.Errorf("replans = %d", st.Replans)
+	}
+	if st.SpotChecks != 2 {
+		t.Errorf("spot checks = %d", st.SpotChecks)
+	}
+	if st.Disseminated > st.Replans {
+		t.Errorf("disseminated %d > replans %d", st.Disseminated, st.Replans)
+	}
+	if st.Energy.Total() <= 0 {
+		t.Error("no energy accounted")
+	}
+	if st.MeanAccuracy() <= 0.2 {
+		t.Errorf("mean accuracy %.2f too low for a steady workload", st.MeanAccuracy())
+	}
+}
+
+func TestAdaptiveRunnerRaisesSamplingUnderDrift(t *testing.T) {
+	// Feed the runner a workload whose hot cluster moves to a
+	// different subtree: the proof-carrying spot check cannot prove
+	// the drifted top k through the one-value bandwidth it allocated
+	// there, so the sampling rate must rise.
+	const k = 4
+	rng := rand.New(rand.NewSource(22))
+	net := network.BalancedTree(3, 3) // 40 nodes
+	nodes := net.Size()
+	costs := plan.NewCosts(net, energy.DefaultModel())
+	set := sample.MustNewSet(nodes, k, 8)
+
+	// A regime makes k nodes of one subtree hot.
+	subtreeA := net.Descendants(1) // first child's subtree
+	subtreeB := net.Descendants(3) // third child's subtree
+	regime := func(hot []network.NodeID) []float64 {
+		v := make([]float64, nodes)
+		for i := range v {
+			v[i] = 50 + rng.NormFloat64()
+		}
+		for i := 0; i < k; i++ {
+			v[hot[1+i]] += 30 // skip the subtree root itself
+		}
+		return v
+	}
+	for e := 0; e < 8; e++ {
+		if err := set.Add(regime(subtreeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{Net: net, Costs: costs, Samples: set, K: k}
+	lf, err := NewLPFilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveKPlan(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultAdaptivePolicy()
+	policy.ReplanEvery = 4
+	policy.CheckEvery = 5
+	policy.MinRate = 0.05
+	// A near-minimum proof budget leaves no slack bandwidth, so the
+	// drifted cluster cannot be proven through its b=1 edges.
+	policy.CheckBudgetMult = 1.02
+	r, err := NewRunner(cfg, lf, 0.3*naive.CollectionCost(net, costs), policy, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.SamplingRate()
+	// Regime B: the hot cluster jumps to another subtree.
+	for e := 0; e < 10; e++ {
+		if _, err := r.Step(regime(subtreeB)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Stats.SpotChecks == 0 {
+		t.Fatal("no spot checks ran")
+	}
+	if r.SamplingRate() <= before {
+		t.Errorf("sampling rate %.3f did not rise from %.3f under drift", r.SamplingRate(), before)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	s := makeScenario(t, 23, 20, 4, 5)
+	rng := rand.New(rand.NewSource(23))
+	g, err := NewGreedy(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultAdaptivePolicy()
+	bad.ImproveFactor = 0.5
+	if _, err := NewRunner(s.cfg, g, 50, bad, rng); err == nil {
+		t.Error("accepted ImproveFactor < 1")
+	}
+	if _, err := NewRunner(s.cfg, nil, 50, DefaultAdaptivePolicy(), rng); err == nil {
+		t.Error("accepted nil planner")
+	}
+}
+
+func TestGeneralizedSelectionQueryPlanning(t *testing.T) {
+	// The paper's Section 3 generalization: plan a selection query
+	// (readings > tau) with LP-LF over a threshold-marked sample set.
+	const nodes = 30
+	rng := rand.New(rand.NewSource(24))
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tau = 58.0
+	set, err := sample.NewGeneralSet(nodes, 0, sample.ThresholdMarker(tau))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.AddAll(workload.Draw(src, 12)); err != nil {
+		t.Fatal(err)
+	}
+	costs := plan.NewCosts(net, energy.DefaultModel())
+	cfg := Config{Net: net, Costs: costs, Samples: set, K: 5}
+	l, err := NewLPNoFilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Plan(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan should target nodes that historically exceed tau.
+	env := exec.Env{Net: net, Costs: costs}
+	hits, want := 0, 0
+	for e := 0; e < 10; e++ {
+		truth := src.Next()
+		res, err := exec.Run(env, p, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[network.NodeID]bool{}
+		for _, v := range res.Returned {
+			got[v.Node] = true
+		}
+		for i, v := range truth {
+			if v > tau {
+				want++
+				if got[network.NodeID(i)] {
+					hits++
+				}
+			}
+		}
+	}
+	if want == 0 {
+		t.Skip("degenerate draw: no readings above tau")
+	}
+	if frac := float64(hits) / float64(want); frac < 0.4 {
+		t.Errorf("selection plan caught %.0f%% of exceedances", 100*frac)
+	}
+}

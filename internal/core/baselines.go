@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// NaiveKPlan returns the NAIVE-k plan of Section 2: every node passes
+// the top k values of its subtree to its parent. One pass, minimum
+// message count, large messages; the result always contains the exact
+// top k.
+func NaiveKPlan(net *network.Network, k int) (*plan.Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: NaiveK needs k >= 1, got %d", k)
+	}
+	bw := make([]int, net.Size())
+	for v := 1; v < net.Size(); v++ {
+		bw[v] = k
+		if s := net.SubtreeSize(network.NodeID(v)); s < k {
+			bw[v] = s
+		}
+	}
+	return plan.NewFiltering(net, bw)
+}
+
+// OraclePlan is the non-plausible ORACLE baseline: it knows exactly
+// where the top k values are and builds the cheapest plan that
+// retrieves precisely the top "want" of them (want <= k varies the
+// accuracy axis in Figure 3). Its cost lower-bounds every approximate
+// algorithm.
+func OraclePlan(net *network.Network, truth []float64, want int) (*plan.Plan, error) {
+	if want < 0 || want > net.Size() {
+		return nil, fmt.Errorf("core: Oracle wants %d of %d nodes", want, net.Size())
+	}
+	chosen := make([]bool, net.Size())
+	for _, v := range exec.TrueTopK(truth, want) {
+		if v.Node != network.Root {
+			chosen[v.Node] = true
+		}
+	}
+	return plan.NewSelection(net, chosen)
+}
+
+// OracleProofPlan is ORACLE PROOF: it knows where the top k values are
+// but must still visit every node to prove the answer. Each edge
+// carries its subtree's top-k members plus one smaller witness value,
+// which suffices for the root to prove all k (the per-node proof
+// conditions are satisfiable level by level). It lower-bounds the
+// cost of exact proof-carrying algorithms.
+func OracleProofPlan(net *network.Network, truth []float64, k int) (*plan.Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: OracleProof needs k >= 1, got %d", k)
+	}
+	members := make([]bool, net.Size())
+	for _, v := range exec.TrueTopK(truth, k) {
+		members[v.Node] = true
+	}
+	bw := make([]int, net.Size())
+	counts := make([]int, net.Size())
+	net.PostorderWalk(func(v network.NodeID) {
+		n := 0
+		if members[v] {
+			n = 1
+		}
+		for _, c := range net.Children(v) {
+			n += counts[c]
+		}
+		counts[v] = n
+		if v != network.Root {
+			bw[v] = n + 1 // the +1 witness proves "nothing bigger hides here"
+			if s := net.SubtreeSize(v); bw[v] > s {
+				bw[v] = s
+			}
+		}
+	})
+	return plan.NewProof(net, bw)
+}

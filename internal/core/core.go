@@ -1,0 +1,157 @@
+// Package core implements the paper's primary contribution: the
+// PROSPECTOR family of sampling-based top-k query planners (Greedy,
+// LP-LF, LP+LF, PROOF, and the two-phase EXACT algorithm), plus the
+// exact baselines they are evaluated against (NAIVE-k, NAIVE-1, ORACLE,
+// ORACLE PROOF).
+//
+// All planners share the same inputs: a spanning-tree network, per-edge
+// energy costs, a window of past full-network samples, the rank bound
+// k, and an energy budget for one collection phase. They differ in how
+// much plan structure they can express — and therefore in how much
+// accuracy they extract per joule.
+package core
+
+import (
+	"fmt"
+
+	"prospector/internal/lp"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+)
+
+// Config carries the shared planner inputs.
+type Config struct {
+	Net     *network.Network
+	Costs   *plan.Costs
+	Samples *sample.Set
+	K       int
+	// LP tunes the simplex solver for the LP-based planners.
+	LP lp.Options
+	// DisableRepair turns off the post-rounding budget repair and
+	// greedy refill, leaving the paper's plain round-at-1/2 scheme
+	// (which may exceed the budget by the rounding slack). Exposed for
+	// the rounding ablation.
+	DisableRepair bool
+	// DisablePresolve skips the LP presolve reductions before the
+	// simplex. Exposed for the presolve ablation bench.
+	DisablePresolve bool
+}
+
+// solveLP runs the configured solve path (presolve by default).
+func (c Config) solveLP(m *lp.Model) (*lp.Solution, error) {
+	if c.DisablePresolve {
+		return m.Solve(c.LP)
+	}
+	return lp.SolveWithPresolve(m, c.LP)
+}
+
+func (c Config) validate() error {
+	if c.Net == nil || c.Costs == nil || c.Samples == nil {
+		return fmt.Errorf("core: config needs a network, costs, and samples")
+	}
+	if c.Samples.Nodes() != c.Net.Size() {
+		return fmt.Errorf("core: samples cover %d nodes, network has %d", c.Samples.Nodes(), c.Net.Size())
+	}
+	if c.K < 1 || c.K > c.Net.Size() {
+		return fmt.Errorf("core: k must be in [1,%d], got %d", c.Net.Size(), c.K)
+	}
+	if c.Samples.Len() == 0 {
+		return fmt.Errorf("core: sample window is empty")
+	}
+	// General (marker-based) sample sets report K() == 0 and are
+	// accepted: the planners only consume column sums and ones-sets,
+	// which the marker defines. K then serves as the expected answer
+	// size (bandwidth caps, accuracy denominators).
+	if c.Samples.K() != 0 && c.Samples.K() != c.K {
+		return fmt.Errorf("core: samples track top-%d, planner wants top-%d", c.Samples.K(), c.K)
+	}
+	return nil
+}
+
+// Planner builds an approximate top-k query plan within an energy
+// budget for one collection phase.
+type Planner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Plan returns a plan whose collection-phase cost respects budget
+	// (up to rounding slack when repair is disabled).
+	Plan(budget float64) (*plan.Plan, error)
+}
+
+// selectionCost returns the collection cost of a Selection plan over
+// the chosen node set, sharing per-message costs along common paths.
+func selectionCost(cfg Config, chosen []bool) float64 {
+	counts := make([]int, cfg.Net.Size())
+	for i, c := range chosen {
+		if !c || i == int(network.Root) {
+			continue
+		}
+		cfg.Net.AncestorEdges(network.NodeID(i), func(e network.NodeID) {
+			counts[e]++
+		})
+	}
+	total := 0.0
+	for v := 1; v < cfg.Net.Size(); v++ {
+		if counts[v] > 0 {
+			total += cfg.Costs.Msg[v] + cfg.Costs.Val[v]*float64(counts[v])
+		}
+	}
+	return total
+}
+
+// selectionObjective returns the expected number of top-k hits of a
+// chosen-node set over the sample window: the sum of column sums of
+// the chosen nodes (plus the root, whose reading is always available).
+func selectionObjective(cfg Config, chosen []bool) int {
+	hits := cfg.Samples.ColumnSum(int(network.Root))
+	for i, c := range chosen {
+		if c && i != int(network.Root) {
+			hits += cfg.Samples.ColumnSum(i)
+		}
+	}
+	return hits
+}
+
+// bandwidthCoverage returns the total number of top-k sample values a
+// Filtering plan's bandwidth assignment delivers to the root, summed
+// over all samples. Computed bottom-up per sample: a node forwards the
+// top of its pool, and within its own subtree the sample's top-k values
+// outrank everything else, so the count reaching the parent is
+// min(bandwidth, own-hit + children's counts).
+func bandwidthCoverage(cfg Config, bandwidth []int) int {
+	net := cfg.Net
+	counts := make([]int, net.Size())
+	total := 0
+	for j := 0; j < cfg.Samples.Len(); j++ {
+		net.PostorderWalk(func(v network.NodeID) {
+			n := 0
+			if cfg.Samples.IsOne(j, int(v)) {
+				n = 1
+			}
+			for _, c := range net.Children(v) {
+				n += counts[c]
+			}
+			if v != network.Root {
+				if b := bandwidth[v]; n > b {
+					n = b
+				}
+			}
+			counts[v] = n
+		})
+		total += counts[network.Root]
+	}
+	return total
+}
+
+// bandwidthCost returns the collection cost of a Filtering bandwidth
+// assignment.
+func bandwidthCost(cfg Config, bandwidth []int) float64 {
+	total := 0.0
+	for v := 1; v < cfg.Net.Size(); v++ {
+		if bandwidth[v] > 0 {
+			total += cfg.Costs.Msg[v] + cfg.Costs.Val[v]*float64(bandwidth[v])
+		}
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/plan"
+)
+
+// Exact is PROSPECTOR EXACT (Section 4.3): a two-phase algorithm that
+// always returns the exact top k. Phase 1 runs a PROSPECTOR PROOF plan
+// built for a chosen budget; if the root cannot prove all k values,
+// phase 2 runs the mop-up protocol, using the phase-1 state to restrict
+// retrieval to the still-uncertain value range. Sample knowledge only
+// tunes performance — correctness never depends on it, just as
+// traditional optimizers use statistics.
+type Exact struct {
+	cfg     Config
+	planner *ProofPlanner
+}
+
+// NewExact builds the two-phase exact algorithm.
+func NewExact(cfg Config) (*Exact, error) {
+	pp, err := NewProofPlanner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Exact{cfg: cfg, planner: pp}, nil
+}
+
+// Name identifies the algorithm in experiment output.
+func (e *Exact) Name() string { return "Exact" }
+
+// MinPhase1Budget returns the smallest legal phase-1 budget.
+func (e *Exact) MinPhase1Budget() float64 { return e.planner.MinBudget() }
+
+// Planner exposes the underlying PROOF planner, so callers can build
+// one phase-1 plan and amortize it across epochs via RunWithPlan.
+func (e *Exact) Planner() *ProofPlanner { return e.planner }
+
+// ExactResult reports a two-phase run with its per-phase cost
+// breakdown (the quantity Figure 8 plots).
+type ExactResult struct {
+	// Answer is the exact top k.
+	Answer []exec.ValueAt
+	// ProvenPhase1 is how many of the k the root proved in phase 1.
+	ProvenPhase1 int
+	// MoppedUp reports whether a second phase was needed.
+	MoppedUp bool
+	// Phase1 and Phase2 are the per-phase energy ledgers.
+	Phase1, Phase2 energy.Ledger
+}
+
+// Total returns the combined energy of both phases.
+func (r *ExactResult) Total() float64 { return r.Phase1.Total() + r.Phase2.Total() }
+
+// Run plans phase 1 within phase1Budget, executes it on the
+// ground-truth readings, and mops up if needed.
+func (e *Exact) Run(env exec.Env, values []float64, phase1Budget float64) (*ExactResult, error) {
+	p, err := e.planner.Plan(phase1Budget)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunWithPlan(env, p, values)
+}
+
+// RunWithPlan executes a pre-built proof plan and mops up if needed;
+// use it to amortize planning over many epochs.
+func (e *Exact) RunWithPlan(env exec.Env, p *plan.Plan, values []float64) (*ExactResult, error) {
+	if p.Kind != plan.Proof {
+		return nil, fmt.Errorf("core: Exact needs a proof plan, got %v", p.Kind)
+	}
+	res1, err := exec.Run(env, p, values)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExactResult{Phase1: res1.Ledger}
+	k := e.cfg.K
+	proven := res1.Proven
+	if proven > k {
+		proven = k
+	}
+	out.ProvenPhase1 = proven
+	if proven >= k || len(res1.Returned) >= e.cfg.Net.Size() {
+		ans := res1.Returned
+		if len(ans) > k {
+			ans = ans[:k]
+		}
+		out.Answer = ans
+		return out, nil
+	}
+	mop, err := res1.State.MopUp(k)
+	if err != nil {
+		return nil, err
+	}
+	out.MoppedUp = mop.Queried
+	out.Phase2 = mop.Ledger
+	out.Answer = mop.Answer
+	return out, nil
+}

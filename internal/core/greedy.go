@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sort"
+
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// Greedy is PROSPECTOR GREEDY: it repeatedly picks the unvisited node
+// that contributes most to the top k across all samples (largest column
+// sum of the Boolean sample matrix) and adds it to the plan, as long as
+// the plan's collection cost stays within budget. It is
+// topology-oblivious: priorities ignore how expensive a node is to
+// reach, although cost accounting does share edges already opened by
+// earlier picks.
+type Greedy struct {
+	cfg Config
+	// costAware switches the priority from the plain column sum to the
+	// column sum per marginal joule, an extension ablated in the
+	// benchmarks (not part of the paper's GREEDY).
+	costAware bool
+}
+
+// NewGreedy builds the paper's PROSPECTOR GREEDY.
+func NewGreedy(cfg Config) (*Greedy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Greedy{cfg: cfg}, nil
+}
+
+// NewGreedyCostAware builds the cost-per-benefit variant.
+func NewGreedyCostAware(cfg Config) (*Greedy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Greedy{cfg: cfg, costAware: true}, nil
+}
+
+// Name implements Planner.
+func (g *Greedy) Name() string {
+	if g.costAware {
+		return "GreedyCostAware"
+	}
+	return "Greedy"
+}
+
+// Plan implements Planner.
+func (g *Greedy) Plan(budget float64) (*plan.Plan, error) {
+	cfg := g.cfg
+	n := cfg.Net.Size()
+	chosen := make([]bool, n)
+	usedEdge := make([]bool, n)
+	cost := 0.0
+
+	// marginal returns the extra collection cost of adding node i to
+	// the current plan: a message on every newly opened path edge plus
+	// one value slot on every path edge.
+	marginal := func(i network.NodeID) float64 {
+		extra := 0.0
+		cfg.Net.AncestorEdges(i, func(e network.NodeID) {
+			if !usedEdge[e] {
+				extra += cfg.Costs.Msg[e]
+			}
+			extra += cfg.Costs.Val[e]
+		})
+		return extra
+	}
+
+	if g.costAware {
+		// Re-rank every round: marginal costs fall as edges open.
+		remaining := candidateNodes(cfg)
+		for len(remaining) > 0 {
+			bestIdx := -1
+			bestScore := 0.0
+			for idx, i := range remaining {
+				mc := marginal(i)
+				if cost+mc > budget {
+					continue
+				}
+				score := float64(cfg.Samples.ColumnSum(int(i))) / mc
+				if bestIdx == -1 || score > bestScore {
+					bestIdx, bestScore = idx, score
+				}
+			}
+			if bestIdx == -1 {
+				break
+			}
+			i := remaining[bestIdx]
+			cost += marginal(i)
+			commit(cfg.Net, i, chosen, usedEdge)
+			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		}
+		return plan.NewSelection(cfg.Net, chosen)
+	}
+
+	// The paper's rule: fixed priority order by column sum; add each
+	// node that still fits the budget.
+	order := candidateNodes(cfg)
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := cfg.Samples.ColumnSum(int(order[a])), cfg.Samples.ColumnSum(int(order[b]))
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		mc := marginal(i)
+		if cost+mc > budget {
+			continue
+		}
+		cost += mc
+		commit(cfg.Net, i, chosen, usedEdge)
+	}
+	return plan.NewSelection(cfg.Net, chosen)
+}
+
+// candidateNodes lists every non-root node that ever ranked in the top
+// k of a sample; nodes that never did cannot improve the objective.
+func candidateNodes(cfg Config) []network.NodeID {
+	var out []network.NodeID
+	for i := 1; i < cfg.Net.Size(); i++ {
+		if cfg.Samples.ColumnSum(i) > 0 {
+			out = append(out, network.NodeID(i))
+		}
+	}
+	return out
+}
+
+func commit(net *network.Network, i network.NodeID, chosen, usedEdge []bool) {
+	chosen[i] = true
+	net.AncestorEdges(i, func(e network.NodeID) {
+		usedEdge[e] = true
+	})
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// Knapsack is the dynamic-programming planner the paper's footnote
+// hints at: "PROSPECTOR LP-LF with integrality constraints might be
+// solvable to an arbitrarily good approximation factor by dynamic
+// programming; our NP-hardness proof reduces from KNAPSACK."
+//
+// Each candidate node is an item with value = its sample column sum
+// and weight = its standalone acquisition cost (a message on every
+// path edge plus value transport) — an overestimate that ignores
+// path sharing, so the DP's selection is always within budget. A
+// classic budget-grid knapsack DP picks the selection, and the
+// leftover budget created by shared paths is then spent greedily at
+// true marginal costs. On star-like topologies (no sharing) this is
+// the exact integral optimum up to grid resolution; on deep trees the
+// LP planners see sharing during optimization and usually win.
+type Knapsack struct {
+	cfg Config
+	// resolution is the number of budget grid steps; higher is more
+	// precise and slower (the usual knapsack-FPTAS dial).
+	resolution int
+}
+
+// NewKnapsack builds the planner with a 1000-step budget grid.
+func NewKnapsack(cfg Config) (*Knapsack, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Knapsack{cfg: cfg, resolution: 1000}, nil
+}
+
+// Name implements Planner.
+func (p *Knapsack) Name() string { return "Knapsack" }
+
+// Plan implements Planner.
+func (p *Knapsack) Plan(budget float64) (*plan.Plan, error) {
+	cfg := p.cfg
+	n := cfg.Net.Size()
+	cands := candidateNodes(cfg)
+	chosen := make([]bool, n)
+	if len(cands) == 0 || budget <= 0 {
+		return plan.NewSelection(cfg.Net, chosen)
+	}
+	// Item weights: standalone path cost (all messages paid alone).
+	weights := make([]float64, len(cands))
+	values := make([]int, len(cands))
+	maxW := 0.0
+	for idx, i := range cands {
+		w := 0.0
+		cfg.Net.AncestorEdges(i, func(e network.NodeID) {
+			w += cfg.Costs.Msg[e] + cfg.Costs.Val[e]
+		})
+		weights[idx] = w
+		values[idx] = cfg.Samples.ColumnSum(int(i))
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// Budget grid.
+	steps := p.resolution
+	unit := budget / float64(steps)
+	if unit <= 0 {
+		return plan.NewSelection(cfg.Net, chosen)
+	}
+	// dp[w] = best value using grid weight exactly <= w; track picks.
+	dp := make([]int, steps+1)
+	pick := make([][]bool, len(cands))
+	for idx := range cands {
+		pick[idx] = make([]bool, steps+1)
+		// Ceil keeps the DP conservative: grid weight never understates
+		// the true standalone cost.
+		w := int(math.Ceil(weights[idx] / unit))
+		if w > steps {
+			continue
+		}
+		if w < 1 {
+			w = 1
+		}
+		for b := steps; b >= w; b-- {
+			if cand := dp[b-w] + values[idx]; cand > dp[b] {
+				dp[b] = cand
+				pick[idx][b] = true
+			}
+		}
+	}
+	// Trace back the selection.
+	b := steps
+	for idx := len(cands) - 1; idx >= 0; idx-- {
+		if !pick[idx][b] {
+			continue
+		}
+		chosen[cands[idx]] = true
+		w := int(math.Ceil(weights[idx] / unit))
+		if w < 1 {
+			w = 1
+		}
+		b -= w
+	}
+	// The standalone weights overestimate shared-path plans; spend the
+	// slack at true marginal costs.
+	fillSelection(cfg, chosen, budget)
+	return plan.NewSelection(cfg.Net, chosen)
+}

@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"fmt"
+
+	"prospector/internal/energy"
+	"prospector/internal/network"
+)
+
+// MopUpResult is the outcome of an exact second phase.
+type MopUpResult struct {
+	// Answer is the exact top k of the network.
+	Answer []ValueAt
+	// Ledger accounts the second phase only (request broadcasts and
+	// response messages).
+	Ledger energy.Ledger
+	// Queried reports whether any request had to be sent at all.
+	Queried bool
+}
+
+// MopUp runs PROSPECTOR EXACT's second phase over the state of a
+// proof-carrying collection: the root determines which of the top k
+// remain unproven and recursively retrieves, from each subtree, the top
+// candidates within the still-uncertain value range (Section 4.3).
+func (st *ProofState) MopUp(k int) (*MopUpResult, error) {
+	return st.MopUpWith(k, MopUpOptions{})
+}
+
+// MopUpOptions tunes the second phase.
+type MopUpOptions struct {
+	// Tailored switches from one broadcast request per node to
+	// per-child unicast requests with individually tightened upper
+	// bounds (anything new from child c ranks strictly below the
+	// smallest value c already delivered). This is the refinement the
+	// paper sketches and then sets aside as bringing "only marginal
+	// benefits"; the ablation bench measures that claim.
+	Tailored bool
+}
+
+// MopUpWith is MopUp with explicit options.
+func (st *ProofState) MopUpWith(k int, opts MopUpOptions) (*MopUpResult, error) {
+	if st == nil {
+		return nil, fmt.Errorf("exec: MopUp needs the state of a proof-phase run")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("exec: MopUp needs k >= 1, got %d", k)
+	}
+	res := &MopUpResult{}
+	m := &mopper{st: st, res: res, opts: opts}
+	ans := m.answer(network.Root, k, nil, nil)
+	if len(ans) > k {
+		ans = ans[:k]
+	}
+	res.Answer = ans
+	return res, nil
+}
+
+// mopper carries the mutable recursion state of one mop-up.
+type mopper struct {
+	st   *ProofState
+	res  *MopUpResult
+	opts MopUpOptions
+}
+
+// between reports whether x lies strictly inside the open rank interval
+// (lo, hi); nil bounds are infinite.
+func between(x ValueAt, lo, hi *ValueAt) bool {
+	if hi != nil && !hi.Outranks(x) {
+		return false
+	}
+	if lo != nil && !x.Outranks(*lo) {
+		return false
+	}
+	return true
+}
+
+// minRank returns the lower-ranked of two optional bounds (nil means
+// "no bound", i.e. infinitely high rank).
+func minRank(a, b *ValueAt) *ValueAt {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.Outranks(*b):
+		return b
+	default:
+		return a
+	}
+}
+
+// answer returns, for node v, the complete top-t list of subtree(v)
+// values strictly inside the rank interval (lo, hi), retrieving missing
+// values from v's children as needed. It updates retrieved[v] with
+// everything learned.
+func (m *mopper) answer(v network.NodeID, t int, lo, hi *ValueAt) []ValueAt {
+	st := m.st
+	net := st.env.Net
+	known := st.retrieved[v] // sorted by rank, deduped by construction
+
+	// The proven prefix of v's list is the exact top of its subtree:
+	// every subtree value outranking the last proven value is known.
+	var cutoff *ValueAt
+	if p := st.provenCnt[v]; p > 0 {
+		c := known[p-1]
+		cutoff = &c
+	}
+	complete := len(known) == net.SubtreeSize(v)
+
+	// Count how much of the request the certain region already covers.
+	certain := 0
+	for _, x := range known {
+		if !between(x, lo, hi) {
+			continue
+		}
+		if complete || (cutoff != nil && !cutoff.Outranks(x)) {
+			certain++
+			if certain >= t {
+				break
+			}
+		} else {
+			break // below the certainty cutoff; stop counting
+		}
+	}
+	need := t - certain
+	if need > 0 && !complete && len(net.Children(v)) > 0 {
+		// The uncertain zone: ranks strictly below the proven cutoff
+		// (hidden values cannot outrank it) and above lo, tightened by
+		// candidates v already holds in the zone.
+		hi2 := minRank(hi, cutoff)
+		lo2 := lo
+		zoneCands := 0
+		for _, x := range known {
+			if between(x, lo2, hi2) {
+				zoneCands++
+				if zoneCands == need {
+					c := x
+					lo2 = minRankLow(lo2, &c)
+					break
+				}
+			}
+		}
+		if zoneOpen(lo2, hi2) {
+			if !m.opts.Tailored {
+				m.broadcast(v)
+			}
+			for _, c := range net.Children(v) {
+				if len(st.sent[c]) == net.SubtreeSize(c) {
+					continue // child already fully visible at v
+				}
+				if m.opts.Tailored {
+					// Every subtree-c value outranking c's smallest
+					// proven value is proven and already delivered, so
+					// c can only contribute fresh values below that
+					// cap; skip the child when that zone is empty.
+					// (Narrowing the request range itself backfires:
+					// c then fills its quota with deeper values the
+					// broadcast protocol never needed.)
+					cap := hi2
+					if p := st.provenCnt[c]; p > 0 {
+						last := st.sent[c][p-1]
+						cap = minRank(hi2, &last)
+					}
+					if !zoneOpen(lo2, cap) {
+						continue // nothing new from c can matter
+					}
+					m.unicastRequest(c)
+				}
+				resp := m.answer(c, need, lo2, hi2)
+				m.respond(c, resp, v)
+			}
+			known = st.retrieved[v]
+		}
+	}
+	// Assemble the top-t in range from (now augmented) knowledge.
+	var out []ValueAt
+	for _, x := range known {
+		if between(x, lo, hi) {
+			out = append(out, x)
+			if len(out) == t {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// minRankLow returns the higher-ranked of two optional lower bounds
+// (nil means no bound, i.e. infinitely low).
+func minRankLow(a, b *ValueAt) *ValueAt {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.Outranks(*b):
+		return a
+	default:
+		return b
+	}
+}
+
+// zoneOpen reports whether the open interval (lo, hi) can contain any
+// value.
+func zoneOpen(lo, hi *ValueAt) bool {
+	if lo == nil || hi == nil {
+		return true
+	}
+	return hi.Outranks(*lo)
+}
+
+// broadcast charges one request broadcast from v to its children.
+func (m *mopper) broadcast(v network.NodeID) {
+	c := m.st.env.Costs.Model().Request()
+	m.res.Ledger.Requests += c
+	m.res.Ledger.Messages++
+	m.res.Queried = true
+}
+
+// unicastRequest charges one per-child tailored request on the edge
+// above child c.
+func (m *mopper) unicastRequest(c network.NodeID) {
+	env := m.st.env
+	cost := env.Costs.Msg[c] + env.Costs.Model().PerByte*float64(env.Costs.Model().BytesPerRequest)
+	if f := env.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[c] {
+		cost *= 1 + f.RerouteFactor
+	}
+	m.res.Ledger.Requests += cost
+	m.res.Ledger.Messages++
+	m.res.Queried = true
+}
+
+// respond merges a child's response into the parent's knowledge and
+// charges the response message. Values the child already delivered in
+// phase 1 are not retransmitted.
+func (m *mopper) respond(c network.NodeID, resp []ValueAt, parent network.NodeID) {
+	st := m.st
+	have := make(map[network.NodeID]bool, len(st.retrieved[parent]))
+	for _, x := range st.retrieved[parent] {
+		have[x.Node] = true
+	}
+	var fresh []ValueAt
+	for _, x := range resp {
+		if !have[x.Node] {
+			fresh = append(fresh, x)
+		}
+	}
+	env := st.env
+	cost := env.Costs.Msg[c] + env.Costs.Val[c]*float64(len(fresh))
+	if f := env.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[c] {
+		cost *= 1 + f.RerouteFactor
+	}
+	m.res.Ledger.Requests += cost
+	m.res.Ledger.Messages++
+	m.res.Ledger.Values += len(fresh)
+	if len(fresh) > 0 {
+		merged := append(st.retrieved[parent], fresh...)
+		SortDesc(merged)
+		st.retrieved[parent] = merged
+	}
+}

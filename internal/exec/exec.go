@@ -1,0 +1,222 @@
+// Package exec simulates query-plan execution over a sensor network:
+// the bottom-up collection phase (with or without local filtering),
+// proof-carrying collection, the exact mop-up protocol, and the
+// NAIVE-k / NAIVE-1 baselines. Execution is deterministic given the
+// ground-truth readings (and the failure model's RNG, when present) and
+// charges every message to an energy ledger.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prospector/internal/energy"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// ValueAt is a sensor reading tagged with its source node.
+type ValueAt struct {
+	Node network.NodeID
+	Val  float64
+}
+
+// Outranks reports whether a ranks strictly above b under the
+// deterministic total order used throughout: larger value first,
+// smaller node ID first on ties.
+func (a ValueAt) Outranks(b ValueAt) bool {
+	if a.Val != b.Val {
+		return a.Val > b.Val
+	}
+	return a.Node < b.Node
+}
+
+// SortDesc sorts values from highest to lowest rank in place.
+func SortDesc(vs []ValueAt) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Outranks(vs[j]) })
+}
+
+// TrueTopK returns the top k readings of a ground-truth assignment.
+func TrueTopK(values []float64, k int) []ValueAt {
+	all := make([]ValueAt, len(values))
+	for i, v := range values {
+		all[i] = ValueAt{Node: network.NodeID(i), Val: v}
+	}
+	SortDesc(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Accuracy returns the fraction of the true top k present among the
+// returned values (the paper's accuracy metric).
+func Accuracy(returned []ValueAt, truth []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	top := TrueTopK(truth, k)
+	have := make(map[network.NodeID]bool, len(returned))
+	for _, r := range returned {
+		have[r.Node] = true
+	}
+	hit := 0
+	for _, t := range top {
+		if have[t.Node] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(top))
+}
+
+// FailureModel injects transient link failures (Section 4.4): each
+// message on the edge above node v fails with probability Prob[v] and
+// is rerouted by the reliable protocol at RerouteFactor times extra
+// cost. Delivery always succeeds; only energy is affected.
+type FailureModel struct {
+	Prob          []float64
+	RerouteFactor float64
+	Rng           *rand.Rand
+}
+
+// Env bundles everything execution needs besides the plan itself.
+type Env struct {
+	Net      *network.Network
+	Costs    *plan.Costs
+	Failures *FailureModel // optional
+}
+
+// chargeMsg adds the cost of one unicast carrying nValues readings
+// plus extraBytes over the edge above v, applying failure inflation.
+func (e Env) chargeMsg(led *energy.Ledger, v network.NodeID, nValues, extraBytes int) {
+	m := e.Costs.Model()
+	// Per-edge Msg/Val costs come from the (possibly failure-inflated)
+	// cost table; extra bytes are charged at the base rate.
+	c := e.Costs.Msg[v] + e.Costs.Val[v]*float64(nValues) + m.PerByte*float64(extraBytes)
+	if f := e.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[v] {
+		c *= 1 + f.RerouteFactor
+	}
+	led.Collection += c
+	led.Messages++
+	led.Values += nValues
+}
+
+// Result is the outcome of executing a plan on one epoch of readings.
+type Result struct {
+	// Returned holds every value that reached the root (including the
+	// root's own reading), sorted from highest rank down.
+	Returned []ValueAt
+	// Proven counts how many leading values of Returned the root can
+	// prove are the true top values in the network (Proof plans only).
+	Proven int
+	// Ledger accounts all energy spent by this execution.
+	Ledger energy.Ledger
+	// State retains per-node execution state for a mop-up phase
+	// (Proof plans only).
+	State *ProofState
+}
+
+// Accuracy is a convenience wrapper over the package-level Accuracy.
+func (r *Result) Accuracy(truth []float64, k int) float64 {
+	return Accuracy(r.Returned, truth, k)
+}
+
+// Run executes a plan against one epoch of ground-truth readings.
+func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
+	if env.Net == nil || env.Costs == nil {
+		return nil, fmt.Errorf("exec: environment needs a network and costs")
+	}
+	if len(values) != env.Net.Size() {
+		return nil, fmt.Errorf("exec: %d readings for %d nodes", len(values), env.Net.Size())
+	}
+	if err := p.Validate(env.Net); err != nil {
+		return nil, err
+	}
+	switch p.Kind {
+	case plan.Selection:
+		return runSelection(env, p, values), nil
+	case plan.Filtering:
+		return runFiltering(env, p, values), nil
+	case plan.Proof:
+		return runProof(env, p, values), nil
+	}
+	return nil, fmt.Errorf("exec: unknown plan kind %v", p.Kind)
+}
+
+// runSelection moves chosen readings to the root unfiltered.
+func runSelection(env Env, p *plan.Plan, values []float64) *Result {
+	res := &Result{}
+	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	net := env.Net
+	lists := make([][]ValueAt, net.Size())
+	net.PostorderWalk(func(v network.NodeID) {
+		var pool []ValueAt
+		if p.Chosen != nil && p.Chosen[v] {
+			pool = append(pool, ValueAt{Node: v, Val: values[v]})
+		}
+		for _, c := range net.Children(v) {
+			pool = append(pool, lists[c]...)
+		}
+		if v == network.Root {
+			lists[v] = pool
+			return
+		}
+		if len(pool) > 0 {
+			env.chargeMsg(&res.Ledger, v, len(pool), 0)
+		}
+		lists[v] = pool
+	})
+	returned := append([]ValueAt(nil), lists[network.Root]...)
+	returned = append(returned, ValueAt{Node: network.Root, Val: values[network.Root]})
+	SortDesc(returned)
+	res.Returned = dedupe(returned)
+	return res
+}
+
+// runFiltering executes a bandwidth plan with local filtering: each
+// participating node merges its children's lists with its own reading
+// and forwards only its edge's bandwidth worth of top values.
+func runFiltering(env Env, p *plan.Plan, values []float64) *Result {
+	res := &Result{}
+	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	net := env.Net
+	lists := make([][]ValueAt, net.Size())
+	net.PostorderWalk(func(v network.NodeID) {
+		participates := v == network.Root || p.UsesEdge(v)
+		if !participates {
+			return
+		}
+		var pool []ValueAt
+		pool = append(pool, ValueAt{Node: v, Val: values[v]})
+		for _, c := range net.Children(v) {
+			pool = append(pool, lists[c]...)
+		}
+		SortDesc(pool)
+		if v == network.Root {
+			lists[v] = pool
+			return
+		}
+		send := pool
+		if len(send) > p.Bandwidth[v] {
+			send = send[:p.Bandwidth[v]]
+		}
+		env.chargeMsg(&res.Ledger, v, len(send), 0)
+		lists[v] = send
+	})
+	res.Returned = dedupe(lists[network.Root])
+	return res
+}
+
+// dedupe removes duplicate node entries from a rank-sorted list.
+func dedupe(vs []ValueAt) []ValueAt {
+	seen := make(map[network.NodeID]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v.Node] {
+			seen[v.Node] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

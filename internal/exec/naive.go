@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"fmt"
+
+	"prospector/internal/energy"
+	"prospector/internal/network"
+)
+
+// NaiveOne simulates the NAIVE-1 exact algorithm of Section 2: a
+// pipelined distributed heap in which every node hands its parent one
+// value per request. Each request and each returned value is a separate
+// message, so NAIVE-1 minimizes values transmitted at the price of a
+// prohibitive per-message overhead.
+//
+// It returns the exact top k along with the energy ledger of the run.
+func NaiveOne(env Env, values []float64, k int) (*Result, error) {
+	if len(values) != env.Net.Size() {
+		return nil, fmt.Errorf("exec: %d readings for %d nodes", len(values), env.Net.Size())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("exec: NaiveOne needs k >= 1, got %d", k)
+	}
+	s := &naiveOne{
+		env:     env,
+		values:  values,
+		ownUsed: make([]bool, env.Net.Size()),
+		pending: make(map[network.NodeID]*ValueAt, env.Net.Size()),
+		done:    make(map[network.NodeID]bool, env.Net.Size()),
+	}
+	res := &Result{}
+	for i := 0; i < k; i++ {
+		v, ok := s.next(network.Root, &res.Ledger)
+		if !ok {
+			break // fewer than k nodes in the network
+		}
+		res.Returned = append(res.Returned, v)
+	}
+	return res, nil
+}
+
+type naiveOne struct {
+	env     Env
+	values  []float64
+	ownUsed []bool
+	// pending[c] holds a value fetched from child c, not yet consumed.
+	pending map[network.NodeID]*ValueAt
+	// done[c] marks children whose subtrees are exhausted.
+	done map[network.NodeID]bool
+}
+
+// next pops the largest remaining value of v's subtree, fetching one
+// value from each child whose heap slot is empty first.
+func (s *naiveOne) next(v network.NodeID, led *energy.Ledger) (ValueAt, bool) {
+	net := s.env.Net
+	for _, c := range net.Children(v) {
+		if s.done[c] || s.pending[c] != nil {
+			continue
+		}
+		// Request one value from c (a small unicast down the edge).
+		s.chargeRequest(c, led)
+		val, ok := s.next(c, led)
+		// The reply comes back up the same edge; an "exhausted" reply
+		// carries no value but is still a message.
+		if ok {
+			s.chargeValue(c, led)
+			v := val
+			s.pending[c] = &v
+		} else {
+			s.chargeEmpty(c, led)
+			s.done[c] = true
+		}
+	}
+	// Pop the best among v's own (unconsumed) reading and the heap.
+	var best *ValueAt
+	var bestChild network.NodeID = -1
+	if !s.ownUsed[v] {
+		best = &ValueAt{Node: v, Val: s.values[v]}
+	}
+	for _, c := range net.Children(v) {
+		if p := s.pending[c]; p != nil && (best == nil || p.Outranks(*best)) {
+			best = p
+			bestChild = c
+		}
+	}
+	if best == nil {
+		return ValueAt{}, false
+	}
+	if bestChild >= 0 {
+		s.pending[bestChild] = nil
+	} else {
+		s.ownUsed[v] = true
+	}
+	return *best, true
+}
+
+func (s *naiveOne) chargeRequest(edge network.NodeID, led *energy.Ledger) {
+	led.Requests += s.inflate(edge, s.env.Costs.Model().Request())
+	led.Messages++
+}
+
+func (s *naiveOne) chargeValue(edge network.NodeID, led *energy.Ledger) {
+	led.Collection += s.inflate(edge, s.env.Costs.Msg[edge]+s.env.Costs.Val[edge])
+	led.Messages++
+	led.Values++
+}
+
+func (s *naiveOne) chargeEmpty(edge network.NodeID, led *energy.Ledger) {
+	led.Collection += s.inflate(edge, s.env.Costs.Msg[edge])
+	led.Messages++
+}
+
+func (s *naiveOne) inflate(edge network.NodeID, cost float64) float64 {
+	if f := s.env.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[edge] {
+		cost *= 1 + f.RerouteFactor
+	}
+	return cost
+}
+
+// NaiveBatch generalizes the paper's two naive exact algorithms into
+// one family: each request asks a child for its next `batch` values at
+// once. batch=1 is exactly NAIVE-1 (minimum values moved, maximum
+// messages); batch>=k approaches NAIVE-k's single-pass behaviour
+// (minimum messages, wasted values). Sweeping batch quantifies the
+// message-count/value-count tradeoff Section 2 describes.
+func NaiveBatch(env Env, values []float64, k, batch int) (*Result, error) {
+	if len(values) != env.Net.Size() {
+		return nil, fmt.Errorf("exec: %d readings for %d nodes", len(values), env.Net.Size())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("exec: NaiveBatch needs k >= 1, got %d", k)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("exec: NaiveBatch needs batch >= 1, got %d", batch)
+	}
+	s := &naiveBatch{
+		env:     env,
+		values:  values,
+		batch:   batch,
+		ownUsed: make([]bool, env.Net.Size()),
+		pending: make(map[network.NodeID][]ValueAt, env.Net.Size()),
+		done:    make(map[network.NodeID]bool, env.Net.Size()),
+	}
+	res := &Result{}
+	got := s.next(network.Root, k, &res.Ledger)
+	if len(got) > k {
+		got = got[:k]
+	}
+	res.Returned = got
+	return res, nil
+}
+
+type naiveBatch struct {
+	env     Env
+	values  []float64
+	batch   int
+	ownUsed []bool
+	pending map[network.NodeID][]ValueAt
+	done    map[network.NodeID]bool
+}
+
+// next pops up to want of the largest remaining values of v's subtree,
+// refilling child buffers batch values at a time.
+func (s *naiveBatch) next(v network.NodeID, want int, led *energy.Ledger) []ValueAt {
+	net := s.env.Net
+	var out []ValueAt
+	for len(out) < want {
+		// Refill any empty, unexhausted child buffer.
+		for _, c := range net.Children(v) {
+			if s.done[c] || len(s.pending[c]) > 0 {
+				continue
+			}
+			led.Requests += s.env.Costs.Model().Request()
+			led.Messages++
+			vals := s.next(c, s.batch, led)
+			led.Collection += s.env.Costs.Msg[c] + s.env.Costs.Val[c]*float64(len(vals))
+			led.Messages++
+			led.Values += len(vals)
+			if len(vals) == 0 {
+				s.done[c] = true
+				continue
+			}
+			s.pending[c] = vals
+			if len(vals) < s.batch {
+				// Short reply: subtree exhausted after this buffer.
+				s.done[c] = true
+			}
+		}
+		// Pop the best among own value and child buffer heads.
+		var best *ValueAt
+		var bestChild network.NodeID = -1
+		if !s.ownUsed[v] {
+			best = &ValueAt{Node: v, Val: s.values[v]}
+		}
+		for _, c := range net.Children(v) {
+			if buf := s.pending[c]; len(buf) > 0 && (best == nil || buf[0].Outranks(*best)) {
+				b := buf[0]
+				best = &b
+				bestChild = c
+			}
+		}
+		if best == nil {
+			break // subtree exhausted
+		}
+		if bestChild >= 0 {
+			s.pending[bestChild] = s.pending[bestChild][1:]
+		} else {
+			s.ownUsed[v] = true
+		}
+		out = append(out, *best)
+	}
+	return out
+}

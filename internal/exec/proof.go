@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// ProofState retains, for every node, the values it saw and proved
+// during a proof-carrying collection phase. A mop-up phase (PROSPECTOR
+// EXACT's second phase) consumes this state.
+type ProofState struct {
+	env    Env
+	plan   *plan.Plan
+	values []float64
+	// retrieved[v]: v's own reading plus everything received from its
+	// children, sorted by rank (the paper's retrieved(v)).
+	retrieved [][]ValueAt
+	// provenCnt[v]: how many leading values of sent[v] (of
+	// retrieved[v] for the root) v has proven to be the true top of
+	// its subtree.
+	provenCnt []int
+	// sent[v]: the list v passed to its parent.
+	sent [][]ValueAt
+}
+
+// runProof executes a proof-carrying plan per Section 4.3: each node
+// sorts its children's lists with its own reading, passes up its edge's
+// bandwidth worth of top values, and marks the prefix it can prove via
+// conditions (c.1)-(c.3).
+func runProof(env Env, p *plan.Plan, values []float64) *Result {
+	res := &Result{}
+	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	net := env.Net
+	st := &ProofState{
+		env:       env,
+		plan:      p,
+		values:    values,
+		retrieved: make([][]ValueAt, net.Size()),
+		provenCnt: make([]int, net.Size()),
+		sent:      make([][]ValueAt, net.Size()),
+	}
+	net.PostorderWalk(func(v network.NodeID) {
+		pool := []ValueAt{{Node: v, Val: values[v]}}
+		for _, c := range net.Children(v) {
+			pool = append(pool, st.sent[c]...)
+		}
+		SortDesc(pool)
+		st.retrieved[v] = pool
+		send := pool
+		if v != network.Root && len(send) > p.Bandwidth[v] {
+			send = send[:p.Bandwidth[v]]
+		}
+		st.sent[v] = send
+		st.provenCnt[v] = st.provenPrefix(v, send)
+		if v != network.Root {
+			extra := 0
+			if len(net.Children(v)) > 0 && st.provenCnt[v] < len(send) {
+				extra = 1 // proven-count field
+			}
+			env.chargeMsg(&res.Ledger, v, len(send), extra)
+		}
+	})
+	res.Returned = dedupe(append([]ValueAt(nil), st.retrieved[network.Root]...))
+	res.Proven = st.provenCnt[network.Root]
+	res.State = st
+	return res
+}
+
+// provenPrefix returns the length of the longest prefix of list whose
+// every value node v can prove is among the top values of its subtree.
+func (st *ProofState) provenPrefix(v network.NodeID, list []ValueAt) int {
+	n := 0
+	for _, w := range list {
+		if !st.provenAt(v, w) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// provenAt implements the per-value proof conditions: value w is proven
+// by v iff for every child c of v one of
+//
+//	(c.1) w comes from c's subtree and lies within c's proven prefix;
+//	(c.2) c proved some value ranked strictly below w;
+//	(c.3) c passed up its entire subtree.
+//
+// v's own reading needs no condition: v knows it exactly.
+func (st *ProofState) provenAt(v network.NodeID, w ValueAt) bool {
+	net := st.env.Net
+	for _, c := range net.Children(v) {
+		if st.childSupports(c, w) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (st *ProofState) childSupports(c network.NodeID, w ValueAt) bool {
+	net := st.env.Net
+	// (c.3) everything below c is visible.
+	if len(st.sent[c]) == net.SubtreeSize(c) {
+		return true
+	}
+	if net.IsAncestor(c, w.Node) {
+		// (c.1) w came through c; it must be within c's proven prefix.
+		for i := 0; i < st.provenCnt[c]; i++ {
+			if st.sent[c][i].Node == w.Node {
+				return true
+			}
+		}
+		return false
+	}
+	// (c.2) c proved a strictly smaller value. Proven values are the
+	// leading prefix of c's list, so it suffices to check the last one.
+	if p := st.provenCnt[c]; p > 0 && w.Outranks(st.sent[c][p-1]) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prospector/internal/core"
+)
+
+// Figure4Config scales the variance-sweep experiment.
+type Figure4Config struct {
+	Nodes   int
+	K       int
+	Samples int
+	Eval    int
+	Trials  int
+	Seed    int64
+	StdDevs []float64
+	// BudgetFrac (of NAIVE-k's executed cost) is fixed across the
+	// sweep, calibrated so LP+LF reaches near-perfect accuracy at the
+	// lowest variance.
+	BudgetFrac float64
+}
+
+// DefaultFigure4Config mirrors the paper's setup: means from a small
+// range, variance swept from "top-k is predictable" to "everyone is
+// equally likely".
+func DefaultFigure4Config() Figure4Config {
+	return Figure4Config{
+		Nodes:      60,
+		K:          12,
+		Samples:    15,
+		Eval:       10,
+		Trials:     3,
+		Seed:       2,
+		StdDevs:    []float64{0.25, 0.75, 1.5, 2.5, 4, 6, 9, 12},
+		BudgetFrac: 0.3,
+	}
+}
+
+// Figure4 regenerates the paper's Figure 4: accuracy against reading
+// variance for LP+LF and LP-LF at a fixed energy budget. Expected
+// shape: identical at low variance, both degrade as variance grows with
+// LP-LF degrading faster, then both level out once means are diluted.
+func Figure4(cfg Figure4Config) (*Result, error) {
+	aggLF := newAggregate()
+	aggNo := newAggregate()
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, sd := range cfg.StdDevs {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*104729))
+			s, err := gaussianScenario(cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, sd, rng)
+			if err != nil {
+				return nil, err
+			}
+			naive, err := s.naiveKCost(cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			budget := cfg.BudgetFrac * naive
+			lf, err := core.NewLPFilter(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := lf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			_, accF, err := s.evaluate(pf)
+			if err != nil {
+				return nil, err
+			}
+			aggLF.add(sd, 0, accF)
+
+			nolf, err := core.NewLPNoFilter(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			pn, err := nolf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			_, accN, err := s.evaluate(pn)
+			if err != nil {
+				return nil, err
+			}
+			aggNo.add(sd, 0, accN)
+		}
+	}
+	return &Result{
+		ID:     "figure4",
+		Title:  "Effect of variance",
+		XLabel: "reading std deviation",
+		YLabel: "accuracy (% of top k)",
+		Series: []Series{
+			{Name: "LP+LF", Points: aggLF.xValuePoints()},
+			{Name: "LP-LF", Points: aggNo.xValuePoints()},
+		},
+		Notes: []string{
+			fmt.Sprintf("nodes=%d k=%d budget=%.0f%% of Naive-k", cfg.Nodes, cfg.K, 100*cfg.BudgetFrac),
+			"expected shape: equal at low variance; LP-LF degrades faster; both level out",
+		},
+	}, nil
+}

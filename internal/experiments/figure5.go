@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+	"prospector/internal/workload"
+)
+
+// ZonesConfig scales the contention-zone experiments (Figures 5-7).
+type ZonesConfig struct {
+	Zones       int
+	K           int // nodes per zone == query k, as in the paper
+	Background  int // relay/background nodes (excluding root)
+	Samples     int
+	Eval        int
+	Trials      int
+	Seed        int64
+	Territorial bool
+	// BudgetFracs drives Figure 5's sweep (fractions of NAIVE-k cost);
+	// Figure 7 uses a single FixedBudgetFrac.
+	BudgetFracs     []float64
+	FixedBudgetFrac float64
+}
+
+// DefaultZonesConfig mirrors the paper's Figure 6 layout: six zones of
+// k nodes around the perimeter, the query root in the center.
+func DefaultZonesConfig() ZonesConfig {
+	return ZonesConfig{
+		Zones:           6,
+		K:               8,
+		Background:      23,
+		Samples:         15,
+		Eval:            10,
+		Trials:          3,
+		Seed:            3,
+		Territorial:     true,
+		BudgetFracs:     []float64{0.08, 0.14, 0.22, 0.32, 0.45, 0.6, 0.8},
+		FixedBudgetFrac: 0.3,
+	}
+}
+
+// zoneScenario builds one contention-zone trial.
+func zoneScenario(cfg ZonesConfig, zones int, rng *rand.Rand) (*scenario, error) {
+	nodes := 1 + cfg.Background + zones*cfg.K
+	bcfg := network.DefaultBuildConfig(nodes)
+	pos, zoneOf := network.ZonePlacement(bcfg, zones, cfg.K, rng)
+	// Sparse placements occasionally disconnect; widen the radio range
+	// until the spanning tree covers everyone.
+	var net *network.Network
+	var err error
+	for mult := 1.3; ; mult *= 1.3 {
+		net, err = network.FromPositions(pos, bcfg.Range*mult)
+		if err == nil {
+			break
+		}
+		if mult > 6 {
+			return nil, err
+		}
+	}
+	zcfg := workload.DefaultZoneConfig(nodes, zones, cfg.K, zoneOf)
+	zcfg.Territorial = cfg.Territorial
+	src, err := workload.NewZoneField(zcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	set := sample.MustNewSet(nodes, cfg.K, 0)
+	if err := set.AddAll(workload.Draw(src, cfg.Samples)); err != nil {
+		return nil, err
+	}
+	costs := plan.NewCosts(net, energy.DefaultModel())
+	return &scenario{
+		cfg:   core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
+		env:   exec.Env{Net: net, Costs: costs},
+		truth: workload.Draw(src, cfg.Eval),
+	}, nil
+}
+
+// Figure5 regenerates the paper's Figure 5: cost against accuracy for
+// LP+LF and LP-LF in the six-zone contention scenario. Expected shape:
+// LP+LF greatly outperforms LP-LF, with the gap widening as the budget
+// grows — LP-LF wastes energy acquiring whole zones while LP+LF visits
+// several zones and locally filters each down to its few winners.
+func Figure5(cfg ZonesConfig) (*Result, error) {
+	aggLF := newAggregate()
+	aggNo := newAggregate()
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*15485863))
+		s, err := zoneScenario(cfg, cfg.Zones, rng)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := s.naiveKCost(cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		lf, err := core.NewLPFilter(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		nolf, err := core.NewLPNoFilter(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range cfg.BudgetFracs {
+			budget := frac * naive
+			pf, err := lf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			cost, acc, err := s.evaluate(pf)
+			if err != nil {
+				return nil, err
+			}
+			aggLF.add(frac, cost, acc)
+			pn, err := nolf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			cost, acc, err = s.evaluate(pn)
+			if err != nil {
+				return nil, err
+			}
+			aggNo.add(frac, cost, acc)
+		}
+	}
+	return &Result{
+		ID:     "figure5",
+		Title:  "Contention zones (6 zones around the perimeter)",
+		XLabel: "energy cost (mJ)",
+		YLabel: "accuracy (% of top k)",
+		Series: []Series{
+			{Name: "LP+LF", Points: aggLF.costAccuracyPoints()},
+			{Name: "LP-LF", Points: aggNo.costAccuracyPoints()},
+		},
+		Notes: []string{
+			fmt.Sprintf("zones=%d k=%d territorial=%v trials=%d", cfg.Zones, cfg.K, cfg.Territorial, cfg.Trials),
+			"expected shape: LP+LF greatly outperforms LP-LF; gap grows with budget",
+		},
+	}, nil
+}
+
+// Figure7 regenerates the paper's Figure 7: accuracy against zone
+// count at a fixed budget. Expected shape: both planners degrade as
+// zones multiply (each zone supplies a smaller share of the top k and
+// reaching more zones costs more), with LP-LF degrading faster.
+func Figure7(cfg ZonesConfig) (*Result, error) {
+	aggLF := newAggregate()
+	aggNo := newAggregate()
+	// Zone counts start at 2: the z=1 corner makes the exceed
+	// probability 1/z degenerate (every zone node always exceeds).
+	zoneCounts := []int{2, 3, 4, 5, 6}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, z := range zoneCounts {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*32452843 + int64(z)))
+			zcfg := cfg
+			s, err := zoneScenario(zcfg, z, rng)
+			if err != nil {
+				return nil, err
+			}
+			naive, err := s.naiveKCost(cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			budget := cfg.FixedBudgetFrac * naive
+			lf, err := core.NewLPFilter(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := lf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			_, acc, err := s.evaluate(pf)
+			if err != nil {
+				return nil, err
+			}
+			aggLF.add(float64(z), 0, acc)
+			nolf, err := core.NewLPNoFilter(s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			pn, err := nolf.Plan(budget)
+			if err != nil {
+				return nil, err
+			}
+			_, acc, err = s.evaluate(pn)
+			if err != nil {
+				return nil, err
+			}
+			aggNo.add(float64(z), 0, acc)
+		}
+	}
+	return &Result{
+		ID:     "figure7",
+		Title:  "Varying the number of contention zones (fixed budget)",
+		XLabel: "number of contended areas",
+		YLabel: "accuracy (% of top k)",
+		Series: []Series{
+			{Name: "LP+LF", Points: aggLF.xValuePoints()},
+			{Name: "LP-LF", Points: aggNo.xValuePoints()},
+		},
+		Notes: []string{
+			fmt.Sprintf("k=%d budget=%.0f%% of Naive-k trials=%d", cfg.K, 100*cfg.FixedBudgetFrac, cfg.Trials),
+			"expected shape: both degrade with more zones; LP-LF faster",
+		},
+	}, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotGlyphs mark series points in Plot output, assigned in series
+// order; overlapping points show the later series' glyph.
+var plotGlyphs = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Plot renders the result as an ASCII scatter chart, one glyph per
+// series, with axes and a legend — enough to eyeball the shapes the
+// paper's figures show without leaving the terminal.
+func (r *Result) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Sprintf("== %s: %s ==\n(no data)\n", r.ID, r.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y range slightly so extremes are not on the frame.
+	pad := (maxY - minY) * 0.05
+	minY, maxY = minY-pad, maxY+pad
+
+	grid := make([][]byte, height)
+	for row := range grid {
+		grid[row] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= width {
+				col = width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	label := len(yTop)
+	if len(yBot) > label {
+		label = len(yBot)
+	}
+	for row := range grid {
+		switch row {
+		case 0:
+			fmt.Fprintf(&b, "%*s |%s\n", label, yTop, grid[row])
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |%s\n", label, yBot, grid[row])
+		default:
+			fmt.Fprintf(&b, "%*s |%s\n", label, "", grid[row])
+		}
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", label, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*.4g%*.4g\n", label, "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%*s  x: %s, y: %s\n", label, "", r.XLabel, r.YLabel)
+	var legend []string
+	for si, s := range r.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", label, "", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckOptimal verifies that sol is an optimal solution of m by
+// checking the full KKT certificate: primal feasibility, dual
+// feasibility (correct dual signs per row sense), complementary
+// slackness, and stationarity of every variable's reduced cost against
+// its bound status. A nil return proves optimality up to tol without
+// trusting the solver that produced the solution.
+func CheckOptimal(m *Model, sol *Solution, tol float64) error {
+	if sol.Status != Optimal {
+		return fmt.Errorf("lp: solution status is %v, not optimal", sol.Status)
+	}
+	if len(sol.X) != m.NumVars() {
+		return fmt.Errorf("lp: solution has %d values for %d variables", len(sol.X), m.NumVars())
+	}
+	if len(sol.Duals) != m.NumConstrs() {
+		return fmt.Errorf("lp: solution has %d duals for %d rows", len(sol.Duals), m.NumConstrs())
+	}
+	if v := m.Violation(sol.X); v > tol {
+		return fmt.Errorf("lp: primal infeasible by %g", v)
+	}
+	// Work in minimization form; Solve reports duals in the model's
+	// declared sense, so flip them back alongside the objective.
+	sign := 1.0
+	if m.maximize {
+		sign = -1
+	}
+	y := make([]float64, len(sol.Duals))
+	for i, d := range sol.Duals {
+		y[i] = sign * d
+	}
+	// Dual feasibility and complementary slackness per row.
+	for i, r := range m.rows {
+		lhs := 0.0
+		scale := 1.0
+		for _, t := range r.terms {
+			lhs += t.Coef * sol.X[t.Var]
+			scale += math.Abs(t.Coef)
+		}
+		slack := r.rhs - lhs
+		rtol := tol * scale
+		switch r.sense {
+		case LE:
+			if y[i] > rtol {
+				return fmt.Errorf("lp: row %d (<=) has dual %g > 0", i, y[i])
+			}
+			if slack > rtol && math.Abs(y[i]) > rtol {
+				return fmt.Errorf("lp: row %d slack %g but dual %g (complementary slackness)", i, slack, y[i])
+			}
+		case GE:
+			if y[i] < -rtol {
+				return fmt.Errorf("lp: row %d (>=) has dual %g < 0", i, y[i])
+			}
+			if -slack > rtol && math.Abs(y[i]) > rtol {
+				return fmt.Errorf("lp: row %d surplus %g but dual %g (complementary slackness)", i, -slack, y[i])
+			}
+		}
+	}
+	// Stationarity: reduced costs must respect each variable's bound
+	// status.
+	red := make([]float64, m.NumVars())
+	rscale := make([]float64, m.NumVars())
+	for j := range red {
+		red[j] = sign * m.obj[j]
+		rscale[j] = 1 + math.Abs(m.obj[j])
+	}
+	for i, r := range m.rows {
+		for _, t := range r.terms {
+			red[t.Var] -= y[i] * t.Coef
+			rscale[t.Var] += math.Abs(y[i] * t.Coef)
+		}
+	}
+	for j := range red {
+		jt := tol * rscale[j]
+		atLo := sol.X[j] <= m.lo[j]+jt
+		atHi := sol.X[j] >= m.hi[j]-jt
+		switch {
+		case atLo && atHi:
+			// Fixed or tiny range: any reduced cost is fine.
+		case atLo:
+			if red[j] < -jt {
+				return fmt.Errorf("lp: var %d (%s) at lower bound with reduced cost %g < 0",
+					j, m.names[j], red[j])
+			}
+		case atHi:
+			if red[j] > jt {
+				return fmt.Errorf("lp: var %d (%s) at upper bound with reduced cost %g > 0",
+					j, m.names[j], red[j])
+			}
+		default:
+			if math.Abs(red[j]) > jt {
+				return fmt.Errorf("lp: var %d (%s) strictly between bounds with reduced cost %g != 0",
+					j, m.names[j], red[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package lp is a self-contained linear programming toolkit built for
+// the PROSPECTOR planners: a model builder, a two-phase revised simplex
+// solver with bounded variables, and optimality-certificate checking.
+//
+// The paper solved its programs with ILOG CPLEX; no LP solver exists in
+// the Go standard library, so this package substitutes a from-scratch
+// implementation. The planners' LPs are pure minimization problems with
+// box-bounded variables (0 <= x <= u) and sparse inequality rows, which
+// is exactly the shape this solver is tuned for: bounds are handled
+// implicitly (no extra rows), columns are stored sparse, and the basis
+// inverse is kept dense.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarID names a variable within a Model.
+type VarID int
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // ==
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Inf is the bound used for unbounded variables.
+var Inf = math.Inf(1)
+
+// Model is a linear program under construction. Objective sense is
+// minimization; use Maximize to flip. The zero value is an empty model
+// ready for use.
+type Model struct {
+	obj      []float64
+	lo, hi   []float64
+	names    []string
+	rows     []row
+	maximize bool
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// Maximize switches the objective sense to maximization. Solutions
+// still report the objective in the caller's sense.
+func (m *Model) Maximize() { m.maximize = true }
+
+// AddVar adds a variable with bounds [lo, hi] and the given objective
+// coefficient. Use lp.Inf / -lp.Inf for unbounded sides. name is kept
+// for diagnostics only and may be empty.
+func (m *Model) AddVar(lo, hi, obj float64, name string) (VarID, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(obj) {
+		return -1, fmt.Errorf("lp: NaN in variable %q", name)
+	}
+	if lo > hi {
+		return -1, fmt.Errorf("lp: variable %q has lo %g > hi %g", name, lo, hi)
+	}
+	id := VarID(len(m.obj))
+	m.obj = append(m.obj, obj)
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.names = append(m.names, name)
+	return id, nil
+}
+
+// MustVar is AddVar for statically valid arguments.
+func (m *Model) MustVar(lo, hi, obj float64, name string) VarID {
+	id, err := m.AddVar(lo, hi, obj, name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddConstr adds the row sum(terms) sense rhs. Terms referencing the
+// same variable are summed. Empty rows are rejected.
+func (m *Model) AddConstr(terms []Term, sense Sense, rhs float64) error {
+	if len(terms) == 0 {
+		return fmt.Errorf("lp: empty constraint row")
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint rhs %g", rhs)
+	}
+	merged := make(map[VarID]float64, len(terms))
+	order := make([]VarID, 0, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(m.obj) {
+			return fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			return fmt.Errorf("lp: constraint coefficient %g on variable %d", t.Coef, t.Var)
+		}
+		if _, seen := merged[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		merged[t.Var] += t.Coef
+	}
+	clean := make([]Term, 0, len(order))
+	for _, v := range order {
+		if merged[v] != 0 {
+			clean = append(clean, Term{Var: v, Coef: merged[v]})
+		}
+	}
+	if len(clean) == 0 {
+		// All coefficients cancelled: the row is 0 sense rhs. Either
+		// trivially true or trivially false.
+		violated := false
+		switch sense {
+		case LE:
+			violated = rhs < 0
+		case GE:
+			violated = rhs > 0
+		case EQ:
+			violated = rhs != 0
+		}
+		if violated {
+			return fmt.Errorf("lp: constraint with zero row is infeasible (0 %v %g)", sense, rhs)
+		}
+		return nil
+	}
+	m.rows = append(m.rows, row{terms: clean, sense: sense, rhs: rhs})
+	return nil
+}
+
+// MustConstr is AddConstr for statically valid arguments.
+func (m *Model) MustConstr(terms []Term, sense Sense, rhs float64) {
+	if err := m.AddConstr(terms, sense, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumConstrs returns the number of (retained) constraint rows.
+func (m *Model) NumConstrs() int { return len(m.rows) }
+
+// Name returns the diagnostic name of a variable.
+func (m *Model) Name(v VarID) string { return m.names[v] }
+
+// Bounds returns the bounds of a variable.
+func (m *Model) Bounds(v VarID) (lo, hi float64) { return m.lo[v], m.hi[v] }
+
+// Objective evaluates the model objective (in the caller's sense) at x.
+func (m *Model) Objective(x []float64) float64 {
+	z := 0.0
+	for i, c := range m.obj {
+		z += c * x[i]
+	}
+	return z
+}
+
+// Violation returns the largest constraint or bound violation of x; a
+// feasible point has Violation <= tol for the solver's tolerance.
+func (m *Model) Violation(x []float64) float64 {
+	worst := 0.0
+	for i := range m.obj {
+		if d := m.lo[i] - x[i]; d > worst {
+			worst = d
+		}
+		if d := x[i] - m.hi[i]; d > worst {
+			worst = d
+		}
+	}
+	for _, r := range m.rows {
+		lhs := 0.0
+		for _, t := range r.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		var d float64
+		switch r.sense {
+		case LE:
+			d = lhs - r.rhs
+		case GE:
+			d = r.rhs - lhs
+		case EQ:
+			d = math.Abs(lhs - r.rhs)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const classicMPS = `
+* Dantzig's textbook example.
+NAME TEST1
+OBJSENSE
+    MAX
+ROWS
+ N  COST
+ L  LIM1
+ L  LIM2
+ L  LIM3
+COLUMNS
+    X  COST  3  LIM1  1
+    Y  COST  5  LIM2  2
+    Y  LIM3  2
+    X  LIM3  3
+RHS
+    RHS1  LIM1  4  LIM2  12
+    RHS1  LIM3  18
+ENDATA
+`
+
+func TestReadMPSClassic(t *testing.T) {
+	m, err := ReadMPS(strings.NewReader(classicMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVars() != 2 || m.NumConstrs() != 3 {
+		t.Fatalf("vars=%d rows=%d", m.NumVars(), m.NumConstrs())
+	}
+	sol := solveOrFail(t, m, Options{})
+	if math.Abs(sol.Objective-36) > 1e-7 {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+}
+
+func TestReadMPSBounds(t *testing.T) {
+	in := `
+NAME B
+ROWS
+ N  COST
+ G  R0
+COLUMNS
+    A  COST  1  R0  1
+    B  COST  1  R0  1
+    C  COST  1  R0  1
+RHS
+    RHS  R0  2
+BOUNDS
+ LO BND  A  0.5
+ UP BND  A  3
+ FX BND  B  1
+ FR BND  C
+ENDATA
+`
+	m, err := ReadMPS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min A+B+C st A+B+C >= 2, A in [0.5,3], B = 1, C free.
+	// Optimum: total exactly 2 (push C down). Objective = 2.
+	sol := solveOrFail(t, m, Options{})
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestReadMPSRanges(t *testing.T) {
+	in := `
+NAME R
+ROWS
+ N  COST
+ L  R0
+COLUMNS
+    X  COST  -1  R0  1
+RHS
+    RHS  R0  10
+RANGES
+    RNG  R0  4
+ENDATA
+`
+	// R0 becomes 6 <= x <= 10; maximize x via min -x => x = 10...
+	// minimization of -x drives x to its max 10.
+	m, err := ReadMPS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrFail(t, m, Options{})
+	if math.Abs(sol.X[0]-10) > 1e-7 {
+		t.Errorf("x = %g, want 10", sol.X[0])
+	}
+	// And the lower side binds when minimizing +x.
+	in2 := strings.Replace(in, "COST  -1", "COST  1", 1)
+	m2, err := ReadMPS(strings.NewReader(in2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2 := solveOrFail(t, m2, Options{})
+	if math.Abs(sol2.X[0]-6) > 1e-7 {
+		t.Errorf("x = %g, want 6", sol2.X[0])
+	}
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := []string{
+		"GARBAGE\n",
+		"ROWS\n Z  R0\nENDATA\n",
+		"ROWS\n L  R0\nCOLUMNS\n    X  R1  1\nENDATA\n",
+		"ROWS\n L  R0\nCOLUMNS\n    X  R0  abc\nENDATA\n",
+		"ROWS\n N  C\n E  R0\nCOLUMNS\n    X  R0  1\nRHS\n    S  R0  1\nRANGES\n    G  R0  2\nENDATA\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadMPS(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadMPS accepted %q", in)
+		}
+	}
+}
+
+func TestMPSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		m := randomFeasibleModel(rng, 4+rng.Intn(6), 2+rng.Intn(6))
+		if trial%2 == 0 {
+			m.Maximize()
+		}
+		want, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, m, "trip"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: re-read: %v\n%s", trial, err, buf.String())
+		}
+		got, err := back.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Status != got.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, want.Status, got.Status)
+		}
+		if want.Status == Optimal &&
+			math.Abs(want.Objective-got.Objective) > 1e-6*(1+math.Abs(want.Objective)) {
+			t.Errorf("trial %d: objective %g vs %g", trial, want.Objective, got.Objective)
+		}
+	}
+}
+
+func TestWriteMPSSections(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	x := m.MustVar(-1, 5, 2, "a var")
+	m.MustConstr([]Term{{x, 1}}, LE, 3)
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, m, "demo model"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NAME demo_model", "OBJSENSE", "MAX", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA", "a_var"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadMPSNeverPanics(t *testing.T) {
+	// Corrupt MPS inputs must produce errors, not panics.
+	rng := rand.New(rand.NewSource(93))
+	var good bytes.Buffer
+	m := randomFeasibleModel(rng, 5, 4)
+	if err := WriteMPS(&good, m, "fuzz"); err != nil {
+		t.Fatal(err)
+	}
+	base := good.Bytes()
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), base...)
+		for mut := 0; mut < 1+rng.Intn(6); mut++ {
+			switch rng.Intn(3) {
+			case 0:
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			case 1:
+				cut := rng.Intn(len(data))
+				data = data[:cut]
+				if len(data) == 0 {
+					data = []byte{' '}
+				}
+			case 2:
+				pos := rng.Intn(len(data))
+				data = append(data[:pos], append([]byte("\nROWS\n"), data[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadMPS panicked on %q: %v", data, r)
+				}
+			}()
+			_, _ = ReadMPS(bytes.NewReader(data))
+		}()
+	}
+}

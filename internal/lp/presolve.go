@@ -1,0 +1,353 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolve reductions shrink a model before the simplex runs:
+//
+//   - fixed variables (lo == hi) are substituted into every row;
+//   - singleton rows (one variable) become bound tightenings;
+//   - redundant rows (satisfied at the variables' worst bounds) are
+//     dropped;
+//   - forcing rows (only satisfiable at the variables' best bounds)
+//     fix all their variables;
+//
+// iterated to a fixpoint. The planners' programs respond well: chain
+// and proof rows collapse once bandwidth bounds force a z variable.
+//
+// SolveWithPresolve applies the reductions, solves the reduced model,
+// and maps the solution back. Dual values are not reconstructed
+// (Solution.Duals is nil); callers needing the KKT certificate should
+// use Model.Solve directly.
+func SolveWithPresolve(m *Model, opts Options) (*Solution, error) {
+	red, err := newReduction(m)
+	if err != nil {
+		return nil, err
+	}
+	status := red.run()
+	switch status {
+	case Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case Optimal:
+		// Everything fixed by presolve alone.
+		x := red.fullSolution(nil)
+		if v := m.Violation(x); v > 1e-6 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		return &Solution{Status: Optimal, Objective: m.Objective(x), X: x}, nil
+	}
+	reduced, keepVars := red.buildReduced()
+	sol, err := reduced.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Solution{Status: sol.Status, Iterations: sol.Iterations}
+	if sol.Status == Optimal || sol.Status == IterationLimit {
+		sub := make(map[int]float64, len(keepVars))
+		for rj, oj := range keepVars {
+			sub[oj] = sol.X[rj]
+		}
+		out.X = red.fullSolution(sub)
+		out.Objective = m.Objective(out.X)
+	}
+	return out, nil
+}
+
+// reduction is the working state of one presolve pass.
+type reduction struct {
+	m      *Model
+	lo, hi []float64
+	fixed  []bool
+	// live rows: terms filtered of fixed vars, rhs adjusted.
+	rows    []row
+	rowLive []bool
+}
+
+func newReduction(m *Model) (*reduction, error) {
+	r := &reduction{
+		m:       m,
+		lo:      append([]float64(nil), m.lo...),
+		hi:      append([]float64(nil), m.hi...),
+		fixed:   make([]bool, m.NumVars()),
+		rowLive: make([]bool, len(m.rows)),
+	}
+	r.rows = make([]row, len(m.rows))
+	for i, rw := range m.rows {
+		r.rows[i] = row{terms: append([]Term(nil), rw.terms...), sense: rw.sense, rhs: rw.rhs}
+		r.rowLive[i] = true
+	}
+	return r, nil
+}
+
+const presolveTol = 1e-9
+
+// run iterates reductions; returns Infeasible, Optimal (all variables
+// fixed), or IterationLimit meaning "reduced model remains" (the code
+// reuses the Status type for its three-way result).
+func (r *reduction) run() Status {
+	for changed := true; changed; {
+		changed = false
+		// Fix variables with collapsed bounds and substitute.
+		for j := range r.fixed {
+			if r.fixed[j] {
+				continue
+			}
+			if r.lo[j] > r.hi[j]+presolveTol {
+				return Infeasible
+			}
+			if r.hi[j]-r.lo[j] <= presolveTol {
+				r.fixVar(j, (r.lo[j]+r.hi[j])/2)
+				changed = true
+			}
+		}
+		for i := range r.rows {
+			if !r.rowLive[i] {
+				continue
+			}
+			switch r.reduceRow(i) {
+			case Infeasible:
+				return Infeasible
+			case Optimal:
+				changed = true
+			}
+		}
+	}
+	for j := range r.fixed {
+		if !r.fixed[j] {
+			return IterationLimit // variables remain: solve reduced model
+		}
+	}
+	return Optimal
+}
+
+// fixVar pins variable j at v and folds it into every row.
+func (r *reduction) fixVar(j int, v float64) {
+	r.fixed[j] = true
+	r.lo[j], r.hi[j] = v, v
+	for i := range r.rows {
+		if !r.rowLive[i] {
+			continue
+		}
+		terms := r.rows[i].terms
+		for ti := 0; ti < len(terms); {
+			if int(terms[ti].Var) == j {
+				r.rows[i].rhs -= terms[ti].Coef * v
+				terms[ti] = terms[len(terms)-1]
+				terms = terms[:len(terms)-1]
+			} else {
+				ti++
+			}
+		}
+		r.rows[i].terms = terms
+	}
+}
+
+// reduceRow applies singleton/redundant/forcing logic to live row i.
+// Returns Optimal when it changed something, IterationLimit when not,
+// Infeasible on a proven contradiction.
+func (r *reduction) reduceRow(i int) Status {
+	rw := &r.rows[i]
+	if len(rw.terms) == 0 {
+		ok := true
+		switch rw.sense {
+		case LE:
+			ok = rw.rhs >= -presolveTol
+		case GE:
+			ok = rw.rhs <= presolveTol
+		case EQ:
+			ok = math.Abs(rw.rhs) <= presolveTol
+		}
+		if !ok {
+			return Infeasible
+		}
+		r.rowLive[i] = false
+		return Optimal
+	}
+	if len(rw.terms) == 1 {
+		return r.singleton(i)
+	}
+	// Activity bounds.
+	minAct, maxAct := 0.0, 0.0
+	for _, t := range rw.terms {
+		l, h := r.lo[t.Var], r.hi[t.Var]
+		if t.Coef >= 0 {
+			minAct += t.Coef * l
+			maxAct += t.Coef * h
+		} else {
+			minAct += t.Coef * h
+			maxAct += t.Coef * l
+		}
+	}
+	scale := 1 + math.Abs(rw.rhs)
+	switch rw.sense {
+	case LE:
+		if minAct > rw.rhs+presolveTol*scale {
+			return Infeasible
+		}
+		if !math.IsInf(maxAct, 1) && maxAct <= rw.rhs+presolveTol*scale {
+			r.rowLive[i] = false // redundant
+			return Optimal
+		}
+		if math.Abs(minAct-rw.rhs) <= presolveTol*scale {
+			// Forcing: every variable pinned at its activity-minimizing bound.
+			r.forceRow(i, true)
+			return Optimal
+		}
+	case GE:
+		if maxAct < rw.rhs-presolveTol*scale {
+			return Infeasible
+		}
+		if !math.IsInf(minAct, -1) && minAct >= rw.rhs-presolveTol*scale {
+			r.rowLive[i] = false
+			return Optimal
+		}
+		if math.Abs(maxAct-rw.rhs) <= presolveTol*scale {
+			r.forceRow(i, false)
+			return Optimal
+		}
+	case EQ:
+		if minAct > rw.rhs+presolveTol*scale || maxAct < rw.rhs-presolveTol*scale {
+			return Infeasible
+		}
+		if math.Abs(minAct-rw.rhs) <= presolveTol*scale && math.Abs(maxAct-rw.rhs) <= presolveTol*scale {
+			r.rowLive[i] = false
+			return Optimal
+		}
+	}
+	return IterationLimit
+}
+
+// singleton turns a one-variable row into a bound and removes it.
+func (r *reduction) singleton(i int) Status {
+	rw := &r.rows[i]
+	t := rw.terms[0]
+	if t.Coef == 0 {
+		rw.terms = nil
+		return Optimal
+	}
+	bound := rw.rhs / t.Coef
+	sense := rw.sense
+	if t.Coef < 0 {
+		switch sense {
+		case LE:
+			sense = GE
+		case GE:
+			sense = LE
+		}
+	}
+	j := t.Var
+	switch sense {
+	case LE:
+		if bound < r.hi[j] {
+			r.hi[j] = bound
+		}
+	case GE:
+		if bound > r.lo[j] {
+			r.lo[j] = bound
+		}
+	case EQ:
+		if bound < r.lo[j]-presolveTol || bound > r.hi[j]+presolveTol {
+			return Infeasible
+		}
+		r.lo[j], r.hi[j] = bound, bound
+	}
+	if r.lo[j] > r.hi[j]+presolveTol {
+		return Infeasible
+	}
+	r.rowLive[i] = false
+	return Optimal
+}
+
+// forceRow pins every variable of row i at its activity-extreme bound.
+func (r *reduction) forceRow(i int, toMin bool) {
+	for _, t := range r.rows[i].terms {
+		atLo := t.Coef >= 0
+		if !toMin {
+			atLo = !atLo
+		}
+		if atLo {
+			r.hi[t.Var] = r.lo[t.Var]
+		} else {
+			r.lo[t.Var] = r.hi[t.Var]
+		}
+	}
+	r.rowLive[i] = false
+}
+
+// buildReduced materializes the remaining problem, returning the new
+// model and the original index of each kept variable.
+func (r *reduction) buildReduced() (*Model, []int) {
+	red := NewModel()
+	red.maximize = r.m.maximize
+	var keep []int
+	newID := make([]VarID, r.m.NumVars())
+	for j := range newID {
+		newID[j] = -1
+	}
+	for j := 0; j < r.m.NumVars(); j++ {
+		if r.fixed[j] {
+			continue
+		}
+		id := red.MustVar(r.lo[j], r.hi[j], r.m.obj[j], r.m.names[j])
+		newID[j] = id
+		keep = append(keep, j)
+	}
+	for i, rw := range r.rows {
+		if !r.rowLive[i] || len(rw.terms) == 0 {
+			continue
+		}
+		terms := make([]Term, 0, len(rw.terms))
+		for _, t := range rw.terms {
+			terms = append(terms, Term{Var: newID[t.Var], Coef: t.Coef})
+		}
+		red.MustConstr(terms, rw.sense, rw.rhs)
+	}
+	return red, keep
+}
+
+// fullSolution assembles the original-space solution: fixed variables
+// at their pinned values, kept variables from sub (original index ->
+// value); sub may be nil when everything was fixed.
+func (r *reduction) fullSolution(sub map[int]float64) []float64 {
+	x := make([]float64, r.m.NumVars())
+	for j := range x {
+		if r.fixed[j] {
+			x[j] = r.lo[j]
+			continue
+		}
+		if v, ok := sub[j]; ok {
+			x[j] = v
+			continue
+		}
+		// Unconstrained leftover (possible only when presolve fixed
+		// everything else): rest at the bound nearest zero.
+		switch {
+		case r.lo[j] > math.Inf(-1) && r.lo[j] >= 0:
+			x[j] = r.lo[j]
+		case !math.IsInf(r.hi[j], 1) && r.hi[j] <= 0:
+			x[j] = r.hi[j]
+		default:
+			x[j] = 0
+		}
+	}
+	return x
+}
+
+// String helps debugging reductions.
+func (r *reduction) String() string {
+	liveRows, fixedVars := 0, 0
+	for _, l := range r.rowLive {
+		if l {
+			liveRows++
+		}
+	}
+	for _, f := range r.fixed {
+		if f {
+			fixedVars++
+		}
+	}
+	return fmt.Sprintf("reduction{rows %d->%d vars %d->%d}",
+		len(r.rows), liveRows, r.m.NumVars(), r.m.NumVars()-fixedVars)
+}

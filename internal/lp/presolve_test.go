@@ -1,0 +1,127 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 150; trial++ {
+		m := randomFeasibleModel(rng, 3+rng.Intn(10), 1+rng.Intn(12))
+		if trial%3 == 0 {
+			m.Maximize()
+		}
+		direct, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := SolveWithPresolve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Status != pre.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, direct.Status, pre.Status)
+		}
+		if direct.Status != Optimal {
+			continue
+		}
+		if math.Abs(direct.Objective-pre.Objective) > 1e-6*(1+math.Abs(direct.Objective)) {
+			t.Errorf("trial %d: objective %g vs %g", trial, direct.Objective, pre.Objective)
+		}
+		if v := m.Violation(pre.X); v > 1e-6 {
+			t.Errorf("trial %d: presolved solution infeasible by %g", trial, v)
+		}
+	}
+}
+
+func TestPresolveSingleton(t *testing.T) {
+	// 2x <= 4 should become x <= 2 and vanish as a row.
+	m := NewModel()
+	m.Maximize()
+	x := m.MustVar(0, Inf, 1, "x")
+	m.MustConstr([]Term{{x, 2}}, LE, 4)
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.X[x]-2) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestPresolveAllFixed(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar(3, 3, 5, "x")
+	y := m.MustVar(0, Inf, 1, "y")
+	m.MustConstr([]Term{{x, 1}, {y, 1}}, LE, 3) // forces y = 0
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.X[x] != 3 || sol.X[y] != 0 {
+		t.Errorf("x = %v", sol.X)
+	}
+	if math.Abs(sol.Objective-15) > 1e-9 {
+		t.Errorf("objective %g", sol.Objective)
+	}
+}
+
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar(0, 1, 0, "x")
+	m.MustConstr([]Term{{x, 1}}, GE, 5)
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", sol.Status)
+	}
+	// Conflicting pair of rows over two variables.
+	m2 := NewModel()
+	a := m2.MustVar(0, 10, 0, "a")
+	b := m2.MustVar(0, 10, 0, "b")
+	m2.MustConstr([]Term{{a, 1}, {b, 1}}, GE, 25)
+	sol2, err := SolveWithPresolve(m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", sol2.Status)
+	}
+}
+
+func TestPresolveForcingRow(t *testing.T) {
+	// x + y >= 4 with x <= 2, y <= 2 forces x = y = 2.
+	m := NewModel()
+	x := m.MustVar(0, 2, 1, "x")
+	y := m.MustVar(0, 2, 3, "y")
+	m.MustConstr([]Term{{x, 1}, {y, 1}}, GE, 4)
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.X[x] != 2 || sol.X[y] != 2 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestPresolveRedundantRow(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	x := m.MustVar(0, 1, 1, "x")
+	y := m.MustVar(0, 1, 1, "y")
+	m.MustConstr([]Term{{x, 1}, {y, 1}}, LE, 5) // never binding
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}

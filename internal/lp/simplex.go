@@ -1,0 +1,642 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status classifies the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Pricing selects the entering-variable rule.
+type Pricing int
+
+// Pricing rules.
+const (
+	// Dantzig picks the most negative reduced cost. Fast in practice;
+	// the solver falls back to Bland automatically when it stalls.
+	Dantzig Pricing = iota
+	// Bland picks the first eligible variable; finite but slower.
+	Bland
+)
+
+// Options tunes the solver. The zero value gives sensible defaults.
+type Options struct {
+	// MaxIters bounds total pivots across both phases; 0 means
+	// 5000 + 50*rows.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-7.
+	Tol float64
+	// Pricing selects the entering rule; default Dantzig.
+	Pricing Pricing
+	// RefactorEvery overrides the pivot budget between explicit basis
+	// reinversions; 0 keeps the size-based default. Mainly for tests
+	// and numerically hostile models.
+	RefactorEvery int
+}
+
+func (o Options) withDefaults(rows int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 5000 + 50*rows
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	Objective  float64   // in the model's declared sense
+	X          []float64 // one entry per model variable
+	Duals      []float64 // one entry per constraint row (minimization sign convention)
+	Iterations int
+}
+
+// variable status within the simplex.
+type vstat int8
+
+const (
+	atLower vstat = iota
+	atUpper
+	basic
+	nonbasicFree // free variable resting at zero
+)
+
+// solver holds the standard-form problem: minimize c.x subject to
+// Ax = b, lo <= x <= hi, where columns 0..nStruct-1 are the model's
+// variables, then one slack per inequality row, then one artificial
+// per row (phase 1 only).
+type solver struct {
+	m, nStruct, nSlack int
+	nTotal             int // structural + slack + artificial
+	cols               [][]centry
+	c                  []float64 // phase-2 costs
+	lo, hi             []float64
+	b                  []float64
+
+	basis []int // basis[r] = column basic in row r
+	stat  []vstat
+	binv  []float64 // m*m row-major dense basis inverse
+	xB    []float64 // values of basic variables
+	xN    []float64 // current value of every column (authoritative for nonbasic)
+	y     []float64 // duals scratch
+	w     []float64 // entering column in basis coordinates
+
+	tol      float64
+	opts     Options
+	iters    int
+	maxIt    int
+	artStart int // first artificial column
+	pivots   int // pivots since last refactorization
+}
+
+type centry struct {
+	row  int
+	coef float64
+}
+
+// Solve optimizes the model. The model may be reused or extended and
+// solved again; each call is independent.
+func (m *Model) Solve(opts Options) (*Solution, error) {
+	s, err := newSolver(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := s.run()
+	sol := &Solution{
+		Status:     st,
+		X:          make([]float64, m.NumVars()),
+		Duals:      make([]float64, s.m),
+		Iterations: s.iters,
+	}
+	if st == Optimal || st == IterationLimit {
+		for i := 0; i < s.nStruct; i++ {
+			sol.X[i] = s.value(i)
+		}
+		sol.Objective = m.Objective(sol.X)
+		s.computeDuals(s.c)
+		copy(sol.Duals, s.y)
+		if m.maximize {
+			for r := range sol.Duals {
+				sol.Duals[r] = -sol.Duals[r]
+			}
+		}
+	}
+	return sol, nil
+}
+
+func newSolver(m *Model, opts Options) (*solver, error) {
+	rows := len(m.rows)
+	opts = opts.withDefaults(rows)
+	s := &solver{
+		m:       rows,
+		nStruct: m.NumVars(),
+		nSlack:  0,
+		tol:     opts.Tol,
+		opts:    opts,
+		maxIt:   opts.MaxIters,
+	}
+	for _, r := range m.rows {
+		if r.sense != EQ {
+			s.nSlack++
+		}
+	}
+	s.nTotal = s.nStruct + s.nSlack + rows // artificials allocated up front
+	s.cols = make([][]centry, s.nTotal)
+	s.c = make([]float64, s.nTotal)
+	s.lo = make([]float64, s.nTotal)
+	s.hi = make([]float64, s.nTotal)
+	s.b = make([]float64, rows)
+
+	sign := 1.0
+	if m.maximize {
+		sign = -1
+	}
+	for j := 0; j < s.nStruct; j++ {
+		s.c[j] = sign * m.obj[j]
+		s.lo[j], s.hi[j] = m.lo[j], m.hi[j]
+	}
+	// Structural columns.
+	for r, rw := range m.rows {
+		s.b[r] = rw.rhs
+		for _, t := range rw.terms {
+			s.cols[t.Var] = append(s.cols[t.Var], centry{row: r, coef: t.Coef})
+		}
+	}
+	// Slack columns: row + slack == rhs for LE (slack in [0, inf)),
+	// row - slack == rhs for GE.
+	slack := s.nStruct
+	for r, rw := range m.rows {
+		switch rw.sense {
+		case LE:
+			s.cols[slack] = []centry{{row: r, coef: 1}}
+		case GE:
+			s.cols[slack] = []centry{{row: r, coef: -1}}
+		case EQ:
+			continue
+		}
+		s.lo[slack], s.hi[slack] = 0, Inf
+		slack++
+	}
+	// Artificial columns get their signs fixed once the initial
+	// nonbasic point is known; allocate bounds now.
+	art := s.nStruct + s.nSlack
+	for r := 0; r < rows; r++ {
+		s.cols[art+r] = []centry{{row: r, coef: 1}} // sign patched later
+		s.lo[art+r], s.hi[art+r] = 0, 0             // opened during phase 1
+	}
+	s.stat = make([]vstat, s.nTotal)
+	s.basis = make([]int, rows)
+	s.binv = make([]float64, rows*rows)
+	s.xB = make([]float64, rows)
+	s.xN = make([]float64, s.nTotal)
+	s.y = make([]float64, rows)
+	s.w = make([]float64, rows)
+	s.artStart = s.nStruct + s.nSlack
+	return s, nil
+}
+
+// value returns the current value of column j.
+func (s *solver) value(j int) float64 {
+	if s.stat[j] == basic {
+		for r, bj := range s.basis {
+			if bj == j {
+				return s.xB[r]
+			}
+		}
+	}
+	return s.xN[j]
+}
+
+// run executes phase 1 then phase 2 and returns the final status.
+func (s *solver) run() Status {
+	// Initial nonbasic point: every structural/slack column at its
+	// finite bound nearest zero; free columns at zero.
+	for j := 0; j < s.nStruct+s.nSlack; j++ {
+		switch {
+		case s.lo[j] > math.Inf(-1) && (math.Abs(s.lo[j]) <= math.Abs(s.hi[j]) || math.IsInf(s.hi[j], 1)):
+			s.stat[j], s.xN[j] = atLower, s.lo[j]
+		case !math.IsInf(s.hi[j], 1):
+			s.stat[j], s.xN[j] = atUpper, s.hi[j]
+		default:
+			s.stat[j], s.xN[j] = nonbasicFree, 0
+		}
+	}
+	// Residual r = b - A x_N decides artificial signs; basis starts as
+	// the artificials with identity inverse.
+	resid := append([]float64(nil), s.b...)
+	for j := 0; j < s.nStruct+s.nSlack; j++ {
+		if s.xN[j] != 0 {
+			for _, e := range s.cols[j] {
+				resid[e.row] -= e.coef * s.xN[j]
+			}
+		}
+	}
+	art := s.nStruct + s.nSlack
+	needPhase1 := false
+	phase1Cost := make([]float64, s.nTotal)
+	for r := 0; r < s.m; r++ {
+		j := art + r
+		if resid[r] < 0 {
+			s.cols[j][0].coef = -1
+		}
+		s.basis[r] = j
+		s.stat[j] = basic
+		s.xB[r] = math.Abs(resid[r])
+		s.hi[j] = Inf
+		phase1Cost[j] = 1
+		if s.xB[r] > s.tol {
+			needPhase1 = true
+		}
+		s.binv[r*s.m+r] = 1
+		if s.cols[j][0].coef < 0 {
+			// Keep binv the true inverse of the basis matrix.
+			s.binv[r*s.m+r] = -1
+		}
+	}
+
+	if needPhase1 {
+		st := s.iterate(phase1Cost, true)
+		if st == IterationLimit {
+			return IterationLimit
+		}
+		infeas := 0.0
+		for r := 0; r < s.m; r++ {
+			if s.basis[r] >= art {
+				infeas += s.xB[r]
+			}
+		}
+		if infeas > s.tol*float64(1+s.m) {
+			return Infeasible
+		}
+	}
+	// Close the artificials: they may remain basic at ~zero but can
+	// never grow again.
+	for r := 0; r < s.m; r++ {
+		j := art + r
+		s.hi[j] = 0
+		if s.stat[j] != basic {
+			s.stat[j], s.xN[j] = atLower, 0
+		}
+	}
+	return s.iterate(s.c, false)
+}
+
+// computeDuals sets s.y = cB^T B^-1 for the given cost vector.
+func (s *solver) computeDuals(cost []float64) {
+	for r := range s.y {
+		s.y[r] = 0
+	}
+	for r := 0; r < s.m; r++ {
+		cb := cost[s.basis[r]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[r*s.m : (r+1)*s.m]
+		for k := 0; k < s.m; k++ {
+			s.y[k] += cb * row[k]
+		}
+	}
+}
+
+// reducedCost returns c_j - y . A_j.
+func (s *solver) reducedCost(cost []float64, j int) float64 {
+	d := cost[j]
+	for _, e := range s.cols[j] {
+		d -= s.y[e.row] * e.coef
+	}
+	return d
+}
+
+// ftran computes w = B^-1 A_j.
+func (s *solver) ftran(j int) {
+	for r := range s.w {
+		s.w[r] = 0
+	}
+	for _, e := range s.cols[j] {
+		col := e.row
+		coef := e.coef
+		for r := 0; r < s.m; r++ {
+			s.w[r] += coef * s.binv[r*s.m+col]
+		}
+	}
+}
+
+// iterate runs simplex pivots under the given cost vector until
+// optimality (returns Optimal), unboundedness, or the iteration limit.
+// phase1 restricts pricing to keep artificial columns from re-entering.
+func (s *solver) iterate(cost []float64, phase1 bool) Status {
+	stall := 0
+	const stallLimit = 400 // degenerate pivots before forcing Bland
+	for {
+		if s.iters >= s.maxIt {
+			return IterationLimit
+		}
+		if s.pivots >= s.refactorEvery() {
+			s.refactor()
+		}
+		s.computeDuals(cost)
+		useBland := s.opts.Pricing == Bland || stall >= stallLimit
+		enter, sigma := s.price(cost, useBland)
+		if enter < 0 {
+			return Optimal
+		}
+		s.iters++
+		s.ftran(enter)
+		t, leaveRow, flip, ok := s.ratioTest(enter, sigma)
+		if !ok {
+			if phase1 {
+				// Phase-1 objective is bounded below by zero; an
+				// unbounded ray here means numeric trouble. Treat as
+				// stall and force Bland.
+				stall = stallLimit
+				continue
+			}
+			return Unbounded
+		}
+		if t <= s.tol {
+			stall++
+		} else {
+			stall = 0
+		}
+		if flip {
+			s.applyBoundFlip(enter, sigma, t)
+			continue
+		}
+		s.pivot(enter, sigma, t, leaveRow)
+	}
+}
+
+// price chooses the entering column and its direction sigma (+1 to
+// increase, -1 to decrease). Returns enter = -1 at optimality.
+func (s *solver) price(cost []float64, bland bool) (enter int, sigma float64) {
+	enter = -1
+	best := s.tol
+	for j := 0; j < s.nTotal; j++ {
+		st := s.stat[j]
+		if st == basic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		if j >= s.artStart {
+			// Artificials never re-enter the basis.
+			continue
+		}
+		d := s.reducedCost(cost, j)
+		var improving bool
+		var dir float64
+		switch st {
+		case atLower:
+			improving, dir = d < -s.tol, 1
+		case atUpper:
+			improving, dir = d > s.tol, -1
+		case nonbasicFree:
+			if d < -s.tol {
+				improving, dir = true, 1
+			} else if d > s.tol {
+				improving, dir = true, -1
+			}
+		}
+		if !improving {
+			continue
+		}
+		if bland {
+			return j, dir
+		}
+		if mag := math.Abs(d); mag > best {
+			best, enter, sigma = mag, j, dir
+		}
+	}
+	return enter, sigma
+}
+
+// ratioTest finds how far the entering variable can move. It returns
+// the step t, the leaving row (if a basis change occurs), whether the
+// move is a pure bound flip, and ok=false when the step is unbounded.
+func (s *solver) ratioTest(enter int, sigma float64) (t float64, leaveRow int, flip bool, ok bool) {
+	t = Inf
+	leaveRow = -1
+	// Entering variable's own range limits the step.
+	if !math.IsInf(s.hi[enter], 1) && s.lo[enter] > math.Inf(-1) {
+		t = s.hi[enter] - s.lo[enter]
+		flip = true
+	}
+	for r := 0; r < s.m; r++ {
+		wr := sigma * s.w[r]
+		if math.Abs(wr) <= 1e-11 {
+			continue
+		}
+		bj := s.basis[r]
+		var lim float64
+		if wr > 0 {
+			// Basic value decreases toward its lower bound.
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			lim = (s.xB[r] - s.lo[bj]) / wr
+		} else {
+			if math.IsInf(s.hi[bj], 1) {
+				continue
+			}
+			lim = (s.hi[bj] - s.xB[r]) / (-wr)
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		// Prefer the tightest limit; on near-ties keep the row with
+		// the largest pivot magnitude for stability.
+		if lim < t-1e-10 || (lim < t+1e-10 && leaveRow >= 0 &&
+			math.Abs(s.w[r]) > math.Abs(s.w[leaveRow])) {
+			t = lim
+			leaveRow = r
+			flip = false
+		}
+	}
+	if math.IsInf(t, 1) {
+		return 0, -1, false, false
+	}
+	return t, leaveRow, flip, true
+}
+
+// applyBoundFlip moves the entering variable across its range without a
+// basis change.
+func (s *solver) applyBoundFlip(enter int, sigma, t float64) {
+	if sigma > 0 {
+		s.stat[enter] = atUpper
+		s.xN[enter] = s.hi[enter]
+	} else {
+		s.stat[enter] = atLower
+		s.xN[enter] = s.lo[enter]
+	}
+	for r := 0; r < s.m; r++ {
+		s.xB[r] -= sigma * t * s.w[r]
+	}
+}
+
+// pivot swaps the entering column into the basis at leaveRow.
+func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
+	leave := s.basis[leaveRow]
+	// New value of the entering variable.
+	newVal := s.xN[enter] + sigma*t
+	// Update basic values.
+	for r := 0; r < s.m; r++ {
+		if r != leaveRow {
+			s.xB[r] -= sigma * t * s.w[r]
+		}
+	}
+	// Leaving variable rests at whichever bound it hit.
+	if sigma*s.w[leaveRow] > 0 {
+		s.stat[leave] = atLower
+		s.xN[leave] = s.lo[leave]
+	} else {
+		s.stat[leave] = atUpper
+		s.xN[leave] = s.hi[leave]
+	}
+	if math.IsInf(s.xN[leave], 0) {
+		// A free variable leaving the basis: park at zero.
+		s.stat[leave] = nonbasicFree
+		s.xN[leave] = 0
+	}
+	s.basis[leaveRow] = enter
+	s.stat[enter] = basic
+	s.xB[leaveRow] = newVal
+	s.pivots++
+
+	// Rank-one update of the dense inverse: eliminate the entering
+	// column from all other rows.
+	pivotVal := s.w[leaveRow]
+	prow := s.binv[leaveRow*s.m : (leaveRow+1)*s.m]
+	inv := 1 / pivotVal
+	for k := range prow {
+		prow[k] *= inv
+	}
+	for r := 0; r < s.m; r++ {
+		if r == leaveRow {
+			continue
+		}
+		f := s.w[r]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[r*s.m : (r+1)*s.m]
+		for k := range row {
+			row[k] -= f * prow[k]
+		}
+	}
+}
+
+// refactorEvery is the pivot budget between explicit reinversions of
+// the basis; the O(m^3) rebuild is amortized against m^2 updates.
+func (s *solver) refactorEvery() int {
+	if s.opts.RefactorEvery > 0 {
+		return s.opts.RefactorEvery
+	}
+	if s.m < 200 {
+		return 4000 // small bases barely drift; refactor rarely
+	}
+	return 1500
+}
+
+// refactor rebuilds the dense basis inverse from the current basis
+// columns with Gauss-Jordan elimination (partial pivoting) and then
+// recomputes the basic values from scratch, wiping accumulated
+// floating-point drift.
+func (s *solver) refactor() {
+	s.pivots = 0
+	m := s.m
+	// mat starts as B, binv as I; row operations carry both to I, B^-1.
+	mat := make([]float64, m*m)
+	for r := range s.binv {
+		s.binv[r] = 0
+	}
+	for col, bj := range s.basis {
+		for _, e := range s.cols[bj] {
+			mat[e.row*m+col] = e.coef
+		}
+		s.binv[col*m+col] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(mat[r*m+col]) > math.Abs(mat[p*m+col]) {
+				p = r
+			}
+		}
+		if mat[p*m+col] == 0 {
+			// Singular basis: should not happen; keep going with the
+			// stale inverse rather than crash.
+			return
+		}
+		if p != col {
+			for k := 0; k < m; k++ {
+				mat[p*m+k], mat[col*m+k] = mat[col*m+k], mat[p*m+k]
+				s.binv[p*m+k], s.binv[col*m+k] = s.binv[col*m+k], s.binv[p*m+k]
+			}
+		}
+		inv := 1 / mat[col*m+col]
+		for k := 0; k < m; k++ {
+			mat[col*m+k] *= inv
+			s.binv[col*m+k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := mat[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				mat[r*m+k] -= f * mat[col*m+k]
+				s.binv[r*m+k] -= f * s.binv[col*m+k]
+			}
+		}
+	}
+	s.recomputeBasics()
+}
+
+// recomputeBasics sets xB = B^-1 (b - N x_N) from authoritative
+// nonbasic values.
+func (s *solver) recomputeBasics() {
+	resid := append([]float64(nil), s.b...)
+	for j := 0; j < s.nTotal; j++ {
+		if s.stat[j] == basic || s.xN[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.row] -= e.coef * s.xN[j]
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		v := 0.0
+		row := s.binv[r*s.m : (r+1)*s.m]
+		for k := 0; k < s.m; k++ {
+			v += row[k] * resid[k]
+		}
+		s.xB[r] = v
+	}
+}

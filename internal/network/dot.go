@@ -1,0 +1,49 @@
+package network
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the spanning tree in Graphviz DOT format. When a plan
+// overlay is supplied (per-edge bandwidths indexed by lower endpoint,
+// may be nil), used edges are labeled with their bandwidth and drawn
+// solid; unused edges are dashed. Node positions become pos attributes
+// (inches) so `neato -n` reproduces the deployment geometry.
+func (net *Network) WriteDOT(w io.Writer, name string, bandwidth []int) error {
+	if bandwidth != nil && len(bandwidth) != net.Size() {
+		return fmt.Errorf("network: overlay covers %d of %d nodes", len(bandwidth), net.Size())
+	}
+	if name == "" {
+		name = "sensornet"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n  node [shape=circle, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < net.Size(); i++ {
+		v := NodeID(i)
+		attrs := fmt.Sprintf("pos=\"%.2f,%.2f!\"", net.Pos(v).X/10, net.Pos(v).Y/10)
+		if v == Root {
+			attrs += ", shape=doublecircle, label=\"root\""
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", i, attrs); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < net.Size(); i++ {
+		v := NodeID(i)
+		attrs := ""
+		if bandwidth != nil {
+			if bandwidth[i] > 0 {
+				attrs = fmt.Sprintf(" [label=\"%d\"]", bandwidth[i])
+			} else {
+				attrs = " [style=dashed, color=gray]"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", i, net.Parent(v), attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,273 @@
+package network
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		parent []NodeID
+	}{
+		{"empty", nil},
+		{"root not self-parent", []NodeID{1, 0}},
+		{"parent out of range", []NodeID{0, 5}},
+		{"self loop", []NodeID{0, 1}},
+		{"cycle", []NodeID{0, 2, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.parent, nil); err == nil {
+				t.Errorf("New(%v) accepted invalid input", c.parent)
+			}
+		})
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	net := Line(5)
+	if net.Size() != 5 || net.Height() != 4 {
+		t.Fatalf("line(5): size=%d height=%d", net.Size(), net.Height())
+	}
+	for i := 1; i < 5; i++ {
+		if net.Parent(NodeID(i)) != NodeID(i-1) {
+			t.Errorf("parent(%d) = %d", i, net.Parent(NodeID(i)))
+		}
+		if net.Depth(NodeID(i)) != i {
+			t.Errorf("depth(%d) = %d", i, net.Depth(NodeID(i)))
+		}
+	}
+	if got := net.SubtreeSize(2); got != 3 {
+		t.Errorf("subtree(2) = %d, want 3", got)
+	}
+	if !net.IsAncestor(1, 4) || net.IsAncestor(4, 1) {
+		t.Error("IsAncestor wrong on the chain")
+	}
+	if c := net.OnPathChild(0, 4); c != 1 {
+		t.Errorf("OnPathChild(0,4) = %d, want 1", c)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	net := Star(6)
+	if net.Height() != 1 {
+		t.Fatalf("star height = %d", net.Height())
+	}
+	if got := len(net.Children(Root)); got != 5 {
+		t.Errorf("root has %d children, want 5", got)
+	}
+	if got := len(net.Leaves()); got != 5 {
+		t.Errorf("%d leaves, want 5", got)
+	}
+	if net.MaxFanout() != 5 {
+		t.Errorf("max fanout = %d", net.MaxFanout())
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	net := BalancedTree(2, 3)
+	if net.Size() != 15 {
+		t.Fatalf("size = %d, want 15", net.Size())
+	}
+	if net.Height() != 3 {
+		t.Errorf("height = %d, want 3", net.Height())
+	}
+	if got := net.SubtreeSize(Root); got != 15 {
+		t.Errorf("root subtree = %d", got)
+	}
+	for _, v := range net.Preorder() {
+		want := 1
+		for _, c := range net.Children(v) {
+			want += net.SubtreeSize(c)
+		}
+		if net.SubtreeSize(v) != want {
+			t.Errorf("subtree(%d) = %d, want %d", v, net.SubtreeSize(v), want)
+		}
+	}
+}
+
+func TestBuildConnects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		net, err := Build(DefaultBuildConfig(80), rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if net.Size() != 80 {
+			t.Fatalf("trial %d: size %d", trial, net.Size())
+		}
+		if net.Height() < 2 {
+			t.Errorf("trial %d: degenerate height %d", trial, net.Height())
+		}
+		// Every non-root node within radio range of its parent (modulo
+		// the re-placement fallback, which also respects range).
+		cfg := DefaultBuildConfig(80)
+		for i := 1; i < net.Size(); i++ {
+			d := net.Pos(NodeID(i)).Dist(net.Pos(net.Parent(NodeID(i))))
+			if d > cfg.Range+1e-9 {
+				t.Errorf("trial %d: node %d is %.1f m from parent, range %.1f", trial, i, d, cfg.Range)
+			}
+		}
+	}
+}
+
+func TestBuildMinHop(t *testing.T) {
+	// BFS property: a node's depth is minimal over all in-range paths.
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultBuildConfig(60)
+	net, err := Build(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute shortest hop counts by BFS over the full range graph.
+	n := net.Size()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[Root] = 0
+	queue := []NodeID{Root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := 0; u < n; u++ {
+			if dist[u] == -1 && net.Pos(NodeID(u)).Dist(net.Pos(v)) <= cfg.Range {
+				dist[u] = dist[v] + 1
+				queue = append(queue, NodeID(u))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dist[i] >= 0 && net.Depth(NodeID(i)) != dist[i] {
+			t.Errorf("node %d: depth %d, BFS distance %d", i, net.Depth(NodeID(i)), dist[i])
+		}
+	}
+}
+
+func TestAncestorEdgesMatchesAncestors(t *testing.T) {
+	net := BalancedTree(3, 3)
+	f := func(raw uint8) bool {
+		v := NodeID(int(raw) % net.Size())
+		var edges []NodeID
+		net.AncestorEdges(v, func(e NodeID) { edges = append(edges, e) })
+		if len(edges) != net.Depth(v) {
+			return false
+		}
+		anc := net.Ancestors(v)
+		if len(anc) != net.Depth(v) {
+			return false
+		}
+		// edges[i] is the lower endpoint; its parent must be anc[i].
+		for i, e := range edges {
+			if net.Parent(e) != anc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZonePlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultBuildConfig(100)
+	pos, zoneOf := ZonePlacement(cfg, 6, 10, rng)
+	if len(pos) != 100 || len(zoneOf) != 100 {
+		t.Fatalf("lengths %d/%d", len(pos), len(zoneOf))
+	}
+	if zoneOf[0] != -1 {
+		t.Error("root assigned to a zone")
+	}
+	counts := make(map[int]int)
+	for _, z := range zoneOf {
+		counts[z]++
+	}
+	for z := 0; z < 6; z++ {
+		if counts[z] != 10 {
+			t.Errorf("zone %d has %d nodes, want 10", z, counts[z])
+		}
+	}
+	if counts[-1] != 100-60 {
+		t.Errorf("background count %d", counts[-1])
+	}
+}
+
+func TestSortedByDepth(t *testing.T) {
+	net := BalancedTree(2, 4)
+	order := net.SortedByDepth()
+	if len(order) != net.Size() {
+		t.Fatalf("order length %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if net.Depth(order[i-1]) > net.Depth(order[i]) {
+			t.Fatalf("order not sorted by depth at %d", i)
+		}
+	}
+}
+
+func TestPostorderWalkChildrenFirst(t *testing.T) {
+	net := BalancedTree(3, 2)
+	seen := make(map[NodeID]bool)
+	net.PostorderWalk(func(v NodeID) {
+		for _, c := range net.Children(v) {
+			if !seen[c] {
+				t.Fatalf("node %d visited before child %d", v, c)
+			}
+		}
+		seen[v] = true
+	})
+	if len(seen) != net.Size() {
+		t.Errorf("visited %d of %d", len(seen), net.Size())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	net := BalancedTree(2, 2)
+	var buf strings.Builder
+	bw := []int{0, 2, 0, 1, 1, 0, 0}
+	if err := net.WriteDOT(&buf, "demo", bw); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph \"demo\"", "doublecircle", "n1 -> n0 [label=\"2\"]", "style=dashed", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Without an overlay, edges are plain.
+	buf.Reset()
+	if err := net.WriteDOT(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "dashed") {
+		t.Error("plain DOT has overlay styling")
+	}
+	if err := net.WriteDOT(&buf, "x", []int{1}); err == nil {
+		t.Error("accepted short overlay")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	net := BalancedTree(2, 2)
+	if got := net.Edges(); len(got) != 6 || got[0] != 1 {
+		t.Errorf("Edges = %v", got)
+	}
+	if net.PathLen(3) != 2 {
+		t.Errorf("PathLen(3) = %d", net.PathLen(3))
+	}
+	desc := net.Descendants(1)
+	if len(desc) != 3 || desc[0] != 1 {
+		t.Errorf("Descendants(1) = %v", desc)
+	}
+	s := net.String()
+	for _, want := range []string{"nodes=7", "height=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q", s)
+		}
+	}
+}

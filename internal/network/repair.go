@@ -1,0 +1,46 @@
+package network
+
+import "fmt"
+
+// Repair rebuilds the spanning tree after permanent node failures
+// (Section 4.4: "if a node is non-functioning for an extended period,
+// the tree adjusts to exclude it", after which plans are re-optimized).
+// Survivors keep their relative order and are renumbered densely; the
+// returned mapping gives each old ID's new ID, or -1 for dead nodes.
+// The root cannot die.
+//
+// The new tree is the min-hop tree over the survivors at the given
+// radio range; if failures disconnect the survivor graph, Repair
+// reports an error and the caller may retry with a longer range.
+func Repair(net *Network, dead []NodeID, radioRange float64) (*Network, []int, error) {
+	isDead := make([]bool, net.Size())
+	for _, d := range dead {
+		if d < 0 || int(d) >= net.Size() {
+			return nil, nil, fmt.Errorf("network: dead node %d out of range", d)
+		}
+		if d == Root {
+			return nil, nil, fmt.Errorf("network: the root (query station) cannot fail")
+		}
+		isDead[d] = true
+	}
+	mapping := make([]int, net.Size())
+	var pos []Point
+	next := 0
+	for i := 0; i < net.Size(); i++ {
+		if isDead[i] {
+			mapping[i] = -1
+			continue
+		}
+		mapping[i] = next
+		pos = append(pos, net.Pos(NodeID(i)))
+		next++
+	}
+	if next < 1 {
+		return nil, nil, fmt.Errorf("network: no survivors")
+	}
+	repaired, err := FromPositions(pos, radioRange)
+	if err != nil {
+		return nil, nil, fmt.Errorf("network: repair disconnected the tree: %w", err)
+	}
+	return repaired, mapping, nil
+}

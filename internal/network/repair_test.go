@@ -1,0 +1,76 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRepairRemovesDeadNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfg := DefaultBuildConfig(50)
+	net, err := Build(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := []NodeID{7, 13, 21}
+	repaired, mapping, err := Repair(net, dead, cfg.Range*1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Size() != 47 {
+		t.Fatalf("repaired size %d", repaired.Size())
+	}
+	for _, d := range dead {
+		if mapping[d] != -1 {
+			t.Errorf("dead node %d mapped to %d", d, mapping[d])
+		}
+	}
+	// Survivors map densely and keep their positions.
+	seen := make(map[int]bool)
+	for old, m := range mapping {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= 47 || seen[m] {
+			t.Fatalf("bad mapping %d -> %d", old, m)
+		}
+		seen[m] = true
+		if repaired.Pos(NodeID(m)) != net.Pos(NodeID(old)) {
+			t.Errorf("node %d moved during repair", old)
+		}
+	}
+	if mapping[Root] != int(Root) {
+		t.Errorf("root renumbered to %d", mapping[Root])
+	}
+}
+
+func TestRepairRejectsRootDeath(t *testing.T) {
+	net := Line(4)
+	if _, _, err := Repair(net, []NodeID{Root}, 10); err == nil {
+		t.Error("accepted a dead root")
+	}
+	if _, _, err := Repair(net, []NodeID{9}, 10); err == nil {
+		t.Error("accepted an out-of-range dead node")
+	}
+}
+
+func TestRepairDetectsDisconnection(t *testing.T) {
+	// A chain with a hole too wide to bridge.
+	pos := []Point{{0, 0}, {10, 0}, {20, 0}, {30, 0}}
+	net, err := FromPositions(pos, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Killing node 1 strands nodes 2 and 3 at range 11.
+	if _, _, err := Repair(net, []NodeID{1}, 11); err == nil {
+		t.Error("repair did not notice the partition")
+	}
+	// A longer range bridges the hole.
+	repaired, _, err := Repair(net, []NodeID{1}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.Size() != 3 {
+		t.Errorf("size %d", repaired.Size())
+	}
+}

@@ -1,0 +1,225 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BuildConfig describes a random deployment: nodes placed uniformly in
+// a Width x Height rectangle with the root at RootPos, connected by a
+// min-hop spanning tree over links no longer than Range.
+type BuildConfig struct {
+	Nodes   int // total nodes including the root
+	Width   float64
+	Height  float64
+	Range   float64 // radio range in meters
+	RootPos Point
+}
+
+// DefaultBuildConfig returns a deployment comparable to the paper's
+// synthetic experiments: a square field sized so the spanning tree has
+// several levels of hierarchy.
+func DefaultBuildConfig(nodes int) BuildConfig {
+	return BuildConfig{
+		Nodes:   nodes,
+		Width:   100,
+		Height:  100,
+		Range:   22,
+		RootPos: Point{X: 50, Y: 50},
+	}
+}
+
+// Build places cfg.Nodes-1 sensors uniformly at random and constructs a
+// min-hop spanning tree rooted at the query station. If the random
+// placement is not fully connected under the radio range, unreachable
+// nodes are re-placed (up to a bounded number of attempts) so the
+// result always spans cfg.Nodes nodes.
+func Build(cfg BuildConfig, rng *rand.Rand) (*Network, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("network: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Range <= 0 || cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("network: invalid geometry %+v", cfg)
+	}
+	pos := make([]Point, cfg.Nodes)
+	pos[Root] = cfg.RootPos
+	for i := 1; i < cfg.Nodes; i++ {
+		pos[i] = Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+	}
+	const maxAttempts = 200
+	for attempt := 0; ; attempt++ {
+		parent, unreached := minHopTree(pos, cfg.Range)
+		if len(unreached) == 0 {
+			return New(parent, pos)
+		}
+		if attempt == maxAttempts {
+			return nil, fmt.Errorf("network: could not connect %d nodes after %d placements (range %.1f too small for %gx%g field?)",
+				len(unreached), maxAttempts, cfg.Range, cfg.Width, cfg.Height)
+		}
+		// Re-place unreachable nodes near a random already-placed node
+		// so they join the connected component.
+		for _, v := range unreached {
+			anchor := pos[rng.Intn(cfg.Nodes)]
+			pos[v] = Point{
+				X: clamp(anchor.X+(rng.Float64()*2-1)*cfg.Range*0.8, 0, cfg.Width),
+				Y: clamp(anchor.Y+(rng.Float64()*2-1)*cfg.Range*0.8, 0, cfg.Height),
+			}
+		}
+	}
+}
+
+// FromPositions builds the min-hop spanning tree for an explicit node
+// placement; pos[0] is the root. It fails if any node is out of range
+// of the connected component containing the root.
+func FromPositions(pos []Point, radioRange float64) (*Network, error) {
+	parent, unreached := minHopTree(pos, radioRange)
+	if len(unreached) > 0 {
+		return nil, fmt.Errorf("network: %d nodes unreachable at range %.2f", len(unreached), radioRange)
+	}
+	return New(parent, pos)
+}
+
+// minHopTree runs BFS from the root over the radio-range graph,
+// assigning each node the parent that minimizes its hop count,
+// breaking ties by choosing the nearest parent. Returns the parent
+// vector and any unreached nodes.
+func minHopTree(pos []Point, radioRange float64) (parent []NodeID, unreached []NodeID) {
+	n := len(pos)
+	parent = make([]NodeID, n)
+	visited := make([]bool, n)
+	visited[Root] = true
+	frontier := []NodeID{Root}
+	for len(frontier) > 0 {
+		// Gather every unvisited node in range of the frontier; pick
+		// the closest in-range frontier node as its parent.
+		type cand struct {
+			node, par NodeID
+			d         float64
+		}
+		var next []cand
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			best := cand{node: NodeID(i), par: -1}
+			for _, f := range frontier {
+				d := pos[i].Dist(pos[f])
+				if d <= radioRange && (best.par == -1 || d < best.d) {
+					best.par, best.d = f, d
+				}
+			}
+			if best.par >= 0 {
+				next = append(next, best)
+			}
+		}
+		frontier = frontier[:0]
+		sort.Slice(next, func(i, j int) bool { return next[i].node < next[j].node })
+		for _, c := range next {
+			visited[c.node] = true
+			parent[c.node] = c.par
+			frontier = append(frontier, c.node)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !visited[i] {
+			unreached = append(unreached, NodeID(i))
+		}
+	}
+	return parent, unreached
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Line builds a degenerate chain topology 0-1-2-...-(n-1), useful in
+// tests where depth matters and randomness does not.
+func Line(n int) *Network {
+	parent := make([]NodeID, n)
+	for i := 1; i < n; i++ {
+		parent[i] = NodeID(i - 1)
+	}
+	net, err := New(parent, nil)
+	if err != nil {
+		panic(err) // unreachable: the chain is always a valid tree
+	}
+	return net
+}
+
+// Star builds a root with n-1 direct children.
+func Star(n int) *Network {
+	parent := make([]NodeID, n)
+	net, err := New(parent, nil)
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return net
+}
+
+// BalancedTree builds a complete tree with the given fanout and depth.
+// The total node count is (fanout^(depth+1)-1)/(fanout-1) for fanout>1.
+func BalancedTree(fanout, depth int) *Network {
+	if fanout < 1 || depth < 0 {
+		panic("network: BalancedTree needs fanout >= 1 and depth >= 0")
+	}
+	parent := []NodeID{Root}
+	level := []NodeID{Root}
+	for d := 0; d < depth; d++ {
+		var next []NodeID
+		for _, p := range level {
+			for c := 0; c < fanout; c++ {
+				id := NodeID(len(parent))
+				parent = append(parent, 0)
+				parent[id] = p
+				next = append(next, id)
+			}
+		}
+		level = next
+	}
+	net, err := New(parent, nil)
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return net
+}
+
+// ZonePlacement places zone clusters evenly around the perimeter of the
+// deployment rectangle with the root in the center, as in the paper's
+// contention-zone experiments (Figure 6). It returns the positions and
+// the zone index of every node (-1 for non-zone nodes, including the
+// root). Non-zone nodes are scattered uniformly; they serve as relays
+// and as the stable-mean background population.
+func ZonePlacement(cfg BuildConfig, zones, perZone int, rng *rand.Rand) (pos []Point, zoneOf []int) {
+	pos = make([]Point, cfg.Nodes)
+	zoneOf = make([]int, cfg.Nodes)
+	pos[Root] = Point{X: cfg.Width / 2, Y: cfg.Height / 2}
+	zoneOf[Root] = -1
+	next := 1
+	// Zone centers on an inscribed ellipse near the perimeter.
+	for z := 0; z < zones; z++ {
+		theta := 2 * math.Pi * float64(z) / float64(zones)
+		cx := cfg.Width/2 + 0.42*cfg.Width*math.Cos(theta)
+		cy := cfg.Height/2 + 0.42*cfg.Height*math.Sin(theta)
+		for i := 0; i < perZone && next < cfg.Nodes; i++ {
+			pos[next] = Point{
+				X: clamp(cx+(rng.Float64()*2-1)*cfg.Range*0.45, 0, cfg.Width),
+				Y: clamp(cy+(rng.Float64()*2-1)*cfg.Range*0.45, 0, cfg.Height),
+			}
+			zoneOf[next] = z
+			next++
+		}
+	}
+	for ; next < cfg.Nodes; next++ {
+		pos[next] = Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+		zoneOf[next] = -1
+	}
+	return pos, zoneOf
+}

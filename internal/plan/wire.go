@@ -1,0 +1,144 @@
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prospector/internal/network"
+)
+
+// Wire format. The initial distribution phase (Section 2) unicasts
+// each participating node its subplan; these encoders produce the
+// actual bytes, so installation costs are measured rather than
+// estimated.
+//
+// Subplan layout (little endian):
+//
+//	byte    kind
+//	uint16  own edge bandwidth
+//	uint8   number of participating children
+//	uint16* child IDs (the node waits for exactly these before sending)
+//
+// Whole-plan layout:
+//
+//	byte    kind
+//	uint16  node count
+//	uint16* bandwidth per node (entry 0, the root, is always 0)
+//	byte    has-chosen flag
+//	bytes   chosen bitmap (selection plans)
+
+// EncodeSubplan serializes what node v must store to execute its part
+// of the plan.
+func (p *Plan) EncodeSubplan(net *network.Network, v network.NodeID) []byte {
+	var kids []network.NodeID
+	for _, c := range net.Children(v) {
+		if p.UsesEdge(c) {
+			kids = append(kids, c)
+		}
+	}
+	buf := make([]byte, 0, 4+2*len(kids))
+	buf = append(buf, byte(p.Kind))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Bandwidth[v]))
+	buf = append(buf, byte(len(kids)))
+	for _, c := range kids {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(c))
+	}
+	return buf
+}
+
+// SubplanBytes returns the encoded size of v's subplan without
+// materializing it.
+func (p *Plan) SubplanBytes(net *network.Network, v network.NodeID) int {
+	n := 4
+	for _, c := range net.Children(v) {
+		if p.UsesEdge(c) {
+			n += 2
+		}
+	}
+	return n
+}
+
+// Encode serializes the whole plan (what the base station retains and
+// what a re-optimization diff is computed against).
+func (p *Plan) Encode() []byte {
+	n := len(p.Bandwidth)
+	buf := make([]byte, 0, 4+2*n+(n+7)/8)
+	buf = append(buf, byte(p.Kind))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+	for _, b := range p.Bandwidth {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(b))
+	}
+	if p.Chosen != nil {
+		buf = append(buf, 1)
+		bitmap := make([]byte, (n+7)/8)
+		for i, c := range p.Chosen {
+			if c {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, bitmap...)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Decode reconstructs a plan encoded by Encode and validates it
+// against the network.
+func Decode(net *network.Network, data []byte) (*Plan, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("plan: truncated encoding (%d bytes)", len(data))
+	}
+	kind := Kind(data[0])
+	if kind != Selection && kind != Filtering && kind != Proof {
+		return nil, fmt.Errorf("plan: unknown kind byte %d", data[0])
+	}
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	if n != net.Size() {
+		return nil, fmt.Errorf("plan: encoding for %d nodes, network has %d", n, net.Size())
+	}
+	need := 3 + 2*n + 1
+	if len(data) < need {
+		return nil, fmt.Errorf("plan: truncated encoding (%d of %d bytes)", len(data), need)
+	}
+	p := &Plan{Kind: kind, Bandwidth: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.Bandwidth[i] = int(binary.LittleEndian.Uint16(data[3+2*i:]))
+	}
+	off := 3 + 2*n
+	hasChosen := data[off]
+	off++
+	if hasChosen == 1 {
+		bm := (n + 7) / 8
+		if len(data) < off+bm {
+			return nil, fmt.Errorf("plan: truncated chosen bitmap")
+		}
+		p.Chosen = make([]bool, n)
+		for i := 0; i < n; i++ {
+			p.Chosen[i] = data[off+i/8]&(1<<(i%8)) != 0
+		}
+		off += bm
+	} else if kind == Selection {
+		return nil, fmt.Errorf("plan: selection plan without a chosen set")
+	}
+	if len(data) != off {
+		return nil, fmt.Errorf("plan: %d trailing bytes", len(data)-off)
+	}
+	if err := p.Validate(net); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BundleBytes returns the encoded size of the install bundle crossing
+// the edge above v: the subplans of every participating node in v's
+// subtree (v's own included).
+func (p *Plan) BundleBytes(net *network.Network, v network.NodeID) int {
+	total := 0
+	for _, d := range net.Descendants(v) {
+		if d == v || p.UsesEdge(d) {
+			total += p.SubplanBytes(net, d)
+		}
+	}
+	return total
+}

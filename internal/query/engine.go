@@ -1,0 +1,296 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"prospector/internal/aggregate"
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+	"prospector/internal/sample"
+)
+
+// Engine binds parsed queries to a concrete network and a window of
+// observed epochs, then plans and executes them. It retains raw epochs
+// so that each query can derive its own Boolean matrix (top-k or
+// threshold marking) from the same observations.
+type Engine struct {
+	net    *network.Network
+	model  energy.Model
+	costs  *plan.Costs
+	window int
+	epochs [][]float64
+}
+
+// NewEngine creates an engine holding at most window raw epochs
+// (window <= 0 means 25).
+func NewEngine(net *network.Network, model energy.Model, window int) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("query: engine needs a network")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = 25
+	}
+	return &Engine{
+		net:    net,
+		model:  model,
+		costs:  plan.NewCosts(net, model),
+		window: window,
+	}, nil
+}
+
+// Observe feeds one epoch of full-network readings into the window.
+func (e *Engine) Observe(values []float64) error {
+	if len(values) != e.net.Size() {
+		return fmt.Errorf("query: %d readings for %d nodes", len(values), e.net.Size())
+	}
+	e.epochs = append(e.epochs, append([]float64(nil), values...))
+	if len(e.epochs) > e.window {
+		e.epochs = e.epochs[len(e.epochs)-e.window:]
+	}
+	return nil
+}
+
+// Observations returns how many epochs the window currently holds.
+func (e *Engine) Observations() int { return len(e.epochs) }
+
+// Answer is the outcome of running a query on one epoch.
+type Answer struct {
+	// Values are the readings returned to the query station, ranked.
+	Values []exec.ValueAt
+	// Exact is true when the answer is guaranteed correct (EXACT
+	// planner, or PROOF with everything proven).
+	Exact bool
+	// Proven counts the proven prefix for proof-carrying runs.
+	Proven int
+	// Ledger totals the energy spent answering.
+	Ledger energy.Ledger
+	// Plan describes the executed plan.
+	Plan string
+}
+
+// Run plans the query against the observation window and executes it
+// on the given epoch of ground-truth readings.
+func (e *Engine) Run(q *Query, truth []float64) (*Answer, error) {
+	if q == nil {
+		return nil, fmt.Errorf("query: nil query")
+	}
+	if len(truth) != e.net.Size() {
+		return nil, fmt.Errorf("query: %d readings for %d nodes", len(truth), e.net.Size())
+	}
+	if q.Kind == Aggregate {
+		return e.runAggregate(q, truth)
+	}
+	if len(e.epochs) == 0 {
+		return nil, fmt.Errorf("query: no observations yet; call Observe first")
+	}
+	set, k, err := e.buildSamples(q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Net: e.net, Costs: e.costs, Samples: set, K: k}
+	budget, err := e.resolveBudget(q, k)
+	if err != nil {
+		return nil, err
+	}
+	env := exec.Env{Net: e.net, Costs: e.costs}
+
+	switch q.Planner {
+	case PlannerExact:
+		ex, err := core.NewExact(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if min := ex.MinPhase1Budget(); budget < min {
+			budget = min * 1.1
+		}
+		res, err := ex.Run(env, truth, budget)
+		if err != nil {
+			return nil, err
+		}
+		led := res.Phase1
+		led.Add(res.Phase2)
+		return &Answer{
+			Values: res.Answer,
+			Exact:  true,
+			Proven: res.ProvenPhase1,
+			Ledger: led,
+			Plan:   fmt.Sprintf("exact two-phase, phase-1 budget %.1f mJ", budget),
+		}, nil
+	case PlannerProof:
+		pp, err := core.NewProofPlanner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if min := pp.MinBudget(); budget < min {
+			budget = min * 1.1
+		}
+		p, err := pp.Plan(budget)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(env, p, truth)
+		if err != nil {
+			return nil, err
+		}
+		vals := res.Returned
+		if len(vals) > k {
+			vals = vals[:k]
+		}
+		return &Answer{
+			Values: vals,
+			Exact:  res.Proven >= k,
+			Proven: res.Proven,
+			Ledger: res.Ledger,
+			Plan:   p.String(),
+		}, nil
+	default:
+		pl, err := e.approxPlanner(q, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pl.Plan(budget)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(env, p, truth)
+		if err != nil {
+			return nil, err
+		}
+		vals := res.Returned
+		if q.Kind == TopK && len(vals) > k {
+			vals = vals[:k]
+		}
+		if q.Kind == Selection {
+			var kept []exec.ValueAt
+			for _, v := range vals {
+				if v.Val > q.Threshold {
+					kept = append(kept, v)
+				}
+			}
+			vals = kept
+		}
+		return &Answer{Values: vals, Ledger: res.Ledger, Plan: p.String()}, nil
+	}
+}
+
+// runAggregate executes an in-network aggregate (TAG-style, one
+// message per node; no samples or budget involved). The scalar result
+// arrives as a single root-attributed value.
+func (e *Engine) runAggregate(q *Query, truth []float64) (*Answer, error) {
+	var kind aggregate.Kind
+	switch q.Agg {
+	case "MAX":
+		kind = aggregate.Max
+	case "MIN":
+		kind = aggregate.Min
+	case "SUM":
+		kind = aggregate.Sum
+	case "COUNT":
+		kind = aggregate.Count
+	case "AVG":
+		kind = aggregate.Avg
+	case "MEDIAN":
+		kind = aggregate.Median
+	default:
+		return nil, fmt.Errorf("query: unknown aggregate %q", q.Agg)
+	}
+	env := exec.Env{Net: e.net, Costs: e.costs}
+	res, err := aggregate.Collect(env, kind, truth, aggregate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	exact := kind != aggregate.Median
+	plan := fmt.Sprintf("in-network %s, one message per node", q.Agg)
+	if !exact {
+		plan += fmt.Sprintf(" (q-digest, rank error <= %d)", res.RankErrorBound)
+	}
+	return &Answer{
+		Values: []exec.ValueAt{{Node: network.Root, Val: res.Value}},
+		Exact:  exact,
+		Ledger: res.Ledger,
+		Plan:   plan,
+	}, nil
+}
+
+func (e *Engine) approxPlanner(q *Query, cfg core.Config) (core.Planner, error) {
+	switch q.Planner {
+	case PlannerGreedy:
+		return core.NewGreedy(cfg)
+	case PlannerLPNoLF:
+		return core.NewLPNoFilter(cfg)
+	case PlannerLPLF:
+		return core.NewLPFilter(cfg)
+	}
+	return nil, fmt.Errorf("query: unknown planner %q", q.Planner)
+}
+
+// buildSamples derives the query's Boolean matrix from the raw window
+// and returns it with the effective answer-size bound k.
+func (e *Engine) buildSamples(q *Query) (*sample.Set, int, error) {
+	epochs := e.epochs
+	if q.Samples > 0 && q.Samples < len(epochs) {
+		epochs = epochs[len(epochs)-q.Samples:]
+	}
+	switch q.Kind {
+	case TopK:
+		if q.K > e.net.Size() {
+			return nil, 0, fmt.Errorf("query: TOP %d exceeds the %d-node network", q.K, e.net.Size())
+		}
+		set, err := sample.NewSet(e.net.Size(), q.K, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := set.AddAll(epochs); err != nil {
+			return nil, 0, err
+		}
+		return set, q.K, nil
+	case Selection:
+		set, err := sample.NewGeneralSet(e.net.Size(), 0, sample.ThresholdMarker(q.Threshold))
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := set.AddAll(epochs); err != nil {
+			return nil, 0, err
+		}
+		// Effective answer size: the mean contributor count, at least 1.
+		k := int(math.Ceil(float64(set.TotalOnes()) / float64(set.Len())))
+		if k < 1 {
+			k = 1
+		}
+		if k > e.net.Size() {
+			k = e.net.Size()
+		}
+		return set, k, nil
+	}
+	return nil, 0, fmt.Errorf("query: unknown kind %v", q.Kind)
+}
+
+// resolveBudget converts the query's budget clause into millijoules,
+// interpreting fractions against the NAIVE-k baseline.
+func (e *Engine) resolveBudget(q *Query, k int) (float64, error) {
+	naive, err := core.NaiveKPlan(e.net, k)
+	if err != nil {
+		return 0, err
+	}
+	base := naive.CollectionCost(e.net, e.costs)
+	switch {
+	case q.Budget.MJ > 0:
+		return q.Budget.MJ, nil
+	case q.Budget.Frac > 0:
+		return q.Budget.Frac * base, nil
+	default:
+		// No budget clause: a generous default of half the baseline.
+		return 0.5 * base, nil
+	}
+}
+
+// Root returns the engine's network (handy for callers formatting
+// answers).
+func (e *Engine) Root() *network.Network { return e.net }

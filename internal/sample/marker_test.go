@@ -1,0 +1,121 @@
+package sample
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdMarker(t *testing.T) {
+	m := ThresholdMarker(5)
+	got := m([]float64{3, 7, 5, 9})
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("ThresholdMarker = %v", got)
+	}
+	if got := m([]float64{1, 2}); got != nil {
+		t.Errorf("no contributors expected, got %v", got)
+	}
+}
+
+func TestQuantileBandMarker(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	// Top decile of 10 values: the largest only.
+	got := QuantileBandMarker(0.95, 1)(vals)
+	if !reflect.DeepEqual(got, []int{9}) {
+		t.Errorf("top-decile = %v", got)
+	}
+	// Full band covers everyone.
+	if got := QuantileBandMarker(0, 1)(vals); len(got) != 10 {
+		t.Errorf("full band has %d", len(got))
+	}
+	// Median band around 0.5.
+	got = QuantileBandMarker(0.5, 0.5)(vals)
+	if len(got) < 1 || len(got) > 2 {
+		t.Errorf("median band = %v", got)
+	}
+}
+
+func TestQuantileBandProperties(t *testing.T) {
+	f := func(raw []float64, loRaw, hiRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lo := float64(loRaw%100) / 100
+		hi := lo + float64(hiRaw%uint8(100-int(loRaw%100)+1))/100
+		if hi > 1 {
+			hi = 1
+		}
+		got := QuantileBandMarker(lo, hi)(raw)
+		// No duplicates; all valid indices.
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= len(raw) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		// The band [0,1] must return everything.
+		return len(QuantileBandMarker(0, 1)(raw)) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralSetThreshold(t *testing.T) {
+	s, err := NewGeneralSet(4, 0, ThresholdMarker(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 0 {
+		t.Errorf("general set K = %d", s.K())
+	}
+	if err := s.Add([]float64{5, 15, 25, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]float64{20, 5, 25, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ColumnSums(); !reflect.DeepEqual(got, []int{1, 1, 2, 0}) {
+		t.Errorf("ColumnSums = %v", got)
+	}
+	if !s.IsOne(1, 0) || s.IsOne(1, 1) {
+		t.Error("IsOne wrong for general set")
+	}
+}
+
+func TestGeneralSetWindowEviction(t *testing.T) {
+	s, err := NewGeneralSet(3, 2, ThresholdMarker(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for e := 0; e < 9; e++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		recount := make([]int, 3)
+		for j := 0; j < s.Len(); j++ {
+			for _, i := range s.Ones(j) {
+				recount[i]++
+			}
+		}
+		if got := s.ColumnSums(); !reflect.DeepEqual(got, recount) {
+			t.Fatalf("epoch %d: %v != %v", e, got, recount)
+		}
+	}
+	if s.Len() != 2 {
+		t.Errorf("window holds %d", s.Len())
+	}
+}
+
+func TestGeneralSetValidation(t *testing.T) {
+	if _, err := NewGeneralSet(0, 0, ThresholdMarker(0)); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := NewGeneralSet(3, 0, nil); err == nil {
+		t.Error("accepted nil marker")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// RunInstall simulates the initial distribution phase: the base station
+// hands each participating child the bundle of encoded subplans for its
+// subtree; every node peels its own part off and relays the rest, one
+// unicast per participating child, with real wire sizes, optional loss,
+// and the same carrier-sense medium as the collection phase. On a
+// lossless medium the energy equals plan.InstallCost exactly (a
+// property the tests enforce).
+func RunInstall(cfg Config, p *plan.Plan) (*Result, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("sim: config needs a network")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(cfg.Net); err != nil {
+		return nil, err
+	}
+	if cfg.ByteRate <= 0 {
+		return nil, fmt.Errorf("sim: ByteRate must be positive")
+	}
+	if (cfg.LossProb != nil || cfg.InterferenceRange > 0) && cfg.Rng == nil {
+		return nil, fmt.Errorf("sim: loss or contention requires an Rng")
+	}
+	if cfg.LossProb != nil && len(cfg.LossProb) != cfg.Net.Size() {
+		return nil, fmt.Errorf("sim: %d loss probabilities for %d nodes", len(cfg.LossProb), cfg.Net.Size())
+	}
+	s := newSim(cfg, p, make([]float64, cfg.Net.Size()))
+	inst := &installer{sim: s}
+	inst.run()
+	return s.res, nil
+}
+
+// installer reuses the collection simulator's event queue and medium
+// state for the top-down distribution phase.
+type installer struct {
+	*sim
+	// delivered[v] marks nodes whose bundle has arrived.
+	delivered []bool
+}
+
+func (in *installer) run() {
+	n := in.cfg.Net.Size()
+	in.delivered = make([]bool, n)
+	in.delivered[network.Root] = true
+	// The queue carries evTrySend events whose node is the RECEIVING
+	// child: the parent transmits that child's bundle.
+	for _, c := range in.cfg.Net.Children(network.Root) {
+		if in.plan.UsesEdge(c) {
+			in.schedule(0, evTrySend, c)
+		}
+	}
+	for in.queue.Len() > 0 {
+		e := heap.Pop(&in.queue).(event)
+		in.now = e.at
+		switch e.kind {
+		case evTrySend:
+			in.trySend(e.node)
+		case evDelivery:
+			in.deliver(e.node)
+		}
+	}
+}
+
+// trySend attempts the unicast of child v's bundle from its parent.
+func (in *installer) trySend(v network.NodeID) {
+	if in.delivered[v] {
+		return
+	}
+	parent := in.cfg.Net.Parent(v)
+	bytes := in.plan.BundleBytes(in.cfg.Net, v)
+	dur := float64(in.cfg.HeaderBytes+bytes) / in.cfg.ByteRate
+	// Carrier sense around the transmitting parent.
+	if free := in.mediumFreeAt(parent); free > in.now {
+		in.res.Deferrals++
+		jitter := 0.0
+		if in.cfg.Rng != nil {
+			jitter = in.cfg.Rng.Float64() * dur / 4
+		}
+		in.schedule(free+jitter, evTrySend, v)
+		return
+	}
+	in.occupyMedium(parent, dur)
+	cost := in.cfg.Model.PerMessage + in.cfg.Model.PerByte*float64(bytes)
+	in.attempts[v]++
+	in.res.EdgeAttempts[v]++
+	if in.cfg.LossProb != nil && in.cfg.Rng.Float64() < in.cfg.LossProb[v] {
+		in.res.EdgeFailures[v]++
+		in.res.NodeEnergy[parent] += in.cfg.Model.TxShare(cost)
+		in.res.Ledger.Install += in.cfg.Model.TxShare(cost)
+		in.res.Retransmissions++
+		if in.attempts[v] > in.cfg.MaxRetries {
+			in.res.Dropped++
+			in.res.Abandoned = append(in.res.Abandoned, v)
+			return // the whole subtree below v stays uninstalled
+		}
+		in.schedule(in.now+dur*1.5, evTrySend, v)
+		return
+	}
+	in.res.NodeEnergy[parent] += in.cfg.Model.TxShare(cost)
+	in.res.NodeEnergy[v] += in.cfg.Model.RxShare(cost)
+	in.res.Ledger.Install += cost
+	in.res.Ledger.Messages++
+	in.schedule(in.now+dur, evDelivery, v)
+}
+
+// deliver marks v installed and forwards its children's bundles.
+func (in *installer) deliver(v network.NodeID) {
+	in.delivered[v] = true
+	if in.now > in.res.Latency {
+		in.res.Latency = in.now
+	}
+	for _, c := range in.cfg.Net.Children(v) {
+		if in.plan.UsesEdge(c) {
+			in.schedule(in.now, evTrySend, c)
+		}
+	}
+}

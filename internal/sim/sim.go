@@ -1,0 +1,543 @@
+// Package sim is a discrete-event simulator of a MICA2-style mote
+// network executing a collection phase, in the spirit of the paper's
+// own evaluation harness ("our own simulator of a network of Crossbow
+// MICA2 motes... a generic MAC-layer protocol").
+//
+// Where internal/exec computes the outcome and energy of a plan
+// analytically, sim plays it out over time: the trigger broadcast
+// propagates down the tree, leaf nodes transmit first, parents wait for
+// their children (with TAG-style slot deadlines), a carrier-sense MAC
+// serializes transmissions among interfering radios, lossy links force
+// retransmissions, and every radio's energy is metered separately.
+// With a loss-free medium its results coincide exactly with
+// internal/exec — a property the tests enforce — while additionally
+// reporting latency, per-node energy, and retransmission counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/plan"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Net   *network.Network
+	Model energy.Model
+	// ByteRate is the radio throughput in bytes/second (MICA2: ~2400).
+	ByteRate float64
+	// HeaderBytes is the per-message overhead on the air (preamble,
+	// headers, handshake), matching the PerMessage cost in time.
+	HeaderBytes int
+	// InterferenceRange is the distance within which two simultaneous
+	// transmissions collide; 0 disables contention (infinite spatial
+	// reuse).
+	InterferenceRange float64
+	// LossProb[v] is the probability one transmission attempt on the
+	// edge above v fails; nil means lossless.
+	LossProb []float64
+	// MaxRetries bounds retransmissions per message; afterwards the
+	// message is dropped (the parent proceeds at its deadline).
+	MaxRetries int
+	// SlotSeconds is the TAG-style per-level time slot; 0 derives it
+	// from the largest possible message duration.
+	SlotSeconds float64
+	// Rng drives loss draws and contention jitter. Required when
+	// LossProb or InterferenceRange are set.
+	Rng *rand.Rand
+}
+
+// DefaultConfig returns MICA2-flavored settings for a network.
+func DefaultConfig(net *network.Network) Config {
+	return Config{
+		Net:               net,
+		Model:             energy.DefaultModel(),
+		ByteRate:          2400,
+		HeaderBytes:       26,
+		InterferenceRange: 0,
+		MaxRetries:        5,
+	}
+}
+
+// Result reports one simulated collection phase.
+type Result struct {
+	// Returned holds the values that reached the root, best first.
+	Returned []exec.ValueAt
+	// Proven counts the root's provable prefix (Proof plans only).
+	Proven int
+	// Ledger aggregates all energy, as in internal/exec.
+	Ledger energy.Ledger
+	// NodeEnergy is each node's individual spend (radio TX + RX).
+	NodeEnergy []float64
+	// Latency is the time from trigger to the root's last reception,
+	// in seconds.
+	Latency float64
+	// Retransmissions counts extra attempts forced by loss.
+	Retransmissions int
+	// Deferrals counts transmissions postponed by carrier sense.
+	Deferrals int
+	// Dropped counts messages abandoned after MaxRetries.
+	Dropped int
+	// Abandoned lists the nodes whose message never got through.
+	Abandoned []network.NodeID
+	// EdgeAttempts and EdgeFailures count, per edge (indexed by the
+	// lower endpoint), transmission attempts and lost attempts — the
+	// statistics Section 4.4 feeds back into cost inflation.
+	EdgeAttempts, EdgeFailures []int
+}
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	at   float64
+	seq  int // tie-break for determinism
+	kind eventKind
+	node network.NodeID
+}
+
+type eventKind int
+
+const (
+	evTrigger  eventKind = iota // node receives the re-execute broadcast
+	evTrySend                   // node attempts/retries its unicast to parent
+	evDelivery                  // node's message arrives at its parent
+	evDeadline                  // node's slot deadline: send what you have
+)
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// sim is the mutable run state.
+type sim struct {
+	cfg    Config
+	plan   *plan.Plan
+	values []float64
+	res    *Result
+
+	queue eventQueue
+	seq   int
+	now   float64
+
+	// Per-node protocol state.
+	expected  []int // children still awaited
+	deadline  []float64
+	sent      []bool
+	gaveUp    []bool
+	lists     [][]exec.ValueAt // received/owned values
+	childList map[network.NodeID][]exec.ValueAt
+	childProv map[network.NodeID]int
+	attempts  []int
+
+	// Medium state: the time each node's neighborhood frees up.
+	busyUntil []float64
+	neighbors [][]network.NodeID
+
+	slot float64
+	// subHeight[v]: height of the subtree rooted at v.
+	subHeight []int
+}
+
+// Run simulates one collection phase of the plan over the epoch's
+// ground-truth readings.
+func Run(cfg Config, p *plan.Plan, values []float64) (*Result, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("sim: config needs a network")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(values) != cfg.Net.Size() {
+		return nil, fmt.Errorf("sim: %d readings for %d nodes", len(values), cfg.Net.Size())
+	}
+	if err := p.Validate(cfg.Net); err != nil {
+		return nil, err
+	}
+	if p.Kind == plan.Selection {
+		return nil, fmt.Errorf("sim: selection plans are executed analytically; simulate Filtering or Proof plans")
+	}
+	if cfg.ByteRate <= 0 {
+		return nil, fmt.Errorf("sim: ByteRate must be positive")
+	}
+	if (cfg.LossProb != nil || cfg.InterferenceRange > 0) && cfg.Rng == nil {
+		return nil, fmt.Errorf("sim: loss or contention requires an Rng")
+	}
+	if cfg.LossProb != nil && len(cfg.LossProb) != cfg.Net.Size() {
+		return nil, fmt.Errorf("sim: %d loss probabilities for %d nodes", len(cfg.LossProb), cfg.Net.Size())
+	}
+	s := newSim(cfg, p, values)
+	s.run()
+	return s.res, nil
+}
+
+func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
+	n := cfg.Net.Size()
+	s := &sim{
+		cfg:    cfg,
+		plan:   p,
+		values: values,
+		res: &Result{
+			NodeEnergy:   make([]float64, n),
+			EdgeAttempts: make([]int, n),
+			EdgeFailures: make([]int, n),
+		},
+		expected:  make([]int, n),
+		deadline:  make([]float64, n),
+		sent:      make([]bool, n),
+		gaveUp:    make([]bool, n),
+		lists:     make([][]exec.ValueAt, n),
+		childList: make(map[network.NodeID][]exec.ValueAt, n),
+		childProv: make(map[network.NodeID]int, n),
+		attempts:  make([]int, n),
+		busyUntil: make([]float64, n),
+		subHeight: make([]int, n),
+	}
+	net := cfg.Net
+	net.PostorderWalk(func(v network.NodeID) {
+		h := 0
+		for _, c := range net.Children(v) {
+			if s.plan.UsesEdge(c) {
+				s.expected[v]++
+				if s.subHeight[c]+1 > h {
+					h = s.subHeight[c] + 1
+				}
+			}
+		}
+		s.subHeight[v] = h
+	})
+	// Slot: the longest message (subtree-size values) plus margin.
+	if cfg.SlotSeconds > 0 {
+		s.slot = cfg.SlotSeconds
+	} else {
+		maxBytes := float64(cfg.HeaderBytes + cfg.Model.BytesPerValue*net.Size())
+		s.slot = 2.5 * maxBytes / cfg.ByteRate * float64(1+cfg.MaxRetries)
+	}
+	if cfg.InterferenceRange > 0 {
+		s.neighbors = make([][]network.NodeID, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && net.Pos(network.NodeID(i)).Dist(net.Pos(network.NodeID(j))) <= cfg.InterferenceRange {
+					s.neighbors[i] = append(s.neighbors[i], network.NodeID(j))
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *sim) schedule(at float64, kind eventKind, node network.NodeID) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, kind: kind, node: node})
+}
+
+// msgDuration returns the airtime of a message carrying nValues plus
+// extra bytes.
+func (s *sim) msgDuration(nValues, extra int) float64 {
+	bytes := s.cfg.HeaderBytes + nValues*s.cfg.Model.BytesPerValue + extra
+	return float64(bytes) / s.cfg.ByteRate
+}
+
+func (s *sim) run() {
+	net := s.cfg.Net
+	// Trigger propagation: each internal node with participating
+	// children rebroadcasts; depth d hears it after d trigger-hops.
+	trigDur := s.msgDuration(0, 0) / 2 // broadcasts skip the handshake
+	for _, v := range net.Preorder() {
+		rebroadcasts := false
+		for _, c := range net.Children(v) {
+			if s.plan.UsesEdge(c) {
+				rebroadcasts = true
+				break
+			}
+		}
+		if rebroadcasts {
+			s.res.Ledger.Trigger += s.cfg.Model.Trigger()
+			s.res.NodeEnergy[v] += s.cfg.Model.Trigger()
+		}
+	}
+	for _, v := range net.Preorder() {
+		if v == network.Root || s.plan.UsesEdge(v) {
+			at := float64(net.Depth(v)) * trigDur
+			s.schedule(at, evTrigger, v)
+		}
+	}
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		switch e.kind {
+		case evTrigger:
+			s.onTrigger(e.node)
+		case evTrySend:
+			s.onTrySend(e.node)
+		case evDelivery:
+			s.onDelivery(e.node)
+		case evDeadline:
+			s.onDeadline(e.node)
+		}
+	}
+	s.finish()
+}
+
+// onTrigger initializes a node: it reads its sensor, arms its deadline,
+// and — if it awaits no children — queues its transmission.
+func (s *sim) onTrigger(v network.NodeID) {
+	s.lists[v] = append(s.lists[v], exec.ValueAt{Node: v, Val: s.values[v]})
+	// Deadline: enough slots for the whole subtree below to drain.
+	s.deadline[v] = s.now + float64(s.subHeight[v]+1)*s.slot
+	if v == network.Root {
+		return
+	}
+	if s.expected[v] == 0 {
+		s.schedule(s.now, evTrySend, v)
+	} else {
+		s.schedule(s.deadline[v], evDeadline, v)
+	}
+}
+
+// onDeadline forces a node that is still waiting to transmit whatever
+// it has (some child messages were dropped).
+func (s *sim) onDeadline(v network.NodeID) {
+	if s.sent[v] || s.expected[v] == 0 {
+		return
+	}
+	s.expected[v] = 0
+	s.schedule(s.now, evTrySend, v)
+}
+
+// onTrySend attempts the node's unicast to its parent, deferring if the
+// medium around it is busy and retrying on loss.
+func (s *sim) onTrySend(v network.NodeID) {
+	if s.sent[v] {
+		return
+	}
+	payload, provenCnt := s.outgoing(v)
+	extra := 0
+	if s.plan.Kind == plan.Proof && len(s.cfg.Net.Children(v)) > 0 && provenCnt < len(payload) {
+		extra = 1
+	}
+	dur := s.msgDuration(len(payload), extra)
+	// Carrier sense: defer while the neighborhood is busy.
+	if free := s.mediumFreeAt(v); free > s.now {
+		s.res.Deferrals++
+		jitter := 0.0
+		if s.cfg.Rng != nil {
+			jitter = s.cfg.Rng.Float64() * dur / 4
+		}
+		s.schedule(free+jitter, evTrySend, v)
+		return
+	}
+	s.occupyMedium(v, dur)
+	// Energy: every attempt costs the sender its TX share; the
+	// receiver pays its RX share only on successful delivery.
+	cost := s.cfg.Model.PerMessage + s.cfg.Model.PerByte*float64(len(payload)*s.cfg.Model.BytesPerValue+extra)
+	parent := s.cfg.Net.Parent(v)
+	s.attempts[v]++
+	s.res.EdgeAttempts[v]++
+	lost := false
+	if s.cfg.LossProb != nil && s.cfg.Rng.Float64() < s.cfg.LossProb[v] {
+		lost = true
+	}
+	if lost {
+		s.res.EdgeFailures[v]++
+		s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
+		s.res.Ledger.Collection += s.cfg.Model.TxShare(cost)
+		s.res.Retransmissions++
+		if s.attempts[v] > s.cfg.MaxRetries {
+			s.res.Dropped++
+			s.gaveUp[v] = true
+			s.sent[v] = true // stop trying; parent hits its deadline
+			return
+		}
+		s.schedule(s.now+dur*1.5, evTrySend, v)
+		return
+	}
+	s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
+	s.res.NodeEnergy[parent] += s.cfg.Model.RxShare(cost)
+	s.res.Ledger.Collection += cost
+	s.res.Ledger.Messages++
+	s.res.Ledger.Values += len(payload)
+	s.sent[v] = true
+	s.childList[v] = payload
+	s.childProv[v] = provenCnt
+	s.schedule(s.now+dur, evDelivery, v)
+}
+
+// outgoing computes the node's message: its pooled values truncated to
+// the edge bandwidth, plus the proven count for proof plans.
+func (s *sim) outgoing(v network.NodeID) ([]exec.ValueAt, int) {
+	pool := s.lists[v]
+	exec.SortDesc(pool)
+	send := pool
+	if len(send) > s.plan.Bandwidth[v] {
+		send = send[:s.plan.Bandwidth[v]]
+	}
+	provenCnt := 0
+	if s.plan.Kind == plan.Proof {
+		provenCnt = s.provenPrefix(v, send)
+	}
+	return append([]exec.ValueAt(nil), send...), provenCnt
+}
+
+// onDelivery merges an arrived message into the parent and may release
+// the parent's own transmission.
+func (s *sim) onDelivery(v network.NodeID) {
+	parent := s.cfg.Net.Parent(v)
+	s.lists[parent] = append(s.lists[parent], s.childList[v]...)
+	if parent == network.Root {
+		if s.now > s.res.Latency {
+			s.res.Latency = s.now
+		}
+	}
+	s.expected[parent]--
+	if s.expected[parent] == 0 && parent != network.Root && !s.sent[parent] {
+		s.schedule(s.now, evTrySend, parent)
+	}
+}
+
+// mediumFreeAt returns when node v's neighborhood is next idle.
+func (s *sim) mediumFreeAt(v network.NodeID) float64 {
+	free := s.busyUntil[v]
+	for _, nb := range s.neighborsOf(v) {
+		if s.busyUntil[nb] > free {
+			free = s.busyUntil[nb]
+		}
+	}
+	return free
+}
+
+func (s *sim) occupyMedium(v network.NodeID, dur float64) {
+	end := s.now + dur
+	if end > s.busyUntil[v] {
+		s.busyUntil[v] = end
+	}
+	for _, nb := range s.neighborsOf(v) {
+		if end > s.busyUntil[nb] {
+			s.busyUntil[nb] = end
+		}
+	}
+}
+
+func (s *sim) neighborsOf(v network.NodeID) []network.NodeID {
+	if s.neighbors == nil {
+		return nil
+	}
+	return s.neighbors[v]
+}
+
+// provenPrefix mirrors the proof conditions of internal/exec over the
+// simulator's per-child state.
+func (s *sim) provenPrefix(v network.NodeID, list []exec.ValueAt) int {
+	n := 0
+	for _, w := range list {
+		if !s.provenAt(v, w) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (s *sim) provenAt(v network.NodeID, w exec.ValueAt) bool {
+	net := s.cfg.Net
+	for _, c := range net.Children(v) {
+		if !s.plan.UsesEdge(c) {
+			return false // proof plans use all edges; unused => undelivered
+		}
+		lst, ok := s.childList[c]
+		if !ok {
+			return false // child's message never arrived
+		}
+		if len(lst) == net.SubtreeSize(c) {
+			continue // (c.3)
+		}
+		if net.IsAncestor(c, w.Node) {
+			proven := s.childProv[c]
+			found := false
+			for i := 0; i < proven && i < len(lst); i++ {
+				if lst[i].Node == w.Node {
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // (c.1)
+			}
+			return false
+		}
+		if p := s.childProv[c]; p > 0 && w.Outranks(lst[p-1]) {
+			continue // (c.2)
+		}
+		return false
+	}
+	return true
+}
+
+// finish assembles the root's answer.
+func (s *sim) finish() {
+	root := s.lists[network.Root]
+	exec.SortDesc(root)
+	seen := make(map[network.NodeID]bool, len(root))
+	var out []exec.ValueAt
+	for _, v := range root {
+		if !seen[v.Node] {
+			seen[v.Node] = true
+			out = append(out, v)
+		}
+	}
+	s.res.Returned = out
+	for i, g := range s.gaveUp {
+		if g {
+			s.res.Abandoned = append(s.res.Abandoned, network.NodeID(i))
+		}
+	}
+	if s.plan.Kind == plan.Proof {
+		s.res.Proven = s.provenPrefix(network.Root, out)
+	}
+	sort.SliceStable(s.res.Returned, func(i, j int) bool {
+		return s.res.Returned[i].Outranks(s.res.Returned[j])
+	})
+}
+
+// EstimateLossProbs aggregates per-edge failure statistics from a set
+// of simulated collection phases into empirical loss probabilities:
+// the inputs Section 4.4's cost inflation wants. Edges never attempted
+// report probability zero.
+func EstimateLossProbs(results []*Result, n int) ([]float64, error) {
+	attempts := make([]int, n)
+	failures := make([]int, n)
+	for _, r := range results {
+		if len(r.EdgeAttempts) != n || len(r.EdgeFailures) != n {
+			return nil, fmt.Errorf("sim: result covers %d edges, want %d", len(r.EdgeAttempts), n)
+		}
+		for v := 0; v < n; v++ {
+			attempts[v] += r.EdgeAttempts[v]
+			failures[v] += r.EdgeFailures[v]
+		}
+	}
+	probs := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if attempts[v] > 0 {
+			probs[v] = float64(failures[v]) / float64(attempts[v])
+		}
+	}
+	return probs, nil
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prospector/internal/network"
+	"prospector/internal/stats"
+)
+
+// SpatialConfig parameterizes a spatially correlated Gaussian field:
+// readings are a multivariate normal whose covariance follows a
+// squared-exponential kernel over node positions,
+//
+//	Cov(i, j) = Sigma^2 * exp(-d(i,j)^2 / (2 * LengthScale^2)) + Nugget*[i==j].
+//
+// This is the joint-distribution setting the model-driven line of work
+// (Deshpande et al., which the paper builds on) assumes: nearby sensors
+// read alike. Positive spatial correlation concentrates the top k in
+// one region per epoch — which region varies — stressing planners the
+// independent field cannot.
+type SpatialConfig struct {
+	// Positions give each node's location (index 0 is the root).
+	Positions []network.Point
+	// MeanLow/MeanHigh bound the per-node means, chosen uniformly.
+	MeanLow, MeanHigh float64
+	// Sigma scales the correlated fluctuation.
+	Sigma float64
+	// LengthScale is the kernel's correlation distance, in meters.
+	LengthScale float64
+	// Nugget is independent per-node noise variance added on the
+	// diagonal (also keeps the covariance positive definite).
+	Nugget float64
+}
+
+// DefaultSpatialConfig returns a strongly correlated field over the
+// given placement.
+func DefaultSpatialConfig(pos []network.Point) SpatialConfig {
+	return SpatialConfig{
+		Positions:   pos,
+		MeanLow:     45,
+		MeanHigh:    55,
+		Sigma:       4,
+		LengthScale: 25,
+		Nugget:      0.25,
+	}
+}
+
+// SpatialField draws epochs from the configured multivariate normal
+// via a Cholesky factor of the kernel covariance.
+type SpatialField struct {
+	means []float64
+	chol  []float64 // lower-triangular factor, row-major
+	n     int
+	rng   *rand.Rand
+	z     []float64 // scratch
+}
+
+// NewSpatialField validates cfg, builds the covariance, and factors it.
+func NewSpatialField(cfg SpatialConfig, rng *rand.Rand) (*SpatialField, error) {
+	n := len(cfg.Positions)
+	if n < 1 {
+		return nil, fmt.Errorf("workload: spatial field needs positions")
+	}
+	if cfg.Sigma < 0 || cfg.LengthScale <= 0 || cfg.Nugget < 0 {
+		return nil, fmt.Errorf("workload: invalid spatial parameters %+v", cfg)
+	}
+	if cfg.Nugget == 0 {
+		return nil, fmt.Errorf("workload: a positive Nugget is required to keep the covariance positive definite")
+	}
+	if cfg.MeanHigh < cfg.MeanLow {
+		return nil, fmt.Errorf("workload: mean range inverted")
+	}
+	cov := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := cfg.Positions[i].Dist(cfg.Positions[j])
+			cov[i*n+j] = cfg.Sigma * cfg.Sigma * math.Exp(-d*d/(2*cfg.LengthScale*cfg.LengthScale))
+			if i == j {
+				cov[i*n+j] += cfg.Nugget
+			}
+		}
+	}
+	chol, err := stats.Cholesky(cov, n)
+	if err != nil {
+		return nil, fmt.Errorf("workload: factoring spatial covariance: %w", err)
+	}
+	f := &SpatialField{
+		means: make([]float64, n),
+		chol:  chol,
+		n:     n,
+		rng:   rng,
+		z:     make([]float64, n),
+	}
+	for i := range f.means {
+		f.means[i] = cfg.MeanLow + rng.Float64()*(cfg.MeanHigh-cfg.MeanLow)
+	}
+	return f, nil
+}
+
+// Size implements Source.
+func (f *SpatialField) Size() int { return f.n }
+
+// Next implements Source: mean + L*z with z standard normal.
+func (f *SpatialField) Next() []float64 {
+	for i := range f.z {
+		f.z[i] = f.rng.NormFloat64()
+	}
+	out := make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		s := f.means[i]
+		row := f.chol[i*f.n : (i+1)*f.n]
+		for k := 0; k <= i; k++ {
+			s += row[k] * f.z[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mean returns node i's mean.
+func (f *SpatialField) Mean(i int) float64 { return f.means[i] }

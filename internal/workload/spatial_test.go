@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/network"
+	"prospector/internal/stats"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+	l, err := stats.Cholesky([]float64{4, 2, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, math.Sqrt2}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Errorf("L[%d] = %g, want %g", i, l[i], want[i])
+		}
+	}
+	if _, err := stats.Cholesky([]float64{1, 2, 2, 1}, 2); err == nil {
+		t.Error("accepted an indefinite matrix")
+	}
+	if _, err := stats.Cholesky([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("accepted wrong shape")
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	const n = 12
+	// Random SPD matrix: B*Bt + n*I.
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			a[i*n+j] = s
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	l, err := stats.Cholesky(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += l[i*n+k] * l[j*n+k]
+			}
+			if math.Abs(s-a[i*n+j]) > 1e-8 {
+				t.Fatalf("LLt[%d,%d] = %g, want %g", i, j, s, a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestSpatialFieldCorrelationDecays(t *testing.T) {
+	// Two nearby nodes must correlate far more strongly than two
+	// distant ones.
+	pos := []network.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 100, Y: 100}}
+	cfg := DefaultSpatialConfig(pos)
+	cfg.LengthScale = 10
+	f, err := NewSpatialField(cfg, rand.New(rand.NewSource(82)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 4000
+	var a, b, c []float64
+	for e := 0; e < epochs; e++ {
+		v := f.Next()
+		a = append(a, v[0])
+		b = append(b, v[1])
+		c = append(c, v[2])
+	}
+	near := correlation(a, b)
+	far := correlation(a, c)
+	if near < 0.8 {
+		t.Errorf("nearby correlation %.3f, want > 0.8", near)
+	}
+	if math.Abs(far) > 0.15 {
+		t.Errorf("distant correlation %.3f, want ~0", far)
+	}
+}
+
+func correlation(x, y []float64) float64 {
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func TestSpatialFieldValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	if _, err := NewSpatialField(SpatialConfig{}, rng); err == nil {
+		t.Error("accepted empty positions")
+	}
+	cfg := DefaultSpatialConfig([]network.Point{{X: 0, Y: 0}})
+	cfg.Nugget = 0
+	if _, err := NewSpatialField(cfg, rng); err == nil {
+		t.Error("accepted zero nugget")
+	}
+	cfg = DefaultSpatialConfig([]network.Point{{X: 0, Y: 0}})
+	cfg.LengthScale = -1
+	if _, err := NewSpatialField(cfg, rng); err == nil {
+		t.Error("accepted negative length scale")
+	}
+}
+
+func TestSpatialFieldMoments(t *testing.T) {
+	pos := make([]network.Point, 8)
+	rng := rand.New(rand.NewSource(84))
+	for i := range pos {
+		pos[i] = network.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	cfg := DefaultSpatialConfig(pos)
+	f, err := NewSpatialField(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for e := 0; e < 5000; e++ {
+		xs = append(xs, f.Next()[3])
+	}
+	if got := stats.Mean(xs); math.Abs(got-f.Mean(3)) > 0.3 {
+		t.Errorf("empirical mean %g vs %g", got, f.Mean(3))
+	}
+	wantSD := math.Sqrt(cfg.Sigma*cfg.Sigma + cfg.Nugget)
+	if got := stats.StdDev(xs); math.Abs(got-wantSD) > 0.3 {
+		t.Errorf("empirical sd %g vs %g", got, wantSD)
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Trace is a Source replaying a recorded epoch matrix, e.g. real
+// deployment data loaded with ReadTrace. It wraps around at the end.
+type Trace struct {
+	epochs [][]float64
+	cursor int
+}
+
+// NewTrace wraps an epoch matrix (each row one full-network reading
+// vector, all rows the same width).
+func NewTrace(epochs [][]float64) (*Trace, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	width := len(epochs[0])
+	if width == 0 {
+		return nil, fmt.Errorf("workload: trace epochs are empty")
+	}
+	for i, e := range epochs {
+		if len(e) != width {
+			return nil, fmt.Errorf("workload: epoch %d has %d readings, epoch 0 has %d", i, len(e), width)
+		}
+	}
+	return &Trace{epochs: epochs}, nil
+}
+
+// Size implements Source.
+func (t *Trace) Size() int { return len(t.epochs[0]) }
+
+// Epochs returns the trace length.
+func (t *Trace) Epochs() int { return len(t.epochs) }
+
+// Next implements Source, wrapping around after the last epoch.
+func (t *Trace) Next() []float64 {
+	e := t.epochs[t.cursor%len(t.epochs)]
+	t.cursor++
+	return append([]float64(nil), e...)
+}
+
+// Reset rewinds to the first epoch.
+func (t *Trace) Reset() { t.cursor = 0 }
+
+// Epoch returns a copy of epoch e.
+func (t *Trace) Epoch(e int) []float64 {
+	return append([]float64(nil), t.epochs[e]...)
+}
+
+// WriteTrace stores an epoch matrix as CSV: a header row "node0..N-1"
+// followed by one row of readings per epoch. NaN readings are written
+// as empty cells (missing).
+func WriteTrace(w io.Writer, epochs [][]float64) error {
+	if len(epochs) == 0 {
+		return fmt.Errorf("workload: nothing to write")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(epochs[0]))
+	for i := range header {
+		header[i] = fmt.Sprintf("node%d", i)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, e := range epochs {
+		if len(e) != len(header) {
+			return fmt.Errorf("workload: ragged epoch of width %d", len(e))
+		}
+		for i, v := range e {
+			if math.IsNaN(v) {
+				row[i] = ""
+			} else {
+				row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV epoch matrix as written by WriteTrace (the
+// header row is optional: a first row that fails numeric parsing is
+// treated as a header). Empty cells are missing readings; they are
+// filled with the average of the node's previous and next epoch,
+// exactly as the paper handles the Intel Lab data's gaps. A reading
+// missing in every epoch is an error.
+func ReadTrace(r io.Reader) ([][]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	start := 0
+	if !numericRow(records[0]) {
+		start = 1
+	}
+	if start >= len(records) {
+		return nil, fmt.Errorf("workload: trace has a header but no data")
+	}
+	width := len(records[start])
+	epochs := make([][]float64, 0, len(records)-start)
+	missing := make([][]bool, 0, len(records)-start)
+	for rn, rec := range records[start:] {
+		if len(rec) != width {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want %d", rn+start+1, len(rec), width)
+		}
+		e := make([]float64, width)
+		m := make([]bool, width)
+		for i, cell := range rec {
+			if cell == "" {
+				m[i] = true
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d field %d: %v", rn+start+1, i+1, err)
+			}
+			e[i] = v
+		}
+		epochs = append(epochs, e)
+		missing = append(missing, m)
+	}
+	if err := FillMissing(epochs, missing); err != nil {
+		return nil, err
+	}
+	return epochs, nil
+}
+
+func numericRow(rec []string) bool {
+	for _, cell := range rec {
+		if cell == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FillMissing replaces marked readings with the average of the node's
+// nearest non-missing previous and next epochs (the paper's rule for
+// the Intel Lab gaps); runs at the edges copy the nearest available
+// reading. A node missing in every epoch is an error.
+func FillMissing(epochs [][]float64, missing [][]bool) error {
+	if len(epochs) != len(missing) {
+		return fmt.Errorf("workload: %d epochs but %d missing masks", len(epochs), len(missing))
+	}
+	if len(epochs) == 0 {
+		return nil
+	}
+	width := len(epochs[0])
+	for i := 0; i < width; i++ {
+		for e := range epochs {
+			if !missing[e][i] {
+				continue
+			}
+			prev, prevOK := lastPresent(epochs, missing, i, e-1, -1)
+			next, nextOK := lastPresent(epochs, missing, i, e+1, +1)
+			switch {
+			case prevOK && nextOK:
+				epochs[e][i] = (prev + next) / 2
+			case prevOK:
+				epochs[e][i] = prev
+			case nextOK:
+				epochs[e][i] = next
+			default:
+				return fmt.Errorf("workload: node %d has no readings in any epoch", i)
+			}
+		}
+	}
+	return nil
+}
+
+func lastPresent(epochs [][]float64, missing [][]bool, node, from, step int) (float64, bool) {
+	for e := from; e >= 0 && e < len(epochs); e += step {
+		if !missing[e][node] {
+			return epochs[e][node], true
+		}
+	}
+	return 0, false
+}

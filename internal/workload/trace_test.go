@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	epochs := [][]float64{
+		{1.5, 2, 3},
+		{4, 5.25, 6},
+		{7, 8, 9.125},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, epochs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d epochs", len(got))
+	}
+	for e := range epochs {
+		for i := range epochs[e] {
+			if got[e][i] != epochs[e][i] {
+				t.Errorf("epoch %d node %d: %g != %g", e, i, got[e][i], epochs[e][i])
+			}
+		}
+	}
+}
+
+func TestTraceMissingFill(t *testing.T) {
+	in := "node0,node1\n10,100\n,\n30,\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node 0 epoch 1: avg(10, 30) = 20.
+	if got[1][0] != 20 {
+		t.Errorf("filled value %g, want 20", got[1][0])
+	}
+	// node 1 epochs 1, 2: only a previous value exists -> copy 100.
+	if got[1][1] != 100 || got[2][1] != 100 {
+		t.Errorf("edge fills %g, %g, want 100", got[1][1], got[2][1])
+	}
+}
+
+func TestTraceMissingAtStart(t *testing.T) {
+	in := ",5\n10,6\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 10 {
+		t.Errorf("leading fill %g, want 10", got[0][0])
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"node0,node1\n", // header only
+		"1,2\n3\n",      // ragged
+		"1,abc\n",       // non-numeric (single row, read as header-only)
+		"node0\n,\n",    // node missing everywhere
+	}
+	for _, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTrace(%q) succeeded", in)
+		}
+	}
+}
+
+func TestTraceNaNWritesMissing(t *testing.T) {
+	epochs := [][]float64{{1, 2}, {math.NaN(), 4}, {5, 6}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, epochs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1][0] != 3 { // avg(1, 5)
+		t.Errorf("NaN fill = %g, want 3", got[1][0])
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	tr, err := NewTrace([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 || tr.Epochs() != 2 {
+		t.Fatalf("size/epochs = %d/%d", tr.Size(), tr.Epochs())
+	}
+	a := tr.Next()
+	b := tr.Next()
+	c := tr.Next() // wraps
+	if a[0] != 1 || b[0] != 3 || c[0] != 1 {
+		t.Errorf("sequence %v %v %v", a, b, c)
+	}
+	tr.Reset()
+	if tr.Next()[1] != 2 {
+		t.Error("Reset failed")
+	}
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+	if _, err := NewTrace([][]float64{{1}, {2, 3}}); err == nil {
+		t.Error("accepted ragged trace")
+	}
+}
+
+func TestTraceInteropWithIntelLab(t *testing.T) {
+	// Export the synthetic lab and reload it as a trace: the replay
+	// must be identical, proving real lab data can be swapped in.
+	rng := rand.New(rand.NewSource(12))
+	cfg := DefaultIntelLabConfig()
+	cfg.Epochs = 20
+	lab, err := NewIntelLab(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs [][]float64
+	for e := 0; e < lab.Epochs(); e++ {
+		epochs = append(epochs, lab.Epoch(e))
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, epochs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 20; e++ {
+		want := lab.Epoch(e)
+		got := tr.Next()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("epoch %d node %d: %g != %g", e, i, got[i], want[i])
+			}
+		}
+	}
+}

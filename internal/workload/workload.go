@@ -1,0 +1,106 @@
+// Package workload generates sensor reading scenarios: joint value
+// distributions over the nodes of a network. Each Source produces
+// "epochs" — one full assignment of a reading to every node — which
+// serve both as samples for the planners and as ground truth for
+// evaluating executed plans.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source produces successive epochs of readings for an n-node network.
+// Implementations are deterministic given their seed, so experiments
+// are reproducible.
+type Source interface {
+	// Size returns the number of nodes the source generates values for.
+	Size() int
+	// Next returns the readings of the next epoch. The returned slice
+	// is owned by the caller; implementations must not retain it.
+	Next() []float64
+}
+
+// Draw collects the given number of epochs from a source.
+func Draw(src Source, epochs int) [][]float64 {
+	out := make([][]float64, epochs)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}
+
+// GaussianField draws each node's reading from an independent normal
+// distribution whose mean and variance were chosen once, at
+// construction, from configurable ranges. This is the synthetic
+// workload behind Figures 3 and 4 of the paper.
+type GaussianField struct {
+	means, stddevs []float64
+	rng            *rand.Rand
+}
+
+// GaussianConfig bounds the per-node distribution parameters.
+type GaussianConfig struct {
+	Nodes                 int
+	MeanLow, MeanHigh     float64
+	StdDevLow, StdDevHigh float64
+}
+
+// DefaultGaussianConfig matches the paper's setup: means and variances
+// chosen randomly from small ranges.
+func DefaultGaussianConfig(nodes int) GaussianConfig {
+	return GaussianConfig{
+		Nodes:      nodes,
+		MeanLow:    40,
+		MeanHigh:   60,
+		StdDevLow:  1,
+		StdDevHigh: 5,
+	}
+}
+
+// NewGaussianField builds a field; the per-node parameters and the
+// reading stream both derive from rng.
+func NewGaussianField(cfg GaussianConfig, rng *rand.Rand) (*GaussianField, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.MeanHigh < cfg.MeanLow || cfg.StdDevHigh < cfg.StdDevLow || cfg.StdDevLow < 0 {
+		return nil, fmt.Errorf("workload: invalid gaussian ranges %+v", cfg)
+	}
+	f := &GaussianField{
+		means:   make([]float64, cfg.Nodes),
+		stddevs: make([]float64, cfg.Nodes),
+		rng:     rng,
+	}
+	for i := range f.means {
+		f.means[i] = cfg.MeanLow + rng.Float64()*(cfg.MeanHigh-cfg.MeanLow)
+		f.stddevs[i] = cfg.StdDevLow + rng.Float64()*(cfg.StdDevHigh-cfg.StdDevLow)
+	}
+	return f, nil
+}
+
+// Size implements Source.
+func (f *GaussianField) Size() int { return len(f.means) }
+
+// Next implements Source.
+func (f *GaussianField) Next() []float64 {
+	v := make([]float64, len(f.means))
+	for i := range v {
+		v[i] = f.means[i] + f.stddevs[i]*f.rng.NormFloat64()
+	}
+	return v
+}
+
+// Mean returns node i's distribution mean.
+func (f *GaussianField) Mean(i int) float64 { return f.means[i] }
+
+// StdDev returns node i's distribution standard deviation.
+func (f *GaussianField) StdDev(i int) float64 { return f.stddevs[i] }
+
+// SetStdDev overrides every node's standard deviation; used by the
+// variance-sweep experiment (Figure 4).
+func (f *GaussianField) SetStdDev(sd float64) {
+	for i := range f.stddevs {
+		f.stddevs[i] = sd
+	}
+}

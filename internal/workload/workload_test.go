@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/sample"
+	"prospector/internal/stats"
+)
+
+func TestGaussianFieldMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultGaussianConfig(10)
+	f, err := NewGaussianField(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 10 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	for i := 0; i < 10; i++ {
+		if m := f.Mean(i); m < cfg.MeanLow || m > cfg.MeanHigh {
+			t.Errorf("mean(%d) = %g outside [%g,%g]", i, m, cfg.MeanLow, cfg.MeanHigh)
+		}
+		if s := f.StdDev(i); s < cfg.StdDevLow || s > cfg.StdDevHigh {
+			t.Errorf("stddev(%d) = %g", i, s)
+		}
+	}
+	// Empirical mean of node 3 over many epochs approaches its mean.
+	var xs []float64
+	for e := 0; e < 4000; e++ {
+		xs = append(xs, f.Next()[3])
+	}
+	if got := stats.Mean(xs); math.Abs(got-f.Mean(3)) > 0.3 {
+		t.Errorf("empirical mean %g vs %g", got, f.Mean(3))
+	}
+	if got := stats.StdDev(xs); math.Abs(got-f.StdDev(3)) > 0.3 {
+		t.Errorf("empirical stddev %g vs %g", got, f.StdDev(3))
+	}
+}
+
+func TestGaussianValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewGaussianField(GaussianConfig{Nodes: 0}, rng); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	bad := DefaultGaussianConfig(5)
+	bad.MeanHigh = bad.MeanLow - 1
+	if _, err := NewGaussianField(bad, rng); err == nil {
+		t.Error("accepted inverted mean range")
+	}
+}
+
+func TestSetStdDev(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f, err := NewGaussianField(DefaultGaussianConfig(6), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetStdDev(0)
+	a, b := f.Next(), f.Next()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zero variance but values differ at node %d", i)
+		}
+	}
+}
+
+func TestZoneFieldExceedProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const (
+		nodes = 40
+		zones = 4
+		k     = 6
+	)
+	zoneOf := make([]int, nodes)
+	for i := range zoneOf {
+		zoneOf[i] = -1
+	}
+	// First 24 non-root nodes into 4 zones of 6.
+	for i := 0; i < zones*k; i++ {
+		zoneOf[i+1] = i / k
+	}
+	cfg := DefaultZoneConfig(nodes, zones, k, zoneOf)
+	f, err := NewZoneField(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical exceed probability of a zone node over many epochs.
+	exceed, total := 0, 0
+	for e := 0; e < 3000; e++ {
+		v := f.Next()
+		for i := 1; i <= zones*k; i++ {
+			total++
+			if v[i] > cfg.Mu0 {
+				exceed++
+			}
+		}
+	}
+	got := float64(exceed) / float64(total)
+	want := cfg.ExceedProb
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("exceed probability %.4f, want %.4f", got, want)
+	}
+}
+
+func TestZoneFieldExpectedTopKFromZones(t *testing.T) {
+	// With per-zone k nodes and exceed prob 1/zones, the expected
+	// number of zone nodes above mu0 is k, and they dominate the top k.
+	rng := rand.New(rand.NewSource(5))
+	const (
+		nodes = 50
+		zones = 5
+		k     = 8
+	)
+	zoneOf := make([]int, nodes)
+	for i := range zoneOf {
+		zoneOf[i] = -1
+	}
+	for i := 0; i < zones*k; i++ {
+		zoneOf[i+1] = i / k
+	}
+	f, err := NewZoneField(DefaultZoneConfig(nodes, zones, k, zoneOf), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0.0
+	const epochs = 2000
+	for e := 0; e < epochs; e++ {
+		v := f.Next()
+		for i := 1; i <= zones*k; i++ {
+			if v[i] > 50 {
+				above++
+			}
+		}
+	}
+	if got := above / epochs; math.Abs(got-k) > 1 {
+		t.Errorf("expected zone nodes above mu0 per epoch = %.2f, want ~%d", got, k)
+	}
+}
+
+func TestZoneFieldTerritorial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const (
+		nodes = 26
+		zones = 5
+		k     = 5
+	)
+	zoneOf := make([]int, nodes)
+	for i := range zoneOf {
+		zoneOf[i] = -1
+	}
+	for i := 0; i < zones*k; i++ {
+		zoneOf[i+1] = i / k
+	}
+	cfg := DefaultZoneConfig(nodes, zones, k, zoneOf)
+	cfg.Territorial = true
+	f, err := NewZoneField(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly round(1/zones * k) = 1 winner per zone per epoch.
+	for e := 0; e < 50; e++ {
+		v := f.Next()
+		for z := 0; z < zones; z++ {
+			winners := 0
+			for i := 1; i <= zones*k; i++ {
+				if zoneOf[i] == z && v[i] > cfg.Mu0 {
+					winners++
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("epoch %d zone %d: %d winners", e, z, winners)
+			}
+		}
+	}
+}
+
+func TestZoneValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	zoneOf := make([]int, 10)
+	cfg := DefaultZoneConfig(10, 2, 3, zoneOf)
+	cfg.ExceedProb = 0.7 // >= 0.5 puts zone mean above mu0
+	if _, err := NewZoneField(cfg, rng); err == nil {
+		t.Error("accepted ExceedProb >= 0.5")
+	}
+	cfg = DefaultZoneConfig(10, 2, 3, zoneOf[:5])
+	if _, err := NewZoneField(cfg, rng); err == nil {
+		t.Error("accepted short ZoneOf")
+	}
+}
+
+func TestIntelLabShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultIntelLabConfig()
+	lab, err := NewIntelLab(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Size() != 54 || lab.Epochs() != cfg.Epochs {
+		t.Fatalf("size=%d epochs=%d", lab.Size(), lab.Epochs())
+	}
+	net, err := lab.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Size() != 54 {
+		t.Fatalf("network size %d", net.Size())
+	}
+	// The shortened radio range must force real hierarchy, as in the
+	// paper's 6 m trick.
+	if net.Height() < 3 {
+		t.Errorf("network height %d; want hierarchy", net.Height())
+	}
+	// Readings look like lab temperatures.
+	v := lab.Epoch(10)
+	s := stats.Summarize(v)
+	if s.Mean < 10 || s.Mean > 35 {
+		t.Errorf("epoch mean %.1f C implausible", s.Mean)
+	}
+}
+
+func TestIntelLabTopKPredictable(t *testing.T) {
+	// The property Figure 9 relies on: hot nodes keep the top-k
+	// locations fairly stable across epochs.
+	rng := rand.New(rand.NewSource(9))
+	lab, err := NewIntelLab(DefaultIntelLabConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 6
+	counts := make(map[int]int)
+	for e := 0; e < 100; e++ {
+		for _, i := range sample.TopKIndices(lab.Epoch(e), k) {
+			counts[i]++
+		}
+	}
+	// The k most frequent nodes should own a large share of all slots.
+	var freqs []float64
+	for _, c := range counts {
+		freqs = append(freqs, float64(c))
+	}
+	if len(freqs) > 3*k {
+		t.Errorf("top-%d spread across %d nodes; too unpredictable", k, len(freqs))
+	}
+}
+
+func TestIntelLabDeterministicAndResettable(t *testing.T) {
+	cfg := DefaultIntelLabConfig()
+	cfg.Epochs = 10
+	a, err := NewIntelLab(cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIntelLab(cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		av, bv := a.Next(), b.Next()
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("same seed diverged at epoch %d node %d", e, i)
+			}
+		}
+	}
+	a.Reset()
+	if got, want := a.Next()[5], a.Epoch(0)[5]; got != want {
+		t.Errorf("Reset did not rewind: %g vs %g", got, want)
+	}
+}
+
+func TestDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f, err := NewGaussianField(DefaultGaussianConfig(4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := Draw(f, 7)
+	if len(es) != 7 {
+		t.Fatalf("drew %d epochs", len(es))
+	}
+	for _, e := range es {
+		if len(e) != 4 {
+			t.Fatalf("epoch width %d", len(e))
+		}
+	}
+}
