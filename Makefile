@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the full pre-commit gate.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+# gofmt -l prints nonconforming files; any output fails the target.
+fmt:
+	@out=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/

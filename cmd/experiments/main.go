@@ -5,9 +5,17 @@
 // Usage:
 //
 //	experiments [-fig all|3|4|5|7|8|9|samplesize|installcost|spatial|lossymedium|naivetradeoff] [-csv DIR] [-quick] [-plot]
+//	            [-metrics FILE] [-trace FILE] [-pprof ADDR|DIR]
 //
 // -quick shrinks every experiment to a smoke-test scale (seconds
 // instead of minutes).
+//
+// Each figure prints a per-phase cost breakdown (collection, trigger,
+// request energy plus traffic and LP solver totals) under its table.
+// -metrics additionally writes the whole run's metric exposition at
+// exit ("-" for stdout); -trace streams JSON-lines trace events;
+// -pprof serves net/http/pprof (value with ":") or writes
+// cpu.prof/heap.prof into a directory.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"time"
 
 	"prospector/internal/experiments"
+	"prospector/internal/obs"
 )
 
 func main() {
@@ -26,7 +35,27 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
 	quick := flag.Bool("quick", false, "shrink experiments to smoke-test scale")
 	plot := flag.Bool("plot", false, "render an ASCII chart under each table")
+	metrics := flag.String("metrics", "", "write the run's metric exposition here at exit ('-' for stdout)")
+	traceOut := flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
+	pprofArg := flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 	flag.Parse()
+
+	ocli, err := obs.StartCLI(*metrics, *traceOut, *pprofArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if cerr := ocli.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+		}
+	}()
+	// The breakdown tables want a registry even when -metrics is off.
+	reg := ocli.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	experiments.SetObs(reg, ocli.Tracer())
 
 	runs := map[string]func() (*experiments.Result, error){
 		"3": func() (*experiments.Result, error) {
@@ -139,6 +168,7 @@ func main() {
 	}
 	for _, id := range selected {
 		start := time.Now()
+		before := reg.Snapshot()
 		res, err := runs[id]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -148,6 +178,7 @@ func main() {
 		if *plot {
 			fmt.Println(res.Plot(72, 20))
 		}
+		fmt.Println(experiments.Breakdown(before, reg.Snapshot()))
 		fmt.Printf("(%s took %.1fs)\n\n", res.ID, time.Since(start).Seconds())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, res.ID+".csv")

@@ -9,10 +9,16 @@
 //	prospector [-nodes N] [-k K] [-samples S] [-budget-frac F]
 //	           [-planner greedy|lp-lf|lp+lf|proof|exact] [-seed SEED] [-epochs E]
 //	           [-describe] [-dot FILE] [-sim] [-loss P]
+//	           [-metrics FILE] [-trace FILE] [-pprof ADDR|DIR]
 //
 // -sim executes through the discrete-event mote simulator (reporting
 // latency and per-node energy) instead of the analytic executor;
 // -loss adds a uniform per-link loss probability to the simulation.
+//
+// Observability: -metrics writes the run's metric exposition at exit
+// ("-" for stdout); -trace streams deterministic JSON-lines events;
+// -pprof either serves net/http/pprof (value with a ":") or writes
+// cpu.prof/heap.prof into a directory.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"prospector/internal/energy"
 	"prospector/internal/exec"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 	"prospector/internal/sample"
 	"prospector/internal/sim"
@@ -52,8 +59,21 @@ func run() error {
 		dotFile    = flag.String("dot", "", "write the network+plan as Graphviz DOT to this file")
 		useSim     = flag.Bool("sim", false, "execute through the discrete-event mote simulator")
 		lossProb   = flag.Float64("loss", 0, "uniform per-link loss probability for -sim")
+		metrics    = flag.String("metrics", "", "write the metric exposition here at exit ('-' for stdout)")
+		traceOut   = flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
+		pprofArg   = flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 	)
 	flag.Parse()
+
+	ocli, err := obs.StartCLI(*metrics, *traceOut, *pprofArg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ocli.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "prospector:", cerr)
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := network.Build(network.DefaultBuildConfig(*nodes), rng)
@@ -75,8 +95,8 @@ func run() error {
 	}
 	model := energy.DefaultModel()
 	costs := plan.NewCosts(net, model)
-	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k}
-	env := exec.Env{Net: net, Costs: costs}
+	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: ocli.Registry()}
+	env := exec.Env{Net: net, Costs: costs, Obs: ocli.Registry(), Trace: ocli.Tracer()}
 
 	naivePlan, err := core.NaiveKPlan(net, *k)
 	if err != nil {
@@ -156,7 +176,7 @@ func run() error {
 			fmt.Printf("wrote %s\n", *dotFile)
 		}
 		if *useSim {
-			return simReport(net, p, truth, *k, *lossProb, rng)
+			return simReport(net, p, truth, *k, *lossProb, rng, ocli)
 		}
 		return report(env, p, truth, *k)
 	}
@@ -176,11 +196,13 @@ func writeDOT(net *network.Network, p *plan.Plan, path string) error {
 
 // simReport executes the plan through the discrete-event simulator,
 // reporting latency, retransmissions, and the hottest radios.
-func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand) error {
+func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, ocli *obs.CLI) error {
 	if p.Kind == plan.Selection {
 		return fmt.Errorf("-sim supports filtering/proof plans (use -planner lp+lf or proof)")
 	}
 	cfg := sim.DefaultConfig(net)
+	cfg.Obs = ocli.Registry()
+	cfg.Trace = ocli.Tracer()
 	if loss > 0 {
 		probs := make([]float64, net.Size())
 		for i := 1; i < net.Size(); i++ {

@@ -128,7 +128,7 @@ func NewRunner(cfg Config, planner Planner, budget float64, policy AdaptivePolic
 		policy:    policy,
 		planner:   planner,
 		budget:    budget,
-		env:       exec.Env{Net: cfg.Net, Costs: cfg.Costs},
+		env:       exec.Env{Net: cfg.Net, Costs: cfg.Costs, Obs: cfg.Obs},
 		collector: collector,
 	}
 	if err := r.replan(true); err != nil {
@@ -159,6 +159,9 @@ func (r *Runner) replan(force bool) error {
 		return err
 	}
 	r.Stats.Replans++
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Counter("core.runner.replans").Inc()
+	}
 	value := r.planValue(p)
 	if !force && float64(value) < float64(r.currentEV)*r.policy.ImproveFactor {
 		return nil // not considerably better; keep the installed plan
@@ -166,6 +169,9 @@ func (r *Runner) replan(force bool) error {
 	r.current = p
 	r.currentEV = value
 	r.Stats.Disseminated++
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Counter("core.runner.disseminations").Inc()
+	}
 	r.Stats.Energy.Install += p.InstallCost(r.cfg.Net, r.cfg.Costs)
 	return nil
 }
@@ -199,6 +205,11 @@ func (r *Runner) Step(truth []float64) (*exec.Result, error) {
 	}
 	r.Stats.Energy.Add(res.Ledger)
 	r.Stats.AccuracySum += res.Accuracy(truth, r.cfg.K)
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Counter("core.runner.epochs").Inc()
+		r.cfg.Obs.Gauge("core.runner.sampling_rate").Set(r.collector.Rate())
+		r.cfg.Obs.Gauge("core.runner.mean_accuracy").Set(r.Stats.MeanAccuracy())
+	}
 	return res, nil
 }
 
@@ -241,6 +252,10 @@ func (r *Runner) spotCheck(truth []float64) error {
 	}
 	r.Stats.ProvenLastChk = proven
 	frac := float64(proven) / float64(r.cfg.K)
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Counter("core.runner.spot_checks").Inc()
+		r.cfg.Obs.Gauge("core.runner.proven_fraction").Set(frac)
+	}
 	rate := r.collector.Rate()
 	switch {
 	case frac < r.policy.LowAccuracy:

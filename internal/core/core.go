@@ -16,6 +16,7 @@ import (
 
 	"prospector/internal/lp"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 	"prospector/internal/sample"
 )
@@ -36,14 +37,22 @@ type Config struct {
 	// DisablePresolve skips the LP presolve reductions before the
 	// simplex. Exposed for the presolve ablation bench.
 	DisablePresolve bool
+	// Obs, when non-nil, receives core.<planner>.* metrics (see obs.go)
+	// and is forwarded to the LP solver for the lp.* family.
+	Obs *obs.Registry
 }
 
-// solveLP runs the configured solve path (presolve by default).
+// solveLP runs the configured solve path (presolve by default),
+// forwarding the planner registry to the solver.
 func (c Config) solveLP(m *lp.Model) (*lp.Solution, error) {
-	if c.DisablePresolve {
-		return m.Solve(c.LP)
+	opts := c.LP
+	if opts.Obs == nil {
+		opts.Obs = c.Obs
 	}
-	return lp.SolveWithPresolve(m, c.LP)
+	if c.DisablePresolve {
+		return m.Solve(opts)
+	}
+	return lp.SolveWithPresolve(m, opts)
 }
 
 func (c Config) validate() error {

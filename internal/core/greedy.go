@@ -92,7 +92,7 @@ func (g *Greedy) Plan(budget float64) (*plan.Plan, error) {
 			commit(cfg.Net, i, chosen, usedEdge)
 			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		}
-		return plan.NewSelection(cfg.Net, chosen)
+		return finishPlan(cfg, g.Name(), budget)(plan.NewSelection(cfg.Net, chosen))
 	}
 
 	// The paper's rule: fixed priority order by column sum; add each
@@ -113,7 +113,7 @@ func (g *Greedy) Plan(budget float64) (*plan.Plan, error) {
 		cost += mc
 		commit(cfg.Net, i, chosen, usedEdge)
 	}
-	return plan.NewSelection(cfg.Net, chosen)
+	return finishPlan(cfg, g.Name(), budget)(plan.NewSelection(cfg.Net, chosen))
 }
 
 // candidateNodes lists every non-root node that ever ranked in the top

@@ -106,5 +106,5 @@ func (p *Knapsack) Plan(budget float64) (*plan.Plan, error) {
 	// The standalone weights overestimate shared-path plans; spend the
 	// slack at true marginal costs.
 	fillSelection(cfg, chosen, budget)
-	return plan.NewSelection(cfg.Net, chosen)
+	return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(cfg.Net, chosen))
 }

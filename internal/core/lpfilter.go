@@ -102,7 +102,7 @@ func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 		}
 	}
 	if len(costTerms) == 0 {
-		return plan.NewFiltering(net, make([]int, n))
+		return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, make([]int, n)))
 	}
 	m.MustConstr(costTerms, lp.LE, budget)
 
@@ -157,7 +157,7 @@ func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 		repairBandwidth(cfg, bw, budget)
 		fillBandwidth(cfg, bw, budget, caps)
 	}
-	return plan.NewFiltering(net, bw)
+	return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, bw))
 }
 
 // enforceMonotone zeroes any bandwidth whose path to the root crosses

@@ -95,7 +95,7 @@ func (p *LPNoFilter) Plan(budget float64) (*plan.Plan, error) {
 	if len(costTerms) == 0 {
 		// No candidate ever ranked in the top k; the empty plan is
 		// optimal.
-		return plan.NewSelection(net, make([]bool, n))
+		return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, make([]bool, n)))
 	}
 	m.MustConstr(costTerms, lp.LE, budget)
 
@@ -118,7 +118,7 @@ func (p *LPNoFilter) Plan(budget float64) (*plan.Plan, error) {
 		repairSelection(cfg, chosen, budget)
 		fillSelection(cfg, chosen, budget)
 	}
-	return plan.NewSelection(net, chosen)
+	return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, chosen))
 }
 
 // repairSelection drops chosen nodes — least column sum first, ties by

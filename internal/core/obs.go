@@ -1,0 +1,37 @@
+package core
+
+import (
+	"prospector/internal/plan"
+)
+
+// Metric names exported by the planners when Config.Obs is set:
+//
+//	core.<planner>.plans               counter, plans produced
+//	core.<planner>.plan_size           gauge, participants of the last plan
+//	core.<planner>.bandwidth_total     gauge, total bandwidth of the last plan
+//	core.<planner>.budget_utilization  gauge, collection cost / budget
+//
+// <planner> is the Planner's Name() (Greedy, LP-LF, LP+LF, Proof, ...).
+// Config.Obs is additionally injected into the LP solve path, so the
+// LP-based planners also emit the lp.* family (see internal/lp/obs.go),
+// including lp.status.* outcome counters.
+
+// finishPlan records planner-output metrics and passes the plan
+// constructor's result through, so Plan methods can wrap their return
+// expression in place: return finishPlan(cfg, name, budget)(plan.New...).
+// Planning is off the hot path; registry lookups here are fine.
+func finishPlan(cfg Config, name string, budget float64) func(*plan.Plan, error) (*plan.Plan, error) {
+	return func(p *plan.Plan, err error) (*plan.Plan, error) {
+		if err != nil || cfg.Obs == nil {
+			return p, err
+		}
+		r := cfg.Obs
+		r.Counter("core." + name + ".plans").Inc()
+		r.Gauge("core." + name + ".plan_size").Set(float64(p.Participants()))
+		r.Gauge("core." + name + ".bandwidth_total").Set(float64(p.TotalBandwidth()))
+		if budget > 0 {
+			r.Gauge("core." + name + ".budget_utilization").Set(p.CollectionCost(cfg.Net, cfg.Costs) / budget)
+		}
+		return p, nil
+	}
+}

@@ -116,7 +116,7 @@ func (p *ProofPlanner) Plan(budget float64) (*plan.Plan, error) {
 		p.repair(bw, budget)
 		p.fill(bw, budget)
 	}
-	return plan.NewProof(net, bw)
+	return finishPlan(cfg, p.Name(), budget)(plan.NewProof(net, bw))
 }
 
 // ExpectedProven simulates the proof-carrying execution of a bandwidth

@@ -214,6 +214,7 @@ func (m *mopper) broadcast(v network.NodeID) {
 	c := m.st.env.Costs.Model().Request()
 	m.res.Ledger.Requests += c
 	m.res.Ledger.Messages++
+	m.st.env.em.request(v, c)
 	m.res.Queried = true
 }
 
@@ -227,6 +228,7 @@ func (m *mopper) unicastRequest(c network.NodeID) {
 	}
 	m.res.Ledger.Requests += cost
 	m.res.Ledger.Messages++
+	env.em.request(c, cost)
 	m.res.Queried = true
 }
 
@@ -253,6 +255,7 @@ func (m *mopper) respond(c network.NodeID, resp []ValueAt, parent network.NodeID
 	m.res.Ledger.Requests += cost
 	m.res.Ledger.Messages++
 	m.res.Ledger.Values += len(fresh)
+	env.em.msg(c, len(fresh), len(fresh)*env.Costs.Model().BytesPerValue, cost)
 	if len(fresh) > 0 {
 		merged := append(st.retrieved[parent], fresh...)
 		SortDesc(merged)

@@ -13,6 +13,7 @@ import (
 
 	"prospector/internal/energy"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 )
 
@@ -85,6 +86,25 @@ type Env struct {
 	Net      *network.Network
 	Costs    *plan.Costs
 	Failures *FailureModel // optional
+	// Obs, when non-nil, receives exec.* metrics (see obs.go). Leaving
+	// it nil keeps the per-message hot path allocation-free.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives one exec.msg event per message on a
+	// deterministic step clock.
+	Trace *obs.Tracer
+
+	// em caches resolved metric handles for one run; populated by the
+	// entry points, never by callers.
+	em *execObs
+}
+
+// instrumented returns a copy of the environment with metric handles
+// resolved (nil handles when observability is off).
+func (e Env) instrumented() Env {
+	if e.Obs != nil || e.Trace != nil {
+		e.em = newExecObs(e.Obs, e.Trace, e.Net, e.Costs.Model())
+	}
+	return e
 }
 
 // chargeMsg adds the cost of one unicast carrying nValues readings
@@ -100,6 +120,7 @@ func (e Env) chargeMsg(led *energy.Ledger, v network.NodeID, nValues, extraBytes
 	led.Collection += c
 	led.Messages++
 	led.Values += nValues
+	e.em.msg(v, nValues, nValues*m.BytesPerValue+extraBytes, c)
 }
 
 // Result is the outcome of executing a plan on one epoch of readings.
@@ -133,6 +154,7 @@ func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
 	if err := p.Validate(env.Net); err != nil {
 		return nil, err
 	}
+	env = env.instrumented()
 	switch p.Kind {
 	case plan.Selection:
 		return runSelection(env, p, values), nil
@@ -148,6 +170,7 @@ func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
 func runSelection(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
 	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	env.em.trigger(p)
 	net := env.Net
 	lists := make([][]ValueAt, net.Size())
 	net.PostorderWalk(func(v network.NodeID) {
@@ -180,6 +203,7 @@ func runSelection(env Env, p *plan.Plan, values []float64) *Result {
 func runFiltering(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
 	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	env.em.trigger(p)
 	net := env.Net
 	lists := make([][]ValueAt, net.Size())
 	net.PostorderWalk(func(v network.NodeID) {

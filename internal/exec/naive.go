@@ -21,6 +21,7 @@ func NaiveOne(env Env, values []float64, k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("exec: NaiveOne needs k >= 1, got %d", k)
 	}
+	env = env.instrumented()
 	s := &naiveOne{
 		env:     env,
 		values:  values,
@@ -95,19 +96,25 @@ func (s *naiveOne) next(v network.NodeID, led *energy.Ledger) (ValueAt, bool) {
 }
 
 func (s *naiveOne) chargeRequest(edge network.NodeID, led *energy.Ledger) {
-	led.Requests += s.inflate(edge, s.env.Costs.Model().Request())
+	c := s.inflate(edge, s.env.Costs.Model().Request())
+	led.Requests += c
 	led.Messages++
+	s.env.em.request(edge, c)
 }
 
 func (s *naiveOne) chargeValue(edge network.NodeID, led *energy.Ledger) {
-	led.Collection += s.inflate(edge, s.env.Costs.Msg[edge]+s.env.Costs.Val[edge])
+	c := s.inflate(edge, s.env.Costs.Msg[edge]+s.env.Costs.Val[edge])
+	led.Collection += c
 	led.Messages++
 	led.Values++
+	s.env.em.msg(edge, 1, s.env.Costs.Model().BytesPerValue, c)
 }
 
 func (s *naiveOne) chargeEmpty(edge network.NodeID, led *energy.Ledger) {
-	led.Collection += s.inflate(edge, s.env.Costs.Msg[edge])
+	c := s.inflate(edge, s.env.Costs.Msg[edge])
+	led.Collection += c
 	led.Messages++
+	s.env.em.msg(edge, 0, 0, c)
 }
 
 func (s *naiveOne) inflate(edge network.NodeID, cost float64) float64 {
@@ -133,6 +140,7 @@ func NaiveBatch(env Env, values []float64, k, batch int) (*Result, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("exec: NaiveBatch needs batch >= 1, got %d", batch)
 	}
+	env = env.instrumented()
 	s := &naiveBatch{
 		env:     env,
 		values:  values,
@@ -170,12 +178,16 @@ func (s *naiveBatch) next(v network.NodeID, want int, led *energy.Ledger) []Valu
 			if s.done[c] || len(s.pending[c]) > 0 {
 				continue
 			}
-			led.Requests += s.env.Costs.Model().Request()
+			reqCost := s.env.Costs.Model().Request()
+			led.Requests += reqCost
 			led.Messages++
+			s.env.em.request(c, reqCost)
 			vals := s.next(c, s.batch, led)
-			led.Collection += s.env.Costs.Msg[c] + s.env.Costs.Val[c]*float64(len(vals))
+			replyCost := s.env.Costs.Msg[c] + s.env.Costs.Val[c]*float64(len(vals))
+			led.Collection += replyCost
 			led.Messages++
 			led.Values += len(vals)
+			s.env.em.msg(c, len(vals), len(vals)*s.env.Costs.Model().BytesPerValue, replyCost)
 			if len(vals) == 0 {
 				s.done[c] = true
 				continue

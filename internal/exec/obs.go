@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"prospector/internal/energy"
+	"prospector/internal/network"
+	"prospector/internal/obs"
+	"prospector/internal/plan"
+)
+
+// Metric names exported by the executor when Env.Obs is set:
+//
+//	exec.messages                 counter, every message of any kind
+//	exec.values                   counter, value transmissions
+//	exec.bytes                    counter, content bytes on the air
+//	exec.requests                 counter, mop-up / naive request messages
+//	exec.level.<d>.messages       counter, data messages sent by depth-d nodes
+//	exec.level.<d>.bytes          counter, content bytes sent by depth-d nodes
+//	exec.energy_mj.collection     gauge, accumulated collection energy
+//	exec.energy_mj.trigger        gauge, accumulated trigger energy
+//	exec.energy_mj.requests       gauge, accumulated request energy
+//	exec.node.<id>.energy_mj      gauge, per-node radio spend (TX+RX+trigger)
+//
+// With Env.Trace set, each data message additionally emits an
+// "exec.msg" event on a deterministic step clock (one tick per
+// message), replaying the collection round bottom-up.
+
+// execObs holds pre-resolved metric handles so the per-message hot
+// path performs no registry lookups. A nil *execObs (observability
+// disabled) costs one pointer check per charge.
+type execObs struct {
+	net   *network.Network
+	model energy.Model
+
+	messages, values, bytes, requests *obs.Counter
+	collectEnergy, triggerEnergy      *obs.Gauge
+	requestEnergy                     *obs.Gauge
+	lvlMsgs, lvlBytes                 []*obs.Counter // indexed by sender depth
+	nodeEnergy                        []*obs.Gauge   // indexed by node
+
+	trace *obs.Tracer
+	step  float64 // deterministic trace clock: one tick per message
+}
+
+// newExecObs resolves every handle up front; returns nil when both the
+// registry and tracer are absent.
+func newExecObs(r *obs.Registry, tr *obs.Tracer, net *network.Network, model energy.Model) *execObs {
+	if r == nil && tr == nil {
+		return nil
+	}
+	e := &execObs{
+		net:           net,
+		model:         model,
+		messages:      r.Counter("exec.messages"),
+		values:        r.Counter("exec.values"),
+		bytes:         r.Counter("exec.bytes"),
+		requests:      r.Counter("exec.requests"),
+		collectEnergy: r.Gauge("exec.energy_mj.collection"),
+		triggerEnergy: r.Gauge("exec.energy_mj.trigger"),
+		requestEnergy: r.Gauge("exec.energy_mj.requests"),
+		trace:         tr,
+	}
+	if r != nil {
+		maxDepth := 0
+		n := net.Size()
+		for i := 0; i < n; i++ {
+			if d := net.Depth(network.NodeID(i)); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		e.lvlMsgs = make([]*obs.Counter, maxDepth+1)
+		e.lvlBytes = make([]*obs.Counter, maxDepth+1)
+		for d := 0; d <= maxDepth; d++ {
+			e.lvlMsgs[d] = r.Counter(levelMetric(d, "messages"))
+			e.lvlBytes[d] = r.Counter(levelMetric(d, "bytes"))
+		}
+		e.nodeEnergy = make([]*obs.Gauge, n)
+		for i := 0; i < n; i++ {
+			e.nodeEnergy[i] = r.Gauge(nodeMetric(i))
+		}
+	}
+	return e
+}
+
+func levelMetric(depth int, what string) string {
+	return "exec.level." + itoa(depth) + "." + what
+}
+
+func nodeMetric(id int) string {
+	return "exec.node." + itoa(id) + ".energy_mj"
+}
+
+// itoa avoids strconv in metric-name construction (names are built only
+// at handle-resolution time, but keeping the helper dependency-light).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// msg records one data message from v to its parent carrying nValues
+// readings (contentBytes total content) at combined energy cost.
+func (e *execObs) msg(v network.NodeID, nValues, contentBytes int, cost float64) {
+	if e == nil {
+		return
+	}
+	e.messages.Inc()
+	e.values.Add(int64(nValues))
+	e.bytes.Add(int64(contentBytes))
+	e.collectEnergy.Add(cost)
+	if e.lvlMsgs != nil {
+		d := e.net.Depth(v)
+		e.lvlMsgs[d].Inc()
+		e.lvlBytes[d].Add(int64(contentBytes))
+		e.nodeEnergy[v].Add(e.model.TxShare(cost))
+		e.nodeEnergy[e.net.Parent(v)].Add(e.model.RxShare(cost))
+	}
+	if e.trace != nil {
+		e.step++
+		e.trace.Event("exec.msg", e.step,
+			obs.F("node", int(v)),
+			obs.F("parent", int(e.net.Parent(v))),
+			obs.F("values", nValues),
+			obs.F("bytes", contentBytes))
+	}
+}
+
+// trigger attributes the collection trigger broadcast: one Trigger()
+// charge per internal node with a participating child, matching
+// plan.TriggerCost and the simulator's per-node accounting.
+func (e *execObs) trigger(p *plan.Plan) {
+	if e == nil {
+		return
+	}
+	total := 0.0
+	for _, v := range e.net.Preorder() {
+		for _, ch := range e.net.Children(v) {
+			if p.UsesEdge(ch) {
+				c := e.model.Trigger()
+				total += c
+				if e.nodeEnergy != nil {
+					e.nodeEnergy[v].Add(c)
+				}
+				break
+			}
+		}
+	}
+	e.triggerEnergy.Add(total)
+	if e.trace != nil {
+		e.step++
+		e.trace.Event("exec.trigger", e.step, obs.F("energy_mj", total))
+	}
+}
+
+// request records one request message (mop-up or naive pull) down the
+// edge above v.
+func (e *execObs) request(v network.NodeID, cost float64) {
+	if e == nil {
+		return
+	}
+	e.messages.Inc()
+	e.requests.Inc()
+	e.requestEnergy.Add(cost)
+	if e.trace != nil {
+		e.step++
+		e.trace.Event("exec.request", e.step, obs.F("node", int(v)))
+	}
+}

@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/network"
+	"prospector/internal/obs"
+	"prospector/internal/plan"
+)
+
+// BenchmarkObsOverhead measures the cost instrumentation adds to one
+// collection round. The "off" variant runs with a nil registry — the
+// default for library callers — and must allocate exactly as much as
+// the pre-instrumentation executor: every obs call site degrades to a
+// nil-receiver no-op. "live" resolves handles against a real registry
+// and "live+trace" additionally streams spans to a discarded writer.
+func BenchmarkObsOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	net := randTree(rng, 120)
+	vals := randValues(rng, net.Size())
+	chosen := make([]bool, net.Size())
+	for i := 1; i < len(chosen); i += 3 {
+		chosen[i] = true
+	}
+	p, err := plan.NewSelection(net, chosen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, env Env) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(env, p, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("collect-off", func(b *testing.B) {
+		run(b, testEnv(net))
+	})
+	b.Run("collect-live", func(b *testing.B) {
+		env := testEnv(net)
+		env.Obs = obs.NewRegistry()
+		run(b, env)
+	})
+	b.Run("collect-live+trace", func(b *testing.B) {
+		env := testEnv(net)
+		env.Obs = obs.NewRegistry()
+		env.Trace = obs.NewTracer(io.Discard)
+		run(b, env)
+	})
+}
+
+// BenchmarkObsOverheadNilPath isolates the per-message instrumentation
+// call with a nil *execObs receiver; it must not allocate.
+func BenchmarkObsOverheadNilPath(b *testing.B) {
+	var em *execObs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		em.msg(network.NodeID(1), 3, 14, 0.5)
+	}
+}

@@ -30,6 +30,7 @@ type ProofState struct {
 func runProof(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
 	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
+	env.em.trigger(p)
 	net := env.Net
 	st := &ProofState{
 		env:       env,

@@ -138,11 +138,11 @@ func gaussianScenario(nodes, k, nSamples, nEval int, stddev float64, rng *rand.R
 		return nil, err
 	}
 	costs := plan.NewCosts(net, energy.DefaultModel())
-	return &scenario{
-		cfg:   core.Config{Net: net, Costs: costs, Samples: set, K: k},
-		env:   exec.Env{Net: net, Costs: costs},
-		truth: workload.Draw(src, nEval),
-	}, nil
+	return newScenario(
+		core.Config{Net: net, Costs: costs, Samples: set, K: k},
+		exec.Env{Net: net, Costs: costs},
+		workload.Draw(src, nEval),
+	), nil
 }
 
 // evaluate executes a plan over the held-out epochs, returning mean

@@ -84,11 +84,11 @@ func SpatialStudy(cfg SpatialStudyConfig) (*Result, error) {
 				return nil, err
 			}
 			costs := plan.NewCosts(net, energy.DefaultModel())
-			s := &scenario{
-				cfg:   core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
-				env:   exec.Env{Net: net, Costs: costs},
-				truth: workload.Draw(src, cfg.Eval),
-			}
+			s := newScenario(
+				core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
+				exec.Env{Net: net, Costs: costs},
+				workload.Draw(src, cfg.Eval),
+			)
 			naive, err := s.naiveKCost(cfg.K)
 			if err != nil {
 				return nil, err

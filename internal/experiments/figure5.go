@@ -75,11 +75,11 @@ func zoneScenario(cfg ZonesConfig, zones int, rng *rand.Rand) (*scenario, error)
 		return nil, err
 	}
 	costs := plan.NewCosts(net, energy.DefaultModel())
-	return &scenario{
-		cfg:   core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
-		env:   exec.Env{Net: net, Costs: costs},
-		truth: workload.Draw(src, cfg.Eval),
-	}, nil
+	return newScenario(
+		core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
+		exec.Env{Net: net, Costs: costs},
+		workload.Draw(src, cfg.Eval),
+	), nil
 }
 
 // Figure5 regenerates the paper's Figure 5: cost against accuracy for

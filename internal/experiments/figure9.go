@@ -75,11 +75,11 @@ func Figure9(cfg Figure9Config) (*Result, error) {
 			truth = append(truth, lab.Epoch(e))
 		}
 		costs := plan.NewCosts(net, energy.DefaultModel())
-		s := &scenario{
-			cfg:   core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
-			env:   exec.Env{Net: net, Costs: costs},
-			truth: truth,
-		}
+		s := newScenario(
+			core.Config{Net: net, Costs: costs, Samples: set, K: cfg.K},
+			exec.Env{Net: net, Costs: costs},
+			truth,
+		)
 		naive, err := s.naiveKCost(cfg.K)
 		if err != nil {
 			return nil, err

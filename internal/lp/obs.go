@@ -1,0 +1,63 @@
+package lp
+
+import (
+	"time"
+
+	"prospector/internal/obs"
+)
+
+// Metric names exported by the solver when Options.Obs is set:
+//
+//	lp.solves                  counter, one per Solve call
+//	lp.status.<status>         counter per terminal status
+//	lp.iterations              counter, simplex iterations (pivots + flips)
+//	lp.pivots                  counter, basis changes
+//	lp.degenerate_pivots       counter, zero-step basis changes
+//	lp.bound_flips             counter, nonbasic bound-to-bound moves
+//	lp.solve_seconds           histogram of wall time per solve
+//	lp.presolve.runs           counter, one per SolveWithPresolve call
+//	lp.presolve.rows_removed   counter, constraint rows eliminated
+//	lp.presolve.vars_fixed     counter, variables pinned by reductions
+//	lp.presolve.solved_outright counter, models presolve closed alone
+
+// solveSecondsBounds buckets solve wall time from 10µs to 10s.
+var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// recordSolve publishes one solve's statistics; no-op when r is nil.
+func recordSolve(r *obs.Registry, sol *Solution, elapsed time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Counter("lp.solves").Inc()
+	r.Counter("lp.status." + sol.Status.String()).Inc()
+	r.Counter("lp.iterations").Add(int64(sol.Iterations))
+	r.Counter("lp.pivots").Add(int64(sol.Pivots))
+	r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
+	r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
+	r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
+}
+
+// recordPresolve publishes one presolve pass's reductions; no-op when
+// r is nil.
+func recordPresolve(r *obs.Registry, red *reduction, solvedOutright bool) {
+	if r == nil {
+		return
+	}
+	rowsRemoved, varsFixed := 0, 0
+	for _, live := range red.rowLive {
+		if !live {
+			rowsRemoved++
+		}
+	}
+	for _, f := range red.fixed {
+		if f {
+			varsFixed++
+		}
+	}
+	r.Counter("lp.presolve.runs").Inc()
+	r.Counter("lp.presolve.rows_removed").Add(int64(rowsRemoved))
+	r.Counter("lp.presolve.vars_fixed").Add(int64(varsFixed))
+	if solvedOutright {
+		r.Counter("lp.presolve.solved_outright").Inc()
+	}
+}

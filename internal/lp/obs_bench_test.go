@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/obs"
+)
+
+// benchModel builds a dense-ish random LP: maximize a positive
+// objective over box-bounded variables tied together by covering and
+// budget rows, shaped like the planner LPs core generates.
+func benchModel(rng *rand.Rand, nVars, nRows int) *Model {
+	m := NewModel()
+	m.Maximize()
+	vars := make([]VarID, nVars)
+	for i := range vars {
+		vars[i] = m.MustVar(0, 1, 0.1+rng.Float64(), fmt.Sprintf("x%d", i))
+	}
+	for r := 0; r < nRows; r++ {
+		var terms []Term
+		for i, v := range vars {
+			if (i+r)%3 == 0 {
+				terms = append(terms, Term{Var: v, Coef: 0.5 + rng.Float64()})
+			}
+		}
+		m.MustConstr(terms, LE, float64(len(terms))/4)
+	}
+	return m
+}
+
+// BenchmarkSolveObs compares uninstrumented solves against solves that
+// publish lp.* metrics. The delta is the full observability cost per
+// solve: a handful of counter adds plus one histogram observation.
+func BenchmarkSolveObs(b *testing.B) {
+	m := benchModel(rand.New(rand.NewSource(7)), 80, 50)
+	run := func(b *testing.B, opts Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := m.Solve(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Status != Optimal {
+				b.Fatalf("status %v", sol.Status)
+			}
+		}
+	}
+	b.Run("solve-off", func(b *testing.B) {
+		run(b, Options{})
+	})
+	b.Run("solve-live", func(b *testing.B) {
+		run(b, Options{Obs: obs.NewRegistry()})
+	})
+}

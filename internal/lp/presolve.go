@@ -29,21 +29,30 @@ func SolveWithPresolve(m *Model, opts Options) (*Solution, error) {
 	status := red.run()
 	switch status {
 	case Infeasible:
+		recordPresolve(opts.Obs, red, false)
 		return &Solution{Status: Infeasible}, nil
 	case Optimal:
 		// Everything fixed by presolve alone.
+		recordPresolve(opts.Obs, red, true)
 		x := red.fullSolution(nil)
 		if v := m.Violation(x); v > 1e-6 {
 			return &Solution{Status: Infeasible}, nil
 		}
 		return &Solution{Status: Optimal, Objective: m.Objective(x), X: x}, nil
 	}
+	recordPresolve(opts.Obs, red, false)
 	reduced, keepVars := red.buildReduced()
 	sol, err := reduced.Solve(opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &Solution{Status: sol.Status, Iterations: sol.Iterations}
+	out := &Solution{
+		Status:           sol.Status,
+		Iterations:       sol.Iterations,
+		Pivots:           sol.Pivots,
+		DegeneratePivots: sol.DegeneratePivots,
+		BoundFlips:       sol.BoundFlips,
+	}
 	if sol.Status == Optimal || sol.Status == IterationLimit {
 		sub := make(map[int]float64, len(keepVars))
 		for rj, oj := range keepVars {

@@ -3,6 +3,9 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"prospector/internal/obs"
 )
 
 // Status classifies the outcome of a solve.
@@ -55,6 +58,10 @@ type Options struct {
 	// reinversions; 0 keeps the size-based default. Mainly for tests
 	// and numerically hostile models.
 	RefactorEvery int
+	// Obs, when non-nil, receives solve metrics (lp.* counters and the
+	// lp.solve_seconds histogram). A nil registry costs one check per
+	// solve.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(rows int) Options {
@@ -74,6 +81,12 @@ type Solution struct {
 	X          []float64 // one entry per model variable
 	Duals      []float64 // one entry per constraint row (minimization sign convention)
 	Iterations int
+	// Pivots counts basis changes; DegeneratePivots the subset with a
+	// ~zero step; BoundFlips the nonbasic bound-to-bound moves. All
+	// three sum across both phases.
+	Pivots           int
+	DegeneratePivots int
+	BoundFlips       int
 }
 
 // variable status within the simplex.
@@ -112,6 +125,11 @@ type solver struct {
 	maxIt    int
 	artStart int // first artificial column
 	pivots   int // pivots since last refactorization
+
+	// Solve statistics, surfaced on Solution and in opts.Obs.
+	pivotsTotal int
+	degenerate  int
+	flips       int
 }
 
 type centry struct {
@@ -122,17 +140,22 @@ type centry struct {
 // Solve optimizes the model. The model may be reused or extended and
 // solved again; each call is independent.
 func (m *Model) Solve(opts Options) (*Solution, error) {
+	start := time.Now()
 	s, err := newSolver(m, opts)
 	if err != nil {
 		return nil, err
 	}
 	st := s.run()
 	sol := &Solution{
-		Status:     st,
-		X:          make([]float64, m.NumVars()),
-		Duals:      make([]float64, s.m),
-		Iterations: s.iters,
+		Status:           st,
+		X:                make([]float64, m.NumVars()),
+		Duals:            make([]float64, s.m),
+		Iterations:       s.iters,
+		Pivots:           s.pivotsTotal,
+		DegeneratePivots: s.degenerate,
+		BoundFlips:       s.flips,
 	}
+	recordSolve(opts.Obs, sol, time.Since(start))
 	if st == Optimal || st == IterationLimit {
 		for i := 0; i < s.nStruct; i++ {
 			sol.X[i] = s.value(i)
@@ -384,8 +407,12 @@ func (s *solver) iterate(cost []float64, phase1 bool) Status {
 			stall = 0
 		}
 		if flip {
+			s.flips++
 			s.applyBoundFlip(enter, sigma, t)
 			continue
+		}
+		if t <= s.tol {
+			s.degenerate++
 		}
 		s.pivot(enter, sigma, t, leaveRow)
 	}
@@ -524,6 +551,7 @@ func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
 	s.stat[enter] = basic
 	s.xB[leaveRow] = newVal
 	s.pivots++
+	s.pivotsTotal++
 
 	// Rank-one update of the dense inverse: eliminate the entering
 	// column from all other rows.

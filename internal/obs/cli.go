@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// CLI bundles the observability endpoints a command-line flag set
+// enables: a metrics registry, a JSON-lines tracer, and profiling.
+// A zero CLI (all flags empty) hands out nil registry and tracer, so
+// instrumented code runs at its no-op cost.
+type CLI struct {
+	reg    *Registry
+	tracer *Tracer
+
+	metricsPath string
+	metricsFile *os.File
+	traceFile   *os.File
+	cpuFile     *os.File
+	pprofDir    string
+}
+
+// StartCLI interprets the three standard observability flags:
+//
+//	metrics: "" disables; "-" prints the text exposition to stdout at
+//	         Close; any other value names a file to write it to.
+//	trace:   "" disables; "-" streams JSON-lines to stdout; any other
+//	         value names a file receiving them as the run progresses.
+//	pprofArg: "" disables; a value containing ":" (e.g. ":6060" or
+//	         "localhost:6060") serves net/http/pprof at that address
+//	         for the lifetime of the process; any other value names a
+//	         directory receiving cpu.prof (covering the run) and
+//	         heap.prof (written at Close).
+//
+// Callers must Close the returned CLI (typically deferred) to flush
+// metrics and profiles.
+func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
+	c := &CLI{metricsPath: metrics}
+	if metrics != "" {
+		c.reg = NewRegistry()
+		if metrics != "-" {
+			// Open eagerly so a bad path fails the run up front, not
+			// after it has already completed.
+			f, err := os.Create(metrics)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics file: %w", err)
+			}
+			c.metricsFile = f
+		}
+	}
+	if trace != "" {
+		if trace == "-" {
+			c.tracer = NewTracer(os.Stdout)
+		} else {
+			f, err := os.Create(trace)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("obs: trace file: %w", err)
+			}
+			c.traceFile = f
+			c.tracer = NewTracer(f)
+		}
+	}
+	if pprofArg != "" {
+		if strings.Contains(pprofArg, ":") {
+			go func() {
+				// The server runs until the process exits; an unusable
+				// address only costs the profiling endpoint.
+				_ = http.ListenAndServe(pprofArg, nil)
+			}()
+		} else {
+			if err := os.MkdirAll(pprofArg, 0o755); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("obs: pprof dir: %w", err)
+			}
+			f, err := os.Create(filepath.Join(pprofArg, "cpu.prof"))
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("obs: cpu profile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				c.Close()
+				return nil, fmt.Errorf("obs: cpu profile: %w", err)
+			}
+			c.cpuFile = f
+			c.pprofDir = pprofArg
+		}
+	}
+	return c, nil
+}
+
+// Registry returns the metrics registry, nil when metrics are disabled.
+func (c *CLI) Registry() *Registry { return c.reg }
+
+// Tracer returns the tracer, nil when tracing is disabled.
+func (c *CLI) Tracer() *Tracer { return c.tracer }
+
+// Close flushes everything the flags enabled: the metrics exposition,
+// the trace file, the CPU profile, and a final heap profile. It
+// returns the first error encountered but always attempts every step.
+func (c *CLI) Close() error {
+	if c == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.reg != nil {
+		if c.metricsPath == "-" {
+			keep(c.reg.WriteText(os.Stdout))
+		} else if c.metricsFile != nil {
+			keep(c.reg.WriteText(c.metricsFile))
+			keep(c.metricsFile.Close())
+			c.metricsFile = nil
+		}
+	}
+	if c.tracer != nil {
+		keep(c.tracer.Err())
+	}
+	if c.traceFile != nil {
+		keep(c.traceFile.Close())
+		c.traceFile = nil
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+		c.cpuFile = nil
+	}
+	if c.pprofDir != "" {
+		f, err := os.Create(filepath.Join(c.pprofDir, "heap.prof"))
+		if err != nil {
+			keep(fmt.Errorf("obs: heap profile: %w", err))
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		c.pprofDir = ""
+	}
+	return firstErr
+}

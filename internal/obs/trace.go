@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Tracer emits structured events and spans as JSON-lines. Output is
+// deterministic: timestamps are caller-supplied (a simulated clock or a
+// step counter, never the wall clock), field order is preserved, and
+// floats are formatted with the shortest round-trip representation. A
+// nil *Tracer discards everything at the cost of one nil check.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	err error
+	buf []byte
+}
+
+// NewTracer wraps a writer. The caller owns closing/flushing the
+// underlying writer; check Err after the run for deferred I/O errors.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Field is one key/value pair of a trace record.
+type Field struct {
+	Key string
+	Val interface{}
+}
+
+// F builds a Field.
+func F(key string, val interface{}) Field { return Field{Key: key, Val: val} }
+
+// Event emits one instantaneous record at time at.
+func (t *Tracer) Event(name string, at float64, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.emit("ev", name, []Field{{Key: "t", Val: at}}, fields)
+}
+
+// Span emits one interval record covering [start, end].
+func (t *Tracer) Span(name string, start, end float64, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.emit("span", name, []Field{{Key: "start", Val: start}, {Key: "end", Val: end}}, fields)
+}
+
+// Err returns the first write error encountered (nil on a nil tracer).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(kind, name string, head, fields []Field) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, '{')
+	b = append(b, `"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, ',', '"')
+	b = append(b, kind...)
+	b = append(b, '"', ':')
+	b = strconv.AppendQuote(b, name)
+	for _, f := range head {
+		b = appendField(b, f)
+	}
+	for _, f := range fields {
+		b = appendField(b, f)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+func appendField(b []byte, f Field) []byte {
+	b = append(b, ',')
+	b = strconv.AppendQuote(b, f.Key)
+	b = append(b, ':')
+	switch v := f.Val.(type) {
+	case int:
+		b = strconv.AppendInt(b, int64(v), 10)
+	case int64:
+		b = strconv.AppendInt(b, v, 10)
+	case float64:
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	case bool:
+		b = strconv.AppendBool(b, v)
+	case string:
+		b = strconv.AppendQuote(b, v)
+	default:
+		b = strconv.AppendQuote(b, fmt.Sprintf("%v", v))
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceGolden pins the exact JSON-lines byte stream of a fixed
+// event/span sequence: determinism is the tracer's contract (replays
+// and diffs must be stable across runs and platforms).
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Event("sim.trigger", 0, F("node", 0))
+	tr.Event("sim.trigger", 0.0135, F("node", 3), F("depth", 1))
+	tr.Span("sim.xfer", 0.0135, 0.028, F("node", 3), F("parent", 0), F("values", 2), F("bytes", 8))
+	tr.Event("sim.loss", 0.031, F("node", 5), F("attempt", 1), F("lost", true))
+	tr.Event("sim.drop", 0.5, F("node", 5), F("reason", "max-retries"))
+	tr.Span("exec.round", 0, 1, F("messages", int64(12)), F("energy_mj", 84.25))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.jsonl")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from %s:\ngot:\n%swant:\n%s", golden, buf.String(), want)
+	}
+
+	// Every line must be valid standalone JSON with monotonically
+	// increasing seq.
+	lastSeq := int64(0)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		seq := int64(rec["seq"].(float64))
+		if seq != lastSeq+1 {
+			t.Errorf("seq %d follows %d", seq, lastSeq)
+		}
+		lastSeq = seq
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+// TestTracerErrSticky: after the first write error the tracer stops
+// writing and reports the error.
+func TestTracerErrSticky(t *testing.T) {
+	tr := NewTracer(&failWriter{after: 1})
+	tr.Event("ok", 0)
+	if tr.Err() != nil {
+		t.Fatal("first write should succeed")
+	}
+	tr.Event("fails", 1)
+	if tr.Err() == nil {
+		t.Fatal("second write should fail")
+	}
+	tr.Event("dropped", 2)
+	if tr.Err() == nil || tr.Err().Error() != "disk full" {
+		t.Errorf("error not sticky: %v", tr.Err())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"prospector/internal/energy"
 	"prospector/internal/exec"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 	"prospector/internal/sample"
 )
@@ -23,6 +24,16 @@ type Engine struct {
 	costs  *plan.Costs
 	window int
 	epochs [][]float64
+	obs    *obs.Registry
+	trace  *obs.Tracer
+}
+
+// SetObs attaches a metrics registry and/or tracer; both are threaded
+// into every subsequent plan and execution (query.* plus the core.*,
+// lp.*, and exec.* families). Nil values detach.
+func (e *Engine) SetObs(r *obs.Registry, tr *obs.Tracer) {
+	e.obs = r
+	e.trace = tr
 }
 
 // NewEngine creates an engine holding at most window raw epochs
@@ -60,6 +71,32 @@ func (e *Engine) Observe(values []float64) error {
 // Observations returns how many epochs the window currently holds.
 func (e *Engine) Observations() int { return len(e.epochs) }
 
+// Metric names exported by the engine when SetObs is called:
+//
+//	query.runs             counter, one-shot Run invocations
+//	query.rounds           counter, standing-query Step rounds
+//	query.exact_answers    counter, answers returned with Exact set
+//	query.round_energy_mj  histogram, per-answer energy spend
+//
+// All plans and executions additionally emit the core.*, lp.*, and
+// exec.* families through the same registry.
+
+// roundEnergyBounds buckets per-round energy in millijoules.
+var roundEnergyBounds = []float64{1, 5, 10, 50, 100, 500, 1000, 5000}
+
+// recordAnswer tallies one answered query.
+func (e *Engine) recordAnswer(a *Answer) *Answer {
+	if e.obs == nil {
+		return a
+	}
+	e.obs.Counter("query.runs").Inc()
+	if a.Exact {
+		e.obs.Counter("query.exact_answers").Inc()
+	}
+	e.obs.Histogram("query.round_energy_mj", roundEnergyBounds).Observe(a.Ledger.Total())
+	return a
+}
+
 // Answer is the outcome of running a query on one epoch.
 type Answer struct {
 	// Values are the readings returned to the query station, ranked.
@@ -94,12 +131,12 @@ func (e *Engine) Run(q *Query, truth []float64) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Net: e.net, Costs: e.costs, Samples: set, K: k}
+	cfg := core.Config{Net: e.net, Costs: e.costs, Samples: set, K: k, Obs: e.obs}
 	budget, err := e.resolveBudget(q, k)
 	if err != nil {
 		return nil, err
 	}
-	env := exec.Env{Net: e.net, Costs: e.costs}
+	env := exec.Env{Net: e.net, Costs: e.costs, Obs: e.obs, Trace: e.trace}
 
 	switch q.Planner {
 	case PlannerExact:
@@ -116,13 +153,13 @@ func (e *Engine) Run(q *Query, truth []float64) (*Answer, error) {
 		}
 		led := res.Phase1
 		led.Add(res.Phase2)
-		return &Answer{
+		return e.recordAnswer(&Answer{
 			Values: res.Answer,
 			Exact:  true,
 			Proven: res.ProvenPhase1,
 			Ledger: led,
 			Plan:   fmt.Sprintf("exact two-phase, phase-1 budget %.1f mJ", budget),
-		}, nil
+		}), nil
 	case PlannerProof:
 		pp, err := core.NewProofPlanner(cfg)
 		if err != nil {
@@ -143,13 +180,13 @@ func (e *Engine) Run(q *Query, truth []float64) (*Answer, error) {
 		if len(vals) > k {
 			vals = vals[:k]
 		}
-		return &Answer{
+		return e.recordAnswer(&Answer{
 			Values: vals,
 			Exact:  res.Proven >= k,
 			Proven: res.Proven,
 			Ledger: res.Ledger,
 			Plan:   p.String(),
-		}, nil
+		}), nil
 	default:
 		pl, err := e.approxPlanner(q, cfg)
 		if err != nil {
@@ -176,7 +213,7 @@ func (e *Engine) Run(q *Query, truth []float64) (*Answer, error) {
 			}
 			vals = kept
 		}
-		return &Answer{Values: vals, Ledger: res.Ledger, Plan: p.String()}, nil
+		return e.recordAnswer(&Answer{Values: vals, Ledger: res.Ledger, Plan: p.String()}), nil
 	}
 }
 
@@ -201,7 +238,7 @@ func (e *Engine) runAggregate(q *Query, truth []float64) (*Answer, error) {
 	default:
 		return nil, fmt.Errorf("query: unknown aggregate %q", q.Agg)
 	}
-	env := exec.Env{Net: e.net, Costs: e.costs}
+	env := exec.Env{Net: e.net, Costs: e.costs, Obs: e.obs, Trace: e.trace}
 	res, err := aggregate.Collect(env, kind, truth, aggregate.Options{})
 	if err != nil {
 		return nil, err
@@ -211,12 +248,12 @@ func (e *Engine) runAggregate(q *Query, truth []float64) (*Answer, error) {
 	if !exact {
 		plan += fmt.Sprintf(" (q-digest, rank error <= %d)", res.RankErrorBound)
 	}
-	return &Answer{
+	return e.recordAnswer(&Answer{
 		Values: []exec.ValueAt{{Node: network.Root, Val: res.Value}},
 		Exact:  exact,
 		Ledger: res.Ledger,
 		Plan:   plan,
-	}, nil
+	}), nil
 }
 
 func (e *Engine) approxPlanner(q *Query, cfg core.Config) (core.Planner, error) {

@@ -56,7 +56,7 @@ func (e *Engine) Stand(q *Query, policy core.AdaptivePolicy, rng *rand.Rand) (*S
 			return nil, err
 		}
 	}
-	cfg := core.Config{Net: e.net, Costs: e.costs, Samples: live, K: k}
+	cfg := core.Config{Net: e.net, Costs: e.costs, Samples: live, K: k, Obs: e.obs}
 	planner, err := standingPlanner(q, cfg)
 	if err != nil {
 		return nil, err
@@ -97,6 +97,10 @@ func (s *Standing) Step(truth []float64) (*Answer, error) {
 	vals := res.Returned
 	if len(vals) > s.k {
 		vals = vals[:s.k]
+	}
+	if r := s.engine.obs; r != nil {
+		r.Counter("query.rounds").Inc()
+		r.Histogram("query.round_energy_mj", roundEnergyBounds).Observe(res.Ledger.Total())
 	}
 	return &Answer{
 		Values: vals,

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"strconv"
+
+	"prospector/internal/network"
+	"prospector/internal/obs"
+)
+
+// Metric names exported by the simulator when Config.Obs is set:
+//
+//	sim.messages              counter, successfully delivered data messages
+//	sim.values                counter, values carried by delivered messages
+//	sim.bytes                 counter, content bytes of delivered messages
+//	sim.level.<d>.messages    counter, deliveries sent by depth-d nodes
+//	sim.level.<d>.bytes       counter, content bytes sent by depth-d nodes
+//	sim.triggers              counter, trigger rebroadcasts
+//	sim.retransmissions       counter, attempts lost to the medium
+//	sim.deferrals             counter, sends postponed by carrier sense
+//	sim.dropped               counter, messages abandoned after MaxRetries
+//	sim.latency_seconds       gauge, trigger-to-last-root-reception time
+//
+// The delivered-message counters deliberately mirror exec.messages /
+// exec.values / exec.bytes / exec.level.*: under a loss-free medium the
+// two stacks must report identical numbers (enforced by
+// TestLosslessMatchesExec).
+//
+// With Config.Trace set, the run additionally emits JSON-lines on the
+// simulated clock: sim.trigger, sim.deadline, sim.defer, sim.loss, and
+// sim.drop events, plus one sim.xfer span per delivered message
+// covering first transmission attempt to delivery.
+
+// simObs holds pre-resolved handles; nil disables instrumentation at
+// the cost of one pointer check per event.
+type simObs struct {
+	net *network.Network
+
+	messages, values, bytes               *obs.Counter
+	lvlMsgs, lvlBytes                     []*obs.Counter
+	triggers, retrans, deferrals, dropped *obs.Counter
+	latency                               *obs.Gauge
+
+	trace *obs.Tracer
+}
+
+func newSimObs(r *obs.Registry, tr *obs.Tracer, net *network.Network) *simObs {
+	if r == nil && tr == nil {
+		return nil
+	}
+	o := &simObs{
+		net:       net,
+		messages:  r.Counter("sim.messages"),
+		values:    r.Counter("sim.values"),
+		bytes:     r.Counter("sim.bytes"),
+		triggers:  r.Counter("sim.triggers"),
+		retrans:   r.Counter("sim.retransmissions"),
+		deferrals: r.Counter("sim.deferrals"),
+		dropped:   r.Counter("sim.dropped"),
+		latency:   r.Gauge("sim.latency_seconds"),
+		trace:     tr,
+	}
+	if r != nil {
+		maxDepth := 0
+		for i := 0; i < net.Size(); i++ {
+			if d := net.Depth(network.NodeID(i)); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		o.lvlMsgs = make([]*obs.Counter, maxDepth+1)
+		o.lvlBytes = make([]*obs.Counter, maxDepth+1)
+		for d := 0; d <= maxDepth; d++ {
+			ds := strconv.Itoa(d)
+			o.lvlMsgs[d] = r.Counter("sim.level." + ds + ".messages")
+			o.lvlBytes[d] = r.Counter("sim.level." + ds + ".bytes")
+		}
+	}
+	return o
+}
+
+// delivered records one successful transmission from v carrying
+// nValues readings and contentBytes of content, spanning [start, end]
+// on the simulated clock.
+func (o *simObs) delivered(v network.NodeID, nValues, contentBytes int, start, end float64) {
+	if o == nil {
+		return
+	}
+	o.messages.Inc()
+	o.values.Add(int64(nValues))
+	o.bytes.Add(int64(contentBytes))
+	if o.lvlMsgs != nil {
+		d := o.net.Depth(v)
+		o.lvlMsgs[d].Inc()
+		o.lvlBytes[d].Add(int64(contentBytes))
+	}
+	if o.trace != nil {
+		o.trace.Span("sim.xfer", start, end,
+			obs.F("node", int(v)),
+			obs.F("parent", int(o.net.Parent(v))),
+			obs.F("values", nValues),
+			obs.F("bytes", contentBytes))
+	}
+}
+
+func (o *simObs) trigger(v network.NodeID, at float64) {
+	if o == nil {
+		return
+	}
+	o.triggers.Inc()
+	if o.trace != nil {
+		o.trace.Event("sim.trigger", at, obs.F("node", int(v)))
+	}
+}
+
+func (o *simObs) deferred(v network.NodeID, at, until float64) {
+	if o == nil {
+		return
+	}
+	o.deferrals.Inc()
+	if o.trace != nil {
+		o.trace.Event("sim.defer", at, obs.F("node", int(v)), obs.F("until", until))
+	}
+}
+
+func (o *simObs) loss(v network.NodeID, at float64, attempt int) {
+	if o == nil {
+		return
+	}
+	o.retrans.Inc()
+	if o.trace != nil {
+		o.trace.Event("sim.loss", at, obs.F("node", int(v)), obs.F("attempt", attempt))
+	}
+}
+
+func (o *simObs) drop(v network.NodeID, at float64) {
+	if o == nil {
+		return
+	}
+	o.dropped.Inc()
+	if o.trace != nil {
+		o.trace.Event("sim.drop", at, obs.F("node", int(v)))
+	}
+}
+
+func (o *simObs) deadline(v network.NodeID, at float64) {
+	if o == nil {
+		return
+	}
+	if o.trace != nil {
+		o.trace.Event("sim.deadline", at, obs.F("node", int(v)))
+	}
+}
+
+func (o *simObs) finish(latency float64) {
+	if o == nil {
+		return
+	}
+	o.latency.Set(latency)
+}

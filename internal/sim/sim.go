@@ -23,6 +23,7 @@ import (
 	"prospector/internal/energy"
 	"prospector/internal/exec"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// Rng drives loss draws and contention jitter. Required when
 	// LossProb or InterferenceRange are set.
 	Rng *rand.Rand
+	// Obs, when non-nil, receives sim.* metrics (see obs.go). Nil keeps
+	// the event loop free of instrumentation cost.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives JSON-lines events and spans stamped
+	// with the simulated clock.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns MICA2-flavored settings for a network.
@@ -155,6 +162,12 @@ type sim struct {
 	slot float64
 	// subHeight[v]: height of the subtree rooted at v.
 	subHeight []int
+
+	// em holds pre-resolved metric handles; nil when observability is off.
+	em *simObs
+	// firstTry[v] is the simulated time of v's first transmission
+	// attempt (-1 until it happens); anchors the sim.xfer span.
+	firstTry []float64
 }
 
 // Run simulates one collection phase of the plan over the epoch's
@@ -210,6 +223,11 @@ func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
 		attempts:  make([]int, n),
 		busyUntil: make([]float64, n),
 		subHeight: make([]int, n),
+		em:        newSimObs(cfg.Obs, cfg.Trace, cfg.Net),
+		firstTry:  make([]float64, n),
+	}
+	for i := range s.firstTry {
+		s.firstTry[i] = -1
 	}
 	net := cfg.Net
 	net.PostorderWalk(func(v network.NodeID) {
@@ -272,6 +290,7 @@ func (s *sim) run() {
 		if rebroadcasts {
 			s.res.Ledger.Trigger += s.cfg.Model.Trigger()
 			s.res.NodeEnergy[v] += s.cfg.Model.Trigger()
+			s.em.trigger(v, float64(net.Depth(v))*trigDur)
 		}
 	}
 	for _, v := range net.Preorder() {
@@ -319,6 +338,7 @@ func (s *sim) onDeadline(v network.NodeID) {
 	if s.sent[v] || s.expected[v] == 0 {
 		return
 	}
+	s.em.deadline(v, s.now)
 	s.expected[v] = 0
 	s.schedule(s.now, evTrySend, v)
 }
@@ -328,6 +348,9 @@ func (s *sim) onDeadline(v network.NodeID) {
 func (s *sim) onTrySend(v network.NodeID) {
 	if s.sent[v] {
 		return
+	}
+	if s.firstTry[v] < 0 {
+		s.firstTry[v] = s.now
 	}
 	payload, provenCnt := s.outgoing(v)
 	extra := 0
@@ -342,6 +365,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 		if s.cfg.Rng != nil {
 			jitter = s.cfg.Rng.Float64() * dur / 4
 		}
+		s.em.deferred(v, s.now, free+jitter)
 		s.schedule(free+jitter, evTrySend, v)
 		return
 	}
@@ -361,8 +385,10 @@ func (s *sim) onTrySend(v network.NodeID) {
 		s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
 		s.res.Ledger.Collection += s.cfg.Model.TxShare(cost)
 		s.res.Retransmissions++
+		s.em.loss(v, s.now, s.attempts[v])
 		if s.attempts[v] > s.cfg.MaxRetries {
 			s.res.Dropped++
+			s.em.drop(v, s.now)
 			s.gaveUp[v] = true
 			s.sent[v] = true // stop trying; parent hits its deadline
 			return
@@ -375,6 +401,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 	s.res.Ledger.Collection += cost
 	s.res.Ledger.Messages++
 	s.res.Ledger.Values += len(payload)
+	s.em.delivered(v, len(payload), len(payload)*s.cfg.Model.BytesPerValue+extra, s.firstTry[v], s.now+dur)
 	s.sent[v] = true
 	s.childList[v] = payload
 	s.childProv[v] = provenCnt
@@ -515,6 +542,7 @@ func (s *sim) finish() {
 	sort.SliceStable(s.res.Returned, func(i, j int) bool {
 		return s.res.Returned[i].Outranks(s.res.Returned[j])
 	})
+	s.em.finish(s.res.Latency)
 }
 
 // EstimateLossProbs aggregates per-edge failure statistics from a set

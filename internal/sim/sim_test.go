@@ -3,11 +3,14 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
 	"prospector/internal/energy"
 	"prospector/internal/exec"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 )
 
@@ -69,12 +72,16 @@ func TestLosslessMatchesExec(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		env := exec.Env{Net: net, Costs: plan.NewCosts(net, energy.DefaultModel())}
+		execReg := obs.NewRegistry()
+		env := exec.Env{Net: net, Costs: plan.NewCosts(net, energy.DefaultModel()), Obs: execReg}
 		want, err := exec.Run(env, p, vals)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Run(DefaultConfig(net), p, vals)
+		simReg := obs.NewRegistry()
+		cfg := DefaultConfig(net)
+		cfg.Obs = simReg
+		got, err := Run(cfg, p, vals)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,6 +102,51 @@ func TestLosslessMatchesExec(t *testing.T) {
 		if got.Ledger.Messages != want.Ledger.Messages || got.Ledger.Values != want.Ledger.Values {
 			t.Fatalf("trial %d: msgs/values %d/%d vs %d/%d", trial,
 				got.Ledger.Messages, got.Ledger.Values, want.Ledger.Messages, want.Ledger.Values)
+		}
+		compareObsSnapshots(t, trial, execReg.Snapshot(), simReg.Snapshot(), got.NodeEnergy)
+	}
+}
+
+// compareObsSnapshots asserts the exec.* and sim.* metric families of a
+// lossless run agree: same message/value/byte totals, same per-level
+// traffic, and exec's per-node energy gauges matching the simulator's
+// independently metered NodeEnergy.
+func compareObsSnapshots(t *testing.T, trial int, es, ss *obs.Snapshot, nodeEnergy []float64) {
+	t.Helper()
+	for _, name := range []string{"messages", "values", "bytes"} {
+		e, s := es.Counters["exec."+name], ss.Counters["sim."+name]
+		if e != s {
+			t.Fatalf("trial %d: exec.%s = %d but sim.%s = %d", trial, name, e, name, s)
+		}
+		if e == 0 {
+			t.Fatalf("trial %d: exec.%s is zero; instrumentation not firing", trial, name)
+		}
+	}
+	// Per-level counters must agree in both directions: every level one
+	// side reports, the other must report identically (missing key = 0).
+	for name, v := range es.Counters {
+		if suffix, ok := strings.CutPrefix(name, "exec.level."); ok {
+			if sv := ss.Counters["sim.level."+suffix]; sv != v {
+				t.Fatalf("trial %d: exec.level.%s = %d but sim counterpart = %d", trial, suffix, v, sv)
+			}
+		}
+	}
+	for name, v := range ss.Counters {
+		if suffix, ok := strings.CutPrefix(name, "sim.level."); ok {
+			if ev := es.Counters["exec.level."+suffix]; ev != v {
+				t.Fatalf("trial %d: sim.level.%s = %d but exec counterpart = %d", trial, suffix, v, ev)
+			}
+		}
+	}
+	if es.Counters["exec.requests"] != 0 {
+		t.Fatalf("trial %d: collection phase recorded %d requests", trial, es.Counters["exec.requests"])
+	}
+	// exec attributes per-node energy analytically; the simulator meters
+	// each radio independently. Lossless, they must coincide.
+	for i, want := range nodeEnergy {
+		got := es.Gauges["exec.node."+strconv.Itoa(i)+".energy_mj"]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: node %d energy gauge %.9f vs simulated %.9f", trial, i, got, want)
 		}
 	}
 }
