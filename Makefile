@@ -2,9 +2,9 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench lint
 
-check: fmt vet build race
+check: fmt vet build race lint
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt:
@@ -24,6 +24,11 @@ test:
 
 race:
 	go test -race ./...
+
+# Project analyzer suite (internal/analysis): determinism, obsnilsafe,
+# floatcmp, errchecklite, suppress. Also enforced by lint_test.go.
+lint:
+	go run ./cmd/lint
 
 bench:
 	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/

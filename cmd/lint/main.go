@@ -1,0 +1,63 @@
+// Command lint runs the project's static-analysis suite (package
+// internal/analysis) over the module rooted at -C (default ".").
+//
+// Usage:
+//
+//	lint [-C dir] [-checks determinism,floatcmp,...] [-json] [-list]
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
+// loading or usage error. Findings can be silenced in source with
+// `//lint:ignore <check> <reason>` on or directly above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prospector/internal/analysis"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, c := range suite {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	var names []string
+	if *checksFlag != "" {
+		names = strings.Split(*checksFlag, ",")
+	}
+	checks, err := analysis.SelectChecks(suite, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadDir(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, checks)
+	if *jsonOut {
+		err = analysis.WriteJSON(os.Stdout, diags)
+	} else {
+		err = analysis.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -27,10 +27,12 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"prospector/internal/core"
 	"prospector/internal/energy"
 	"prospector/internal/exec"
+	"prospector/internal/lp"
 	"prospector/internal/network"
 	"prospector/internal/obs"
 	"prospector/internal/plan"
@@ -95,7 +97,10 @@ func run() error {
 	}
 	model := energy.DefaultModel()
 	costs := plan.NewCosts(net, model)
-	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: ocli.Registry()}
+	// The LP solver never reads the wall clock itself (determinism
+	// analyzer); the CLI injects one so lp.solve_seconds gets real data.
+	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: ocli.Registry(),
+		LP: lp.Options{Now: time.Now}}
 	env := exec.Env{Net: net, Costs: costs, Obs: ocli.Registry(), Trace: ocli.Tracer()}
 
 	naivePlan, err := core.NaiveKPlan(net, *k)

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// stickyWriters are receiver/destination types whose write methods
+// either cannot fail (strings.Builder, bytes.Buffer) or latch the
+// first error for a later Flush/Err call (bufio.Writer). Discarding
+// their error results is the standard-library idiom.
+var stickyWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"bufio.Writer":    true,
+}
+
+// newErrcheckCheck flags statements that call a function returning an
+// error and drop the result on the floor. An explicit `_ = f()` is
+// visible intent and stays legal; a bare `f()` is not.
+func newErrcheckCheck() *Check {
+	return &Check{
+		Name: "errchecklite",
+		Doc:  "no discarded error returns in non-test library code",
+		Applies: func(path string) bool {
+			return strings.Contains(path, "/internal/")
+		},
+		Run: runErrcheck,
+	}
+}
+
+func runErrcheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(pass, call) || allowedDiscard(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _ explicitly",
+				calleeLabel(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// allowedDiscard covers the sticky-writer idiom: methods on
+// strings.Builder/bytes.Buffer/bufio.Writer, and fmt.Fprint* calls
+// whose destination is one of those.
+func allowedDiscard(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, isMethod := pass.Pkg.Info.Selections[sel]; isMethod {
+		return stickyWriters[typeLabel(s.Recv())]
+	}
+	// Package function: fmt.Fprint/Fprintf/Fprintln to a sticky writer.
+	if obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") && len(call.Args) > 0 {
+		return stickyWriters[typeLabel(pass.TypeOf(call.Args[0]))]
+	}
+	return false
+}
+
+// typeLabel renders t as "pkgname.TypeName", unwrapping one pointer.
+func typeLabel(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// calleeLabel names the called function for the diagnostic message.
+func calleeLabel(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}

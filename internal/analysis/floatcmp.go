@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// floatcmpScope maps package-path suffixes to the helper functions in
+// that package allowed to compare floats with == or !=. Everything
+// else must go through those helpers (or a tolerance), because a raw
+// equality on computed floats silently depends on rounding.
+var floatcmpScope = map[string][]string{
+	"/internal/lp":    {"isZero", "sameFloat"},
+	"/internal/stats": {"exactly"},
+}
+
+func newFloatcmpCheck() *Check {
+	return &Check{
+		Name: "floatcmp",
+		Doc:  "no ==/!= between floating-point operands outside the approved tolerance helpers",
+		Applies: func(path string) bool {
+			return floatHelpersFor(path) != nil
+		},
+		Run: runFloatcmp,
+	}
+}
+
+func floatHelpersFor(path string) []string {
+	for suf, helpers := range floatcmpScope {
+		if strings.HasSuffix(path, suf) {
+			return helpers
+		}
+	}
+	return nil
+}
+
+func runFloatcmp(pass *Pass) {
+	approved := make(map[string]bool)
+	for _, h := range floatHelpersFor(pass.Pkg.Path) {
+		approved[h] = true
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && approved[fn.Name.Name] {
+				continue // the helper itself is the sanctioned home for ==
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				cmp, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				op := cmp.Op.String()
+				if op != "==" && op != "!=" {
+					return true
+				}
+				if !isFloat(pass.TypeOf(cmp.X)) && !isFloat(pass.TypeOf(cmp.Y)) {
+					return true
+				}
+				// Two untyped constants fold at compile time; no
+				// runtime rounding is involved.
+				if isConst(pass, cmp.X) && isConst(pass, cmp.Y) {
+					return true
+				}
+				pass.Reportf(cmp.OpPos, "floating-point %s comparison; use an approved helper (%s) or an explicit tolerance",
+					op, strings.Join(floatHelpersFor(pass.Pkg.Path), ", "))
+				return true
+			})
+		}
+	}
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	check  string
+	reason string
+	pos    token.Pos
+	line   int
+	file   string
+}
+
+const directive = "//lint:ignore"
+
+// collectSuppressions parses every //lint:ignore directive in the
+// package. Well-formed directives (check name plus non-empty reason)
+// land in pkg.suppressions keyed by file and line; malformed ones are
+// kept for the suppress audit.
+func collectSuppressions(pkg *Package) {
+	pkg.suppressions = make(map[string]map[int][]suppression)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directive)
+				s := suppression{pos: c.Pos(), line: pos.Line, file: pos.Filename}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					s.check = fields[0]
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				if s.check == "" || s.reason == "" {
+					pkg.malformed = append(pkg.malformed, s)
+					continue
+				}
+				byLine := pkg.suppressions[s.file]
+				if byLine == nil {
+					byLine = make(map[int][]suppression)
+					pkg.suppressions[s.file] = byLine
+				}
+				byLine[s.line] = append(byLine[s.line], s)
+			}
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic from check at d's position is
+// covered by a directive on the same line or the line directly above.
+func (pkg *Package) suppressed(d Diagnostic) bool {
+	byLine := pkg.suppressions[d.Position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		for _, s := range byLine[line] {
+			if s.check == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// newSuppressCheck builds the audit that keeps //lint:ignore honest:
+// every directive needs both a check name and a reason, and the check
+// name must be one the suite knows.
+func newSuppressCheck(known []string) *Check {
+	names := make(map[string]bool, len(known))
+	for _, n := range known {
+		names[n] = true
+	}
+	names["suppress"] = true
+	return &Check{
+		Name: "suppress",
+		Doc:  "lint:ignore directives must name a known check and give a reason",
+		Run: func(pass *Pass) {
+			for _, s := range pass.Pkg.malformed {
+				pass.Reportf(s.pos, "lint:ignore directive needs a check name and a reason: %q", directive+" <check> <reason>")
+			}
+			for _, byLine := range pass.Pkg.suppressions {
+				for _, sups := range byLine {
+					for _, s := range sups {
+						if !names[s.check] {
+							pass.Reportf(s.pos, "lint:ignore names unknown check %q", s.check)
+						}
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,42 @@
+// Package lp is a floatcmp-check fixture: raw float equality is legal
+// only inside the approved helpers, which exist to give every exact
+// comparison a documented home.
+package lp
+
+// isZero is an approved helper; raw == is legal here.
+func isZero(x float64) bool { return x == 0 }
+
+// sameFloat is the second approved helper.
+func sameFloat(a, b float64) bool { return a == b }
+
+// Converged compares floats with == directly.
+func Converged(prev, next float64) bool {
+	return prev == next // want floatcmp "floating-point == comparison"
+}
+
+// Moved compares floats with != directly.
+func Moved(a, b float64) bool {
+	return a != b // want floatcmp "floating-point != comparison"
+}
+
+// Fixed routes through the approved helpers; legal.
+func Fixed(lo, hi float64) bool {
+	return sameFloat(lo, hi) && !isZero(lo)
+}
+
+// SuppressedSentinel documents why an exact sentinel test is fine.
+func SuppressedSentinel(x float64) bool {
+	//lint:ignore floatcmp fixture demonstrating an honored suppression
+	return x == 0.5
+}
+
+// Ints may compare with == freely.
+func Ints(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+// ConstFold compares two untyped constants, folded at compile time.
+func ConstFold() bool { return eps == 1e-9 }
+
+// Ordered comparisons are not equality; legal.
+func Ordered(a, b float64) bool { return a < b || a >= b }

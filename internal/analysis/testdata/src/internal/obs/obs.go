@@ -1,0 +1,45 @@
+// Package obs is an obsnilsafe-check fixture: handle types whose
+// exported pointer-receiver methods must tolerate nil receivers.
+package obs
+
+// Meter is a nil-safe handle.
+type Meter struct{ v int64 }
+
+// Add is guarded and legal.
+func (m *Meter) Add(d int64) {
+	if m == nil {
+		return
+	}
+	m.v += d
+}
+
+// Inc delegates to a guarded method; legal.
+func (m *Meter) Inc() { m.Add(1) }
+
+// Value dereferences the receiver with no guard.
+func (m *Meter) Value() int64 { // want obsnilsafe "must begin with"
+	return m.v
+}
+
+// Swap guards by reassigning the receiver; legal.
+func (m *Meter) Swap() *Meter {
+	if m == nil {
+		m = &Meter{}
+	}
+	return m
+}
+
+//lint:ignore obsnilsafe fixture demonstrating an honored suppression
+func (m *Meter) Reset() { m.v = 0 }
+
+// peek is unexported; the contract covers the exported surface only.
+func (m *Meter) peek() int64 { return m.v }
+
+// View is a value type; nil receivers are impossible.
+type View struct{ n int }
+
+// N is legal without a guard.
+func (v View) N() int { return v.n }
+
+// Drop never touches its receiver.
+func (*Meter) Drop() {}

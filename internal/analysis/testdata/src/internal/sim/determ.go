@@ -1,0 +1,88 @@
+// Package sim is a determinism-check fixture: a deliberately
+// violating twin of the real internal/sim, exercising the banned-call
+// and map-iteration rules plus their sanctioned alternatives.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the sanctioned injected form of a time source.
+type Clock func() time.Time
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want determinism "wall-clock read"
+}
+
+// Age measures elapsed wall time directly.
+func Age(since time.Time) time.Duration {
+	return time.Since(since) // want determinism "wall-clock read"
+}
+
+// Jitter draws from the global RNG.
+func Jitter(n int) int {
+	return rand.Intn(n) // want determinism "global RNG"
+}
+
+// Seeded draws from an injected RNG; legal.
+func Seeded(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// SuppressedStamp documents why a wall-clock read is acceptable here.
+func SuppressedStamp() time.Time {
+	//lint:ignore determinism fixture demonstrating an honored suppression
+	return time.Now()
+}
+
+// Keys leaks map iteration order into the returned slice.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want determinism "range over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the sanctioned idiom.
+func SortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Count accumulates order-independent integers; legal.
+func Count(m map[int]string, needle string) int {
+	n := 0
+	for _, v := range m {
+		if v == needle {
+			n++
+		}
+	}
+	return n
+}
+
+// Invert writes through keys; last-write-wins per key is order-free.
+func Invert(m map[int]string) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Sum accumulates floats in map order: non-associative, so the low
+// bits depend on iteration order.
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want determinism "range over map"
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+// Package stats is the second floatcmp-check fixture: its approved
+// helper is exactly, mirroring the real internal/stats.
+package stats
+
+// exactly is the approved helper; raw == is legal here.
+func exactly(x, v float64) bool { return x == v }
+
+// AtBoundary compares a probability to a sentinel directly.
+func AtBoundary(p float64) bool {
+	return p == 1 // want floatcmp "floating-point == comparison"
+}
+
+// AtZero routes through the approved helper; legal.
+func AtZero(p float64) bool { return exactly(p, 0) }
+
+// SuppressedBoundary documents an exact comparison inline.
+func SuppressedBoundary(p float64) bool {
+	//lint:ignore floatcmp fixture demonstrating an honored suppression
+	return p != p
+}

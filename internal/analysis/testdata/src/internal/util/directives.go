@@ -1,0 +1,29 @@
+// Directive-audit fixtures: malformed or mistargeted lint:ignore
+// comments are diagnostics themselves, so suppressions cannot rot
+// silently. The suppress-audit test pins the expected findings here
+// by message rather than by want-comments, because a want-comment
+// appended to a directive line would be parsed as the reason.
+package util
+
+import "os"
+
+// MissingReason has a directive without a reason, which does not
+// suppress; the underlying finding still fires.
+func MissingReason(path string) {
+	//lint:ignore errchecklite
+	os.Remove(path) // want errchecklite "error that is discarded"
+}
+
+// UnknownCheck names a check the suite does not know.
+func UnknownCheck(path string) {
+	//lint:ignore nosuchcheck the check name has a typo
+	_ = os.Remove(path)
+}
+
+// Audited demonstrates suppressing the audit itself: the first
+// directive covers the unknown-check finding on the line below it.
+func Audited(path string) {
+	//lint:ignore suppress fixture demonstrating an honored suppression
+	//lint:ignore alsounknown covered by the directive above
+	_ = os.Remove(path)
+}

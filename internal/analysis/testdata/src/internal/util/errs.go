@@ -1,0 +1,51 @@
+// Package util is an errcheck-lite fixture: discarded error returns
+// and the sanctioned ways to handle or visibly drop them.
+package util
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Cleanup drops the error from os.Remove.
+func Cleanup(path string) {
+	os.Remove(path) // want errchecklite "error that is discarded"
+}
+
+// CloseLater defers a Close whose error is lost.
+func CloseLater(f *os.File) {
+	defer f.Close() // want errchecklite "error that is discarded"
+}
+
+// Explicit discards visibly; legal.
+func Explicit(path string) {
+	_ = os.Remove(path)
+}
+
+// Handled checks the error; legal.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("cleanup: %w", err)
+	}
+	return nil
+}
+
+// Builder writes to sticky writers, whose Write methods never return
+// a non-nil error; legal without checks.
+func Builder(xs []string) string {
+	var b strings.Builder
+	b.WriteString("[")
+	fmt.Fprintf(&b, "%d:", len(xs))
+	for _, x := range xs {
+		b.WriteString(x)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Suppressed documents a deliberate drop.
+func Suppressed(path string) {
+	//lint:ignore errchecklite fixture demonstrating an honored suppression
+	os.Remove(path)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"prospector/internal/exec"
 	"prospector/internal/lp"
@@ -305,9 +306,27 @@ func (b *proofBuilder) ensureZ(i, a network.NodeID, j int) lp.VarID {
 }
 
 // addBandwidthRows emits sum_{i in desc(v)} z_{i,parent(v),j} <= b_v
-// for every edge and sample that has registered crossings.
+// for every edge and sample that has registered crossings. Keys are
+// sorted before emission: constraint-row order shapes the simplex
+// pivot sequence, so emitting in map order would make solves (and
+// degenerate ties) vary run to run.
 func (b *proofBuilder) addBandwidthRows() {
-	for key, terms := range b.perEdgeSample {
+	keys := make([]zKey, 0, len(b.perEdgeSample))
+	for key := range b.perEdgeSample {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		a, c := keys[x], keys[y]
+		if a.i != c.i {
+			return a.i < c.i
+		}
+		if a.a != c.a {
+			return a.a < c.a
+		}
+		return a.j < c.j
+	})
+	for _, key := range keys {
+		terms := b.perEdgeSample[key]
 		row := append(append([]lp.Term(nil), terms...), lp.Term{Var: b.bs[key.i], Coef: -1})
 		b.m.MustConstr(row, lp.LE, 0)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"prospector/internal/core"
 	"prospector/internal/exec"
@@ -38,11 +39,18 @@ func currentObs() (*obs.Registry, *obs.Tracer) {
 
 // newScenario assembles a scenario with the package observability
 // attached to both the planner config and the execution environment.
+// The LP solver gets a wall clock only when metrics are on: the solver
+// itself never reads time (the determinism analyzer enforces that), so
+// the clock that feeds lp.solve_seconds is injected here, outside the
+// deterministic core.
 func newScenario(cfg core.Config, env exec.Env, truth [][]float64) *scenario {
 	r, tr := currentObs()
 	cfg.Obs = r
 	env.Obs = r
 	env.Trace = tr
+	if r != nil && cfg.LP.Now == nil {
+		cfg.LP.Now = time.Now
+	}
 	return &scenario{cfg: cfg, env: env, truth: truth}
 }
 

@@ -126,7 +126,7 @@ func (m *Model) AddConstr(terms []Term, sense Sense, rhs float64) error {
 	}
 	clean := make([]Term, 0, len(order))
 	for _, v := range order {
-		if merged[v] != 0 {
+		if !isZero(merged[v]) {
 			clean = append(clean, Term{Var: v, Coef: merged[v]})
 		}
 	}
@@ -140,7 +140,7 @@ func (m *Model) AddConstr(terms []Term, sense Sense, rhs float64) error {
 		case GE:
 			violated = rhs > 0
 		case EQ:
-			violated = rhs != 0
+			violated = !isZero(rhs)
 		}
 		if violated {
 			return fmt.Errorf("lp: constraint with zero row is infeasible (0 %v %g)", sense, rhs)

@@ -270,7 +270,7 @@ func (p *mpsParser) finish() (*Model, error) {
 			return nil, fmt.Errorf("lp: mps row %q: %w", row, err)
 		}
 		// RANGES split a row into two inequalities.
-		if rg, ok := p.rowRange[row]; ok && rg != 0 {
+		if rg, ok := p.rowRange[row]; ok && !isZero(rg) {
 			lo, hi, err := rangeBounds(sense, rhs, rg)
 			if err != nil {
 				return nil, fmt.Errorf("lp: mps row %q: %w", row, err)
@@ -346,7 +346,7 @@ func WriteMPS(w io.Writer, m *Model, name string) error {
 		}
 	}
 	for j := 0; j < m.NumVars(); j++ {
-		if m.obj[j] != 0 {
+		if !isZero(m.obj[j]) {
 			fmt.Fprintf(bw, "    %s  COST  %.17g\n", names[j], m.obj[j])
 		}
 		for _, t := range byCol[j] {
@@ -355,7 +355,7 @@ func WriteMPS(w io.Writer, m *Model, name string) error {
 	}
 	fmt.Fprintf(bw, "RHS\n")
 	for i, r := range m.rows {
-		if r.rhs != 0 {
+		if !isZero(r.rhs) {
 			fmt.Fprintf(bw, "    RHS1  R%d  %.17g\n", i, r.rhs)
 		}
 	}
@@ -363,9 +363,9 @@ func WriteMPS(w io.Writer, m *Model, name string) error {
 	for j := 0; j < m.NumVars(); j++ {
 		lo, hi := m.lo[j], m.hi[j]
 		switch {
-		case lo == 0 && math.IsInf(hi, 1):
+		case isZero(lo) && math.IsInf(hi, 1):
 			// MPS default; nothing to write.
-		case lo == hi:
+		case sameFloat(lo, hi):
 			fmt.Fprintf(bw, " FX BND1  %s  %.17g\n", names[j], lo)
 		default:
 			if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
@@ -374,7 +374,7 @@ func WriteMPS(w io.Writer, m *Model, name string) error {
 			}
 			if math.IsInf(lo, -1) {
 				fmt.Fprintf(bw, " MI BND1  %s\n", names[j])
-			} else if lo != 0 {
+			} else if !isZero(lo) {
 				fmt.Fprintf(bw, " LO BND1  %s  %.17g\n", names[j], lo)
 			}
 			if !math.IsInf(hi, 1) {

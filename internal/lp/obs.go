@@ -24,7 +24,10 @@ import (
 var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 
 // recordSolve publishes one solve's statistics; no-op when r is nil.
-func recordSolve(r *obs.Registry, sol *Solution, elapsed time.Duration) {
+// The solve_seconds histogram is only fed when the caller injected a
+// clock (timed): a solver without Options.Now has no wall-time signal
+// to report, and observing zeros would skew the distribution.
+func recordSolve(r *obs.Registry, sol *Solution, elapsed time.Duration, timed bool) {
 	if r == nil {
 		return
 	}
@@ -34,7 +37,9 @@ func recordSolve(r *obs.Registry, sol *Solution, elapsed time.Duration) {
 	r.Counter("lp.pivots").Add(int64(sol.Pivots))
 	r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
 	r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
-	r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
+	if timed {
+		r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
+	}
 }
 
 // recordPresolve publishes one presolve pass's reductions; no-op when

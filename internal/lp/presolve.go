@@ -232,7 +232,7 @@ func (r *reduction) reduceRow(i int) Status {
 func (r *reduction) singleton(i int) Status {
 	rw := &r.rows[i]
 	t := rw.terms[0]
-	if t.Coef == 0 {
+	if isZero(t.Coef) {
 		rw.terms = nil
 		return Optimal
 	}

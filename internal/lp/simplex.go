@@ -62,13 +62,18 @@ type Options struct {
 	// lp.solve_seconds histogram). A nil registry costs one check per
 	// solve.
 	Obs *obs.Registry
+	// Now, when non-nil, supplies the clock for the lp.solve_seconds
+	// histogram (typically time.Now at the CLI layer). The solver never
+	// reads the wall clock itself, keeping library solves replayable;
+	// with Now nil, solve timing is simply not recorded.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults(rows int) Options {
 	if o.MaxIters == 0 {
 		o.MaxIters = 5000 + 50*rows
 	}
-	if o.Tol == 0 {
+	if isZero(o.Tol) {
 		o.Tol = 1e-7
 	}
 	return o
@@ -140,7 +145,10 @@ type centry struct {
 // Solve optimizes the model. The model may be reused or extended and
 // solved again; each call is independent.
 func (m *Model) Solve(opts Options) (*Solution, error) {
-	start := time.Now()
+	var start time.Time
+	if opts.Now != nil {
+		start = opts.Now()
+	}
 	s, err := newSolver(m, opts)
 	if err != nil {
 		return nil, err
@@ -155,7 +163,11 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		DegeneratePivots: s.degenerate,
 		BoundFlips:       s.flips,
 	}
-	recordSolve(opts.Obs, sol, time.Since(start))
+	var elapsed time.Duration
+	if opts.Now != nil {
+		elapsed = opts.Now().Sub(start)
+	}
+	recordSolve(opts.Obs, sol, elapsed, opts.Now != nil)
 	if st == Optimal || st == IterationLimit {
 		for i := 0; i < s.nStruct; i++ {
 			sol.X[i] = s.value(i)
@@ -273,7 +285,7 @@ func (s *solver) run() Status {
 	// the artificials with identity inverse.
 	resid := append([]float64(nil), s.b...)
 	for j := 0; j < s.nStruct+s.nSlack; j++ {
-		if s.xN[j] != 0 {
+		if !isZero(s.xN[j]) {
 			for _, e := range s.cols[j] {
 				resid[e.row] -= e.coef * s.xN[j]
 			}
@@ -336,7 +348,7 @@ func (s *solver) computeDuals(cost []float64) {
 	}
 	for r := 0; r < s.m; r++ {
 		cb := cost[s.basis[r]]
-		if cb == 0 {
+		if isZero(cb) {
 			continue
 		}
 		row := s.binv[r*s.m : (r+1)*s.m]
@@ -425,7 +437,7 @@ func (s *solver) price(cost []float64, bland bool) (enter int, sigma float64) {
 	best := s.tol
 	for j := 0; j < s.nTotal; j++ {
 		st := s.stat[j]
-		if st == basic || s.lo[j] == s.hi[j] {
+		if st == basic || sameFloat(s.lo[j], s.hi[j]) {
 			continue
 		}
 		if j >= s.artStart {
@@ -566,7 +578,7 @@ func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
 			continue
 		}
 		f := s.w[r]
-		if f == 0 {
+		if isZero(f) {
 			continue
 		}
 		row := s.binv[r*s.m : (r+1)*s.m]
@@ -614,7 +626,7 @@ func (s *solver) refactor() {
 				p = r
 			}
 		}
-		if mat[p*m+col] == 0 {
+		if isZero(mat[p*m+col]) {
 			// Singular basis: should not happen; keep going with the
 			// stale inverse rather than crash.
 			return
@@ -635,7 +647,7 @@ func (s *solver) refactor() {
 				continue
 			}
 			f := mat[r*m+col]
-			if f == 0 {
+			if isZero(f) {
 				continue
 			}
 			for k := 0; k < m; k++ {
@@ -652,7 +664,7 @@ func (s *solver) refactor() {
 func (s *solver) recomputeBasics() {
 	resid := append([]float64(nil), s.b...)
 	for j := 0; j < s.nTotal; j++ {
-		if s.stat[j] == basic || s.xN[j] == 0 {
+		if s.stat[j] == basic || isZero(s.xN[j]) {
 			continue
 		}
 		for _, e := range s.cols[j] {

@@ -60,7 +60,7 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 		} else {
 			f, err := os.Create(trace)
 			if err != nil {
-				c.Close()
+				_ = c.Close() // the original error wins
 				return nil, fmt.Errorf("obs: trace file: %w", err)
 			}
 			c.traceFile = f
@@ -76,17 +76,17 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 			}()
 		} else {
 			if err := os.MkdirAll(pprofArg, 0o755); err != nil {
-				c.Close()
+				_ = c.Close() // the original error wins
 				return nil, fmt.Errorf("obs: pprof dir: %w", err)
 			}
 			f, err := os.Create(filepath.Join(pprofArg, "cpu.prof"))
 			if err != nil {
-				c.Close()
+				_ = c.Close() // the original error wins
 				return nil, fmt.Errorf("obs: cpu profile: %w", err)
 			}
 			if err := pprof.StartCPUProfile(f); err != nil {
-				f.Close()
-				c.Close()
+				_ = f.Close() // the original error wins
+				_ = c.Close() // the original error wins
 				return nil, fmt.Errorf("obs: cpu profile: %w", err)
 			}
 			c.cpuFile = f
@@ -96,11 +96,23 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 	return c, nil
 }
 
-// Registry returns the metrics registry, nil when metrics are disabled.
-func (c *CLI) Registry() *Registry { return c.reg }
+// Registry returns the metrics registry, nil when metrics are disabled
+// (or on a nil CLI).
+func (c *CLI) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
 
-// Tracer returns the tracer, nil when tracing is disabled.
-func (c *CLI) Tracer() *Tracer { return c.tracer }
+// Tracer returns the tracer, nil when tracing is disabled (or on a nil
+// CLI).
+func (c *CLI) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
 
 // Close flushes everything the flags enabled: the metrics exposition,
 // the trace file, the CPU profile, and a final heap profile. It

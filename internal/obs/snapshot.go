@@ -26,14 +26,10 @@ type Snapshot struct {
 // Snapshot freezes the registry's current state. On a nil registry it
 // returns an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
-	s := &Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSnapshot{},
-	}
 	if r == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -78,8 +74,20 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return r.Snapshot().WriteJSON(w)
 }
 
-// WriteText formats the snapshot as sorted plain-text lines.
+func emptySnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+}
+
+// WriteText formats the snapshot as sorted plain-text lines. A nil
+// snapshot writes nothing.
 func (s *Snapshot) WriteText(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
 	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 	for k := range s.Counters {
 		names = append(names, k)
@@ -125,8 +133,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteJSON emits the snapshot as one indented JSON document.
+// WriteJSON emits the snapshot as one indented JSON document. A nil
+// snapshot encodes as an empty one, keeping the output well-formed.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
+	if s == nil {
+		s = emptySnapshot()
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)

@@ -1,0 +1,10 @@
+package stats
+
+// exactly reports whether x equals v bit-for-bit (IEEE semantics: NaN
+// never matches, -0 matches +0). It is the one sanctioned home for ==
+// on floats in this package, enforced by the floatcmp analyzer in
+// internal/analysis; it exists for boundary tests against sentinel
+// values (0 and 1 in quantile functions), where a tolerance would be
+// wrong. Comparisons that should absorb rounding error must spell out
+// an explicit tolerance.
+func exactly(x, v float64) bool { return x == v }

@@ -20,9 +20,9 @@ func NormCDF(x float64) float64 {
 func NormInv(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case exactly(p, 0):
 			return math.Inf(-1)
-		case p == 1:
+		case exactly(p, 1):
 			return math.Inf(1)
 		}
 		return math.NaN()

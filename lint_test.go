@@ -1,0 +1,28 @@
+// Lint gate: running the analyzer suite inside `go test ./...` makes
+// tier-1 the enforcement point — a determinism, obsnilsafe, floatcmp,
+// errchecklite, or suppress finding anywhere in the tree fails the
+// build, not just `make lint`.
+package prospector
+
+import (
+	"testing"
+
+	"prospector/internal/analysis"
+)
+
+func TestLintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint type-checks the whole repository; skipped with -short")
+	}
+	pkgs, err := analysis.LoadDir(".")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags := analysis.Run(pkgs, analysis.Suite())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Log("reproduce with `go run ./cmd/lint`; silence a finding with `//lint:ignore <check> <reason>` plus justification")
+	}
+}
