@@ -4,10 +4,16 @@
 // Usage:
 //
 //	lint [-C dir] [-checks determinism,floatcmp,...] [-json] [-list]
+//	     [-baseline findings.json] [-write-baseline findings.json]
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
 // loading or usage error. Findings can be silenced in source with
 // `//lint:ignore <check> <reason>` on or directly above the line.
+//
+// A baseline tolerates a recorded set of findings so new checks can be
+// adopted incrementally: -write-baseline captures the current findings
+// (and exits 0), -baseline reports and fails only on findings beyond
+// the recorded set.
 package main
 
 import (
@@ -24,6 +30,8 @@ func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	baselinePath := flag.String("baseline", "", "tolerate the findings recorded in this JSON file; fail only on new ones")
+	writeBaseline := flag.String("write-baseline", "", "record the current findings to this JSON file and exit 0")
 	flag.Parse()
 
 	suite := analysis.Suite()
@@ -32,6 +40,10 @@ func main() {
 			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
 		}
 		return
+	}
+	if *baselinePath != "" && *writeBaseline != "" {
+		fmt.Fprintln(os.Stderr, "lint: -baseline and -write-baseline are mutually exclusive")
+		os.Exit(2)
 	}
 	var names []string
 	if *checksFlag != "" {
@@ -48,6 +60,39 @@ func main() {
 		os.Exit(2)
 	}
 	diags := analysis.Run(pkgs, checks)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		err = analysis.WriteBaseline(f, analysis.NewBaseline(*root, diags))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("lint: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base, err := analysis.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		diags = base.Filter(*root, diags)
+	}
+
 	if *jsonOut {
 		err = analysis.WriteJSON(os.Stdout, diags)
 	} else {

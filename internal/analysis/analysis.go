@@ -67,10 +67,13 @@ type Check struct {
 	Run func(*Pass)
 }
 
-// Pass carries one (check, package) execution.
+// Pass carries one (check, package) execution. Prog exposes the
+// whole-module Program so interprocedural checks can reach the call
+// graph and shared dataflow summaries; per-package checks ignore it.
 type Pass struct {
 	Check *Check
 	Pkg   *Package
+	Prog  *Program
 
 	report func(Diagnostic)
 }

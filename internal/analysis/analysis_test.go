@@ -21,7 +21,18 @@ var (
 	fixtureOnce sync.Once
 	fixturePkgs []*Package
 	fixtureErr  error
+
+	fixtureProgOnce sync.Once
+	fixtureProg     *Program
 )
+
+// fixtureProgram shares one Program across raw runs so the
+// interprocedural checks reuse their lazily built worlds, exactly as
+// Run does.
+func fixtureProgram() *Program {
+	fixtureProgOnce.Do(func() { fixtureProg = NewProgram(fixturePkgs) })
+	return fixtureProg
+}
 
 func fixtures(t *testing.T) []*Package {
 	t.Helper()
@@ -73,15 +84,16 @@ func collectWants(t *testing.T) map[wantKey]string {
 	return wants
 }
 
-// TestFixturesGolden runs the four project checks over the fixture
-// module and demands an exact match against the want comments: every
+// TestFixturesGolden runs every project check over the fixture module
+// and demands an exact match against the want comments: every
 // diagnostic must land on a want, and every want must fire. The
 // suppress audit is exercised separately (TestSuppressAudit) because a
 // want comment appended to a directive line would parse as its reason.
 func TestFixturesGolden(t *testing.T) {
 	pkgs := fixtures(t)
 	wants := collectWants(t)
-	for _, name := range []string{"determinism", "obsnilsafe", "floatcmp", "errchecklite"} {
+	for _, name := range []string{"determinism", "obsnilsafe", "floatcmp", "errchecklite",
+		"unitcheck", "planfreeze", "budgetflow"} {
 		present := false
 		for k := range wants {
 			if k.check == name {
@@ -128,7 +140,7 @@ func rawRun(pkg *Package, check *Check) []Diagnostic {
 		return nil
 	}
 	var diags []Diagnostic
-	pass := &Pass{Check: check, Pkg: pkg, report: func(d Diagnostic) { diags = append(diags, d) }}
+	pass := &Pass{Check: check, Pkg: pkg, Prog: fixtureProgram(), report: func(d Diagnostic) { diags = append(diags, d) }}
 	check.Run(pass)
 	return diags
 }

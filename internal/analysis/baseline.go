@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline records known findings so a repository can adopt a new
+// check without first paying down every existing violation: baselined
+// findings are tolerated, anything beyond them is new and fails. Keys
+// deliberately omit line numbers — unrelated edits shift lines, and a
+// baseline that rots on every refactor teaches people to regenerate it
+// blindly. A key is (check, slash-separated file path relative to the
+// lint root, message), and the value is how many identical findings
+// the file may contain.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one tolerated finding with its multiplicity.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineKey struct {
+	check, file, message string
+}
+
+// baselineFile normalizes a diagnostic's file name to the baseline's
+// root-relative slash form so a baseline written on one machine (or
+// from another working directory) still matches.
+func baselineFile(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && filepath.IsLocal(rel) {
+		filename = rel
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline captures the given diagnostics as the tolerated set.
+// root is the lint root the diagnostics were produced under.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Check, baselineFile(root, d.Position.Filename), d.Message}]++
+	}
+	b := &Baseline{Findings: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{Check: k.check, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter returns the diagnostics not covered by the baseline. Each
+// entry absorbs up to Count matching findings; diagnostics beyond an
+// entry's count are new. Filter does not mutate the baseline.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Check, e.File, e.Message}] += e.Count
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Check, baselineFile(root, d.Position.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// WriteBaseline serializes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline: %w", err)
+	}
+	for i, e := range b.Findings {
+		if e.Check == "" || e.File == "" {
+			return nil, fmt.Errorf("analysis: baseline entry %d is missing a check or file", i)
+		}
+		if e.Count < 1 {
+			return nil, fmt.Errorf("analysis: baseline entry %d (%s in %s) has count %d, want >= 1", i, e.Check, e.File, e.Count)
+		}
+	}
+	return &b, nil
+}

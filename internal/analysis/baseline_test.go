@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diag(check, file string, line int, msg string) Diagnostic {
+	return Diagnostic{Check: check, Position: token.Position{Filename: file, Line: line}, Message: msg}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diag("floatcmp", "root/internal/lp/x.go", 10, "floating-point == comparison"),
+		diag("floatcmp", "root/internal/lp/x.go", 90, "floating-point == comparison"),
+		diag("unitcheck", "root/internal/core/y.go", 5, "mixed units: mJ + mJ/val"),
+	}
+	b := NewBaseline("root", diags)
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (duplicates fold into a count): %+v", len(b.Findings), b.Findings)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 2 {
+		t.Fatalf("round-trip has %d entries, want 2", len(back.Findings))
+	}
+	for i := range b.Findings {
+		if b.Findings[i] != back.Findings[i] {
+			t.Errorf("entry %d: wrote %+v, read %+v", i, b.Findings[i], back.Findings[i])
+		}
+	}
+	if got := b.Findings[1]; got.File != "internal/lp/x.go" || got.Count != 2 {
+		t.Errorf("folded entry = %+v, want root-relative file and count 2", got)
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	old := []Diagnostic{
+		diag("floatcmp", "root/internal/lp/x.go", 10, "floating-point == comparison"),
+		diag("floatcmp", "root/internal/lp/x.go", 90, "floating-point == comparison"),
+	}
+	b := NewBaseline("root", old)
+
+	// Same findings on different lines stay absorbed: keys omit lines so
+	// unrelated edits above a baselined finding do not resurface it.
+	shifted := []Diagnostic{
+		diag("floatcmp", "root/internal/lp/x.go", 14, "floating-point == comparison"),
+		diag("floatcmp", "root/internal/lp/x.go", 95, "floating-point == comparison"),
+	}
+	if fresh := b.Filter("root", shifted); len(fresh) != 0 {
+		t.Errorf("line-shifted findings not absorbed: %v", fresh)
+	}
+
+	// A third identical finding exceeds the entry's count and is new.
+	extra := append(shifted, diag("floatcmp", "root/internal/lp/x.go", 200, "floating-point == comparison"))
+	if fresh := b.Filter("root", extra); len(fresh) != 1 || fresh[0].Position.Line != 200 {
+		t.Errorf("count overflow = %v, want only the line-200 finding", fresh)
+	}
+
+	// A different check, file, or message is never absorbed.
+	other := []Diagnostic{
+		diag("unitcheck", "root/internal/lp/x.go", 10, "mixed units: mJ + mJ/val"),
+		diag("floatcmp", "root/internal/lp/z.go", 10, "floating-point == comparison"),
+	}
+	if fresh := b.Filter("root", other); len(fresh) != 2 {
+		t.Errorf("unrelated findings absorbed: got %d fresh, want 2", len(fresh))
+	}
+
+	// Filter must not consume the baseline: a second pass sees the full budget.
+	if fresh := b.Filter("root", shifted); len(fresh) != 0 {
+		t.Errorf("baseline mutated by Filter: second pass reported %v", fresh)
+	}
+}
+
+func TestBaselineFileNormalization(t *testing.T) {
+	// Absolute paths outside the root are kept verbatim (slash-normalized)
+	// rather than mangled into ../ chains.
+	d := []Diagnostic{diag("floatcmp", "/elsewhere/x.go", 1, "floating-point == comparison")}
+	b := NewBaseline("/repo", d)
+	if b.Findings[0].File != "/elsewhere/x.go" {
+		t.Errorf("out-of-root file = %q, want kept verbatim", b.Findings[0].File)
+	}
+	if fresh := b.Filter("/repo", d); len(fresh) != 0 {
+		t.Errorf("out-of-root finding not matched against its own baseline: %v", fresh)
+	}
+}
+
+func TestReadBaselineRejectsBadEntries(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"not json", "{", "parsing baseline"},
+		{"missing check", `{"findings":[{"file":"x.go","message":"m","count":1}]}`, "missing a check"},
+		{"zero count", `{"findings":[{"check":"floatcmp","file":"x.go","message":"m","count":0}]}`, "count 0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBaseline(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ReadBaseline error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

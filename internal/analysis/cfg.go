@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs. A CFG is the
+// substrate for the reaching-definitions analysis (reaching.go) that
+// unitcheck uses to propagate units through local variables; keeping
+// it generic (blocks of ast.Node, no check-specific payload) leaves
+// room for later flow-sensitive checks.
+//
+// Granularity: a Block holds a maximal straight-line run of "atomic"
+// nodes. Simple statements (assignments, declarations, expression
+// statements, returns) appear whole; for control statements only the
+// header parts live in a block — an *ast.IfStmt contributes its Cond
+// expression, a *ast.ForStmt its Cond, a *ast.RangeStmt itself (it
+// both evaluates X and defines Key/Value each iteration), a switch its
+// Tag plus per-clause case expressions. Bodies become separate blocks
+// wired with edges. Consumers switch on the node type to decide which
+// sub-expressions are evaluated and which identifiers are defined.
+//
+// The builder is deliberately conservative where precision buys
+// nothing: a goto to an unseen label falls back to an edge into Exit,
+// and panic calls are treated as ordinary statements (more paths reach
+// a use, which can only make downstream analyses *less* eager to
+// report).
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; Exit is a distinguished empty block reached by every return
+// and by falling off the end of the body.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// Entry returns the function entry block.
+func (g *CFG) Entry() *Block { return g.Blocks[0] }
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{cfg: g}
+	entry := b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = entry
+	b.stmt(body)
+	b.edge(b.cur, g.Exit)
+	for _, pg := range b.pendingGotos {
+		if target := b.labels[pg.label]; target != nil {
+			b.edge(pg.from, target)
+		} else {
+			b.edge(pg.from, g.Exit)
+		}
+	}
+	return g
+}
+
+// branchScope is one enclosing break or continue target, with the
+// statement label when the loop/switch was labeled.
+type branchScope struct {
+	label  string
+	target *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	breaks       []branchScope
+	continues    []branchScope
+	fallthroughs []*Block
+	labels       map[string]*Block
+	pendingGotos []pendingGoto
+	// pendingLabel carries a label name from a LabeledStmt to the
+	// loop/switch statement it labels, so labeled break/continue
+	// resolve to the right scope.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the label carried from an enclosing LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findScope resolves a break/continue target: the innermost scope for
+// an unlabeled branch, the matching labeled scope otherwise.
+func findScope(scopes []branchScope, label string) *Block {
+	for i := len(scopes) - 1; i >= 0; i-- {
+		if label == "" || scopes[i].label == label {
+			return scopes[i].target
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		// continue re-evaluates Post (when present) before the header.
+		cont := header
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, after)
+		}
+		b.breaks = append(b.breaks, branchScope{label, after})
+		b.continues = append(b.continues, branchScope{label, cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, cont)
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, header)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		header.Nodes = append(header.Nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after)
+		b.breaks = append(b.breaks, branchScope{label, after})
+		b.continues = append(b.continues, branchScope{label, header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, header)
+		b.cur = after
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body, nil)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchScope{label, after})
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(sel, blk)
+			b.cur = blk
+			b.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+	case *ast.LabeledStmt:
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		lblk := b.newBlock()
+		b.edge(b.cur, lblk)
+		b.cur = lblk
+		b.labels[s.Label.Name] = lblk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, findScope(b.breaks, label))
+		case token.CONTINUE:
+			b.edge(b.cur, findScope(b.continues, label))
+		case token.GOTO:
+			if target := b.labels[label]; target != nil {
+				b.edge(b.cur, target)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{b.cur, label})
+			}
+		case token.FALLTHROUGH:
+			if n := len(b.fallthroughs); n > 0 {
+				b.edge(b.cur, b.fallthroughs[n-1])
+			}
+		}
+		b.cur = b.newBlock() // anything after the branch is unreachable
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+	default:
+		// Assign, IncDec, Decl, Expr, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses wires the shared clause structure of switch and
+// type-switch statements: every clause body is a block fed from the
+// dispatch block, falling through to the next clause when requested,
+// otherwise exiting to the join block. caseExprs (when non-nil) places
+// the clause's case expressions at the head of its block.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt, caseExprs func(*ast.CaseClause, *Block)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		blocks[i] = b.newBlock()
+		b.edge(dispatch, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if caseExprs != nil {
+			caseExprs(cc, blocks[i])
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.breaks = append(b.breaks, branchScope{label, after})
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		if i+1 < len(blocks) {
+			b.fallthroughs = append(b.fallthroughs, blocks[i+1])
+		} else {
+			b.fallthroughs = append(b.fallthroughs, after)
+		}
+		b.cur = blocks[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // LoadDir parses and type-checks every non-test package under root,
@@ -20,7 +21,20 @@ import (
 // skipped. Module-internal imports resolve to the freshly parsed
 // source; everything else (the standard library) resolves through the
 // stdlib source importer, so no compiled export data is required.
+// Loading runs on a worker pool sized to the machine; see
+// LoadDirWorkers.
 func LoadDir(root string) ([]*Package, error) {
+	return LoadDirWorkers(root, 0)
+}
+
+// LoadDirWorkers is LoadDir with an explicit worker count (0 means
+// NumCPU). Parsing is embarrassingly parallel; type-checking proceeds
+// in dependency waves — every package in a wave imports only packages
+// from earlier waves, so the packages of one wave check concurrently.
+// The one shared state, the stdlib source importer (which is not safe
+// for concurrent use), is serialized behind the loader's mutex; it
+// memoizes, so only the first import of each stdlib package pays.
+func LoadDirWorkers(root string, workers int) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
@@ -30,17 +44,120 @@ func LoadDir(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		p, err := ld.load(ld.importPath(dir), dir)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Stage 1: parse every directory concurrently. The shared FileSet
+	// serializes file registration internally; positions do not depend
+	// on registration order.
+	parsed := make([]*parsedPkg, len(dirs))
+	errs := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				parsed[i], errs[i] = ld.parseDir(ld.importPath(dirs[i]), dirs[i])
+			}
+		}()
+	}
+	for i := range dirs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Stage 2: type-check in dependency waves.
+	var pending []*parsedPkg
+	byPath := make(map[string]*parsedPkg)
+	for _, p := range parsed {
 		if p != nil {
-			pkgs = append(pkgs, p)
+			pending = append(pending, p)
+			byPath[p.path] = p
 		}
 	}
+	var pkgs []*Package
+	for len(pending) > 0 {
+		var wave, rest []*parsedPkg
+		for _, p := range pending {
+			ready := true
+			for _, dep := range p.moduleImports(modPath) {
+				if _, done := ld.lookup(dep); !done {
+					if _, exists := byPath[dep]; exists {
+						ready = false
+						break
+					}
+					// Import of a module path with no loadable package:
+					// let the type-checker produce the error.
+				}
+			}
+			if ready {
+				wave = append(wave, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		if len(wave) == 0 {
+			// An import cycle; the type-checker reports it precisely.
+			wave, rest = rest, nil
+		}
+		checked, err := ld.checkWave(wave, workers)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, checked...)
+		pending = rest
+	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// checkWave type-checks one dependency wave on the worker pool.
+func (ld *loader) checkWave(wave []*parsedPkg, workers int) ([]*Package, error) {
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	out := make([]*Package, len(wave))
+	errs := make([]error, len(wave))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i], errs[i] = ld.check(wave[i])
+			}
+		}()
+	}
+	for i := range wave {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	var pkgs []*Package
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		if out[i] != nil {
+			pkgs = append(pkgs, out[i])
+		}
+	}
 	return pkgs, nil
 }
 
@@ -94,15 +211,40 @@ func isSourceFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
+// parsedPkg is one parsed-but-not-yet-type-checked package.
+type parsedPkg struct {
+	path  string
+	dir   string
+	files []*ast.File
+}
+
+// moduleImports lists the module-internal import paths of the package.
+func (p *parsedPkg) moduleImports(modPath string) []string {
+	var deps []string
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				deps = append(deps, path)
+			}
+		}
+	}
+	return deps
+}
+
 // loader memoizes per-import-path loading and doubles as the
-// types.Importer for module-internal paths.
+// types.Importer for module-internal paths. The mutex guards the
+// memo map and the stdlib source importer, which is not safe for
+// concurrent use; type-checking itself runs outside the lock.
 type loader struct {
 	root    string
 	modPath string
 	fset    *token.FileSet
-	std     types.Importer
 	sizes   types.Sizes
-	pkgs    map[string]*Package
+
+	mu   sync.Mutex
+	std  types.Importer
+	pkgs map[string]*Package
 }
 
 func newLoader(root, modPath string) *loader {
@@ -126,29 +268,32 @@ func (ld *loader) importPath(dir string) string {
 	return ld.modPath + "/" + filepath.ToSlash(rel)
 }
 
-// Import implements types.Importer: module-internal paths load from
-// source under root, everything else defers to the stdlib importer.
+// lookup returns the memoized package for an import path.
+func (ld *loader) lookup(path string) (*Package, bool) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	p, ok := ld.pkgs[path]
+	return p, ok
+}
+
+// Import implements types.Importer: module-internal paths must already
+// be type-checked (wave order guarantees it), everything else defers
+// to the stdlib source importer under the lock.
 func (ld *loader) Import(path string) (*types.Package, error) {
 	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
-		rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")
-		p, err := ld.load(path, filepath.Join(ld.root, filepath.FromSlash(rel)))
-		if err != nil {
-			return nil, err
+		if p, ok := ld.lookup(path); ok {
+			return p.Types, nil
 		}
-		if p == nil {
-			return nil, fmt.Errorf("analysis: no Go files in %s", path)
-		}
-		return p.Types, nil
+		return nil, fmt.Errorf("analysis: no Go files in %s", path)
 	}
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
 	return ld.std.Import(path)
 }
 
-// load parses and type-checks the package in dir (memoized by import
-// path). It returns (nil, nil) for a directory with no non-test files.
-func (ld *loader) load(path, dir string) (*Package, error) {
-	if p, ok := ld.pkgs[path]; ok {
-		return p, nil
-	}
+// parseDir parses the non-test files of one directory. It returns
+// (nil, nil) for a directory with no non-test files.
+func (ld *loader) parseDir(path, dir string) (*parsedPkg, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -167,6 +312,14 @@ func (ld *loader) load(path, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
+	return &parsedPkg{path: path, dir: dir, files: files}, nil
+}
+
+// check type-checks one parsed package and memoizes the result.
+func (ld *loader) check(pp *parsedPkg) (*Package, error) {
+	if p, ok := ld.lookup(pp.path); ok {
+		return p, nil
+	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -174,19 +327,21 @@ func (ld *loader) load(path, dir string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: ld, Sizes: ld.sizes}
-	tpkg, err := conf.Check(path, ld.fset, files, info)
+	tpkg, err := conf.Check(pp.path, ld.fset, pp.files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pp.path, err)
 	}
 	p := &Package{
-		Path:  path,
-		Dir:   dir,
+		Path:  pp.path,
+		Dir:   pp.dir,
 		Fset:  ld.fset,
-		Files: files,
+		Files: pp.files,
 		Types: tpkg,
 		Info:  info,
 	}
 	collectSuppressions(p)
-	ld.pkgs[path] = p
+	ld.mu.Lock()
+	ld.pkgs[pp.path] = p
+	ld.mu.Unlock()
 	return p, nil
 }

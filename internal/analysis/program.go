@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"sync"
+)
+
+// Program is the whole-module state shared by every Pass of one Run.
+// The PR 2 checks are per-package AST walks and ignore it; the
+// dataflow checks (unitcheck, planfreeze, budgetflow) need structures
+// that span package boundaries — the call graph, unit summaries,
+// frozen-struct mutator sets — which are built here once, lazily, and
+// shared. All lazy builders are sync.Once-guarded so a parallel Run
+// can request them from several workers at once.
+type Program struct {
+	Pkgs   []*Package
+	byPath map[string]*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	unitsOnce sync.Once
+	units     *unitWorld
+
+	frozenOnce sync.Once
+	frozen     *frozenWorld
+}
+
+// NewProgram wraps the loaded packages. pkgs should be LoadDir output
+// (sorted by import path) so lazily built structures are
+// deterministic.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, byPath: make(map[string]*Package, len(pkgs))}
+	for _, p := range pkgs {
+		prog.byPath[p.Path] = p
+	}
+	return prog
+}
+
+// Package returns the loaded package with the given import path.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// CallGraph returns the module call graph, building it on first use.
+func (prog *Program) CallGraph() *CallGraph {
+	prog.cgOnce.Do(func() { prog.cg = buildCallGraph(prog.Pkgs) })
+	return prog.cg
+}
+
+// unitWorld returns the unit-inference state, building it on first use.
+func (prog *Program) unitWorld() *unitWorld {
+	prog.unitsOnce.Do(func() { prog.units = buildUnitWorld(prog) })
+	return prog.units
+}
+
+// frozenWorld returns the plan-immutability state, building it on
+// first use.
+func (prog *Program) frozenWorld() *frozenWorld {
+	prog.frozenOnce.Do(func() { prog.frozen = buildFrozenWorld(prog) })
+	return prog.frozen
+}
+
+// pathHasSuffix reports whether the import path ends in suffix at a
+// path-segment boundary, so configuration written against the real
+// tree ("internal/plan") also matches the fixture module
+// ("fixture/internal/plan").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Reaching definitions over the CFG of one function. A definition is
+// one assignment to a local variable (or the function-entry
+// pseudo-definition of a parameter, receiver, or named result); the
+// fixed point computes, per block, which definitions may still be live
+// on entry. unitcheck walks each block forward from that entry set to
+// know, at every use of a variable, exactly which assignments can have
+// produced its value.
+
+type defKind int
+
+const (
+	defEntry  defKind = iota // parameter / receiver / named result
+	defAssign                // x = rhs or x := rhs with a 1:1 expression
+	defOpAssign
+	defIncDec
+	defOpaque // range vars, multi-value assigns, type-switch vars, ...
+)
+
+// definition is one definition site of obj.
+type definition struct {
+	index int
+	obj   types.Object
+	kind  defKind
+	rhs   ast.Expr    // value expression for defAssign/defOpAssign, else nil
+	op    token.Token // the compound token for defOpAssign (ADD_ASSIGN, ...)
+	pos   token.Pos
+}
+
+// funcFlow is the reaching-definitions result for one function body.
+type funcFlow struct {
+	cfg    *CFG
+	defs   []*definition
+	defsOf map[types.Object][]int
+	// entry holds the pseudo-definitions of parameters, receiver, and
+	// named results, applied at the head of the entry block.
+	entry []*definition
+	// defsAt lists, in evaluation order, the definitions each block
+	// node produces.
+	defsAt map[ast.Node][]*definition
+	in     []bitset // per block
+}
+
+// analyzeFlow builds the CFG and reaching-definitions solution for a
+// function body. sig supplies the entry definitions; it may be nil for
+// function literals whose parameters are handled the same way through
+// the type info.
+func analyzeFlow(info *types.Info, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) *funcFlow {
+	ff := &funcFlow{
+		cfg:    buildCFG(body),
+		defsOf: make(map[types.Object][]int),
+		defsAt: make(map[ast.Node][]*definition),
+	}
+
+	newDef := func(obj types.Object, kind defKind, rhs ast.Expr, op token.Token, pos token.Pos) *definition {
+		d := &definition{index: len(ff.defs), obj: obj, kind: kind, rhs: rhs, op: op, pos: pos}
+		ff.defs = append(ff.defs, d)
+		ff.defsOf[obj] = append(ff.defsOf[obj], d.index)
+		return d
+	}
+
+	// Entry definitions: receiver, parameters, named results.
+	entry := ff.cfg.Entry()
+	var entryDefs []*definition
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					entryDefs = append(entryDefs, newDef(obj, defEntry, nil, token.ILLEGAL, name.Pos()))
+				}
+			}
+		}
+	}
+	addFields(recv)
+	addFields(ftype.Params)
+	addFields(ftype.Results)
+	ff.entry = entryDefs
+
+	// Definitions produced by each block node, in evaluation order.
+	for _, blk := range ff.cfg.Blocks {
+		for _, n := range blk.Nodes {
+			ff.defsAt[n] = nodeDefs(info, n, newDef)
+		}
+	}
+
+	// gen/kill per block: the last definition of each object in a
+	// block survives it; every other definition of that object dies.
+	nb := len(ff.cfg.Blocks)
+	words := (len(ff.defs) + 63) / 64
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	out := make([]bitset, nb)
+	ff.in = make([]bitset, nb)
+	for i := range gen {
+		gen[i] = newBitset(words)
+		kill[i] = newBitset(words)
+		out[i] = newBitset(words)
+		ff.in[i] = newBitset(words)
+	}
+	apply := func(blk *Block, d *definition) {
+		for _, j := range ff.defsOf[d.obj] {
+			gen[blk.Index].clear(j)
+			kill[blk.Index].set(j)
+		}
+		gen[blk.Index].set(d.index)
+		kill[blk.Index].clear(d.index)
+	}
+	for _, d := range entryDefs {
+		apply(entry, d)
+	}
+	for _, blk := range ff.cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, d := range ff.defsAt[n] {
+				apply(blk, d)
+			}
+		}
+	}
+
+	// Forward fixed point: in[b] = ∪ out[pred], out = gen ∪ (in−kill).
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range ff.cfg.Blocks {
+			i := blk.Index
+			for _, p := range blk.Preds {
+				ff.in[i].union(out[p.Index])
+			}
+			if out[i].mergeFlow(gen[i], ff.in[i], kill[i]) {
+				changed = true
+			}
+		}
+	}
+	return ff
+}
+
+// nodeDefs extracts the definitions a block node produces, calling
+// newDef for each in evaluation order.
+func nodeDefs(info *types.Info, n ast.Node, newDef func(types.Object, defKind, ast.Expr, token.Token, token.Pos) *definition) []*definition {
+	var defs []*definition
+	defineIdent := func(id *ast.Ident, kind defKind, rhs ast.Expr, op token.Token) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			defs = append(defs, newDef(v, kind, rhs, op, id.Pos()))
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		switch {
+		case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						defineIdent(id, defAssign, n.Rhs[i], token.ILLEGAL)
+					}
+				}
+			} else { // x, y := f()
+				for _, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						defineIdent(id, defOpaque, nil, token.ILLEGAL)
+					}
+				}
+			}
+		default: // +=, -=, *=, ...
+			if id, ok := unparen(n.Lhs[0]).(*ast.Ident); ok {
+				defineIdent(id, defOpAssign, n.Rhs[0], n.Tok)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			defineIdent(id, defIncDec, nil, n.Tok)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if len(vs.Values) == len(vs.Names) {
+					defineIdent(name, defAssign, vs.Values[i], token.ILLEGAL)
+				} else if len(vs.Values) == 0 {
+					defineIdent(name, defOpaque, nil, token.ILLEGAL) // zero value
+				} else {
+					defineIdent(name, defOpaque, nil, token.ILLEGAL)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := unparen(n.Key).(*ast.Ident); ok {
+			defineIdent(id, defOpaque, nil, token.ILLEGAL)
+		}
+		if id, ok := unparen(n.Value).(*ast.Ident); ok {
+			defineIdent(id, defOpaque, nil, token.ILLEGAL)
+		}
+	}
+	return defs
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// bitset is a fixed-width bit vector over definition indices.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) copyFrom(o bitset) {
+	copy(b, o)
+}
+
+// union adds o into b.
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// mergeFlow sets b = gen ∪ (in − kill) and reports whether b changed.
+func (b bitset) mergeFlow(gen, in, kill bitset) bool {
+	changed := false
+	for i := range b {
+		next := gen[i] | (in[i] &^ kill[i])
+		if next != b[i] {
+			b[i] = next
+			changed = true
+		}
+	}
+	return changed
+}

@@ -28,8 +28,11 @@ func collectSuppressions(pkg *Package) {
 				if !strings.HasPrefix(c.Text, directive) {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
 				rest := strings.TrimPrefix(c.Text, directive)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // an unrelated comment such as //lint:ignorefoo
+				}
+				pos := pkg.Fset.Position(c.Pos())
 				s := suppression{pos: c.Pos(), line: pos.Line, file: pos.Filename}
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for directive edge-case
+// tests: files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// auditModule loads the module and returns just the suppress-audit
+// diagnostics.
+func auditModule(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	pkgs, err := LoadDir(writeModule(t, files))
+	if err != nil {
+		t.Fatalf("loading scratch module: %v", err)
+	}
+	var audit []Diagnostic
+	for _, d := range Run(pkgs, Suite()) {
+		if d.Check == "suppress" {
+			audit = append(audit, d)
+		}
+	}
+	return audit
+}
+
+func TestSuppressAuditMalformedDirectives(t *testing.T) {
+	audit := auditModule(t, map[string]string{
+		"p/p.go": `package p
+
+// Bare directive: no check, no reason.
+func A() {
+	//lint:ignore
+	_ = 0
+}
+
+// Check name but no reason.
+func B() {
+	//lint:ignore floatcmp
+	_ = 0
+}
+
+// Reason of only whitespace collapses to nothing.
+func C() {
+	//lint:ignore floatcmp ` + "\t" + `
+	_ = 0
+}
+`,
+	})
+	if len(audit) != 3 {
+		t.Fatalf("audit reported %d diagnostics, want 3 malformed: %v", len(audit), audit)
+	}
+	for _, d := range audit {
+		if !strings.Contains(d.Message, "needs a check name and a reason") {
+			t.Errorf("malformed directive reported as %q", d.Message)
+		}
+	}
+}
+
+func TestSuppressAuditIgnoresUnrelatedComments(t *testing.T) {
+	// //lint:ignorefoo is not a directive — the marker needs a word
+	// boundary — and must neither suppress nor be audited.
+	audit := auditModule(t, map[string]string{
+		"p/p.go": `package p
+
+//lint:ignorefoo bar
+//lint:ignored by nobody
+// lint:ignore floatcmp a leading space disarms the marker entirely
+func A() {
+	_ = 0
+}
+`,
+	})
+	if len(audit) != 0 {
+		t.Fatalf("audit reported %d diagnostics for non-directives, want 0: %v", len(audit), audit)
+	}
+}
+
+func TestSuppressAuditUnknownCheckNames(t *testing.T) {
+	audit := auditModule(t, map[string]string{
+		"p/p.go": `package p
+
+func A() {
+	//lint:ignore nosuch the name is misspelled
+	_ = 0
+}
+
+func B() {
+	//lint:ignore FloatCmp check names are case-sensitive
+	_ = 0
+}
+`,
+	})
+	if len(audit) != 2 {
+		t.Fatalf("audit reported %d diagnostics, want 2 unknown names: %v", len(audit), audit)
+	}
+	for _, want := range []string{`unknown check "nosuch"`, `unknown check "FloatCmp"`} {
+		found := false
+		for _, d := range audit {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no audit finding mentions %s", want)
+		}
+	}
+}
+
+func TestSuppressAuditSkipsTestdataAndTests(t *testing.T) {
+	// Directives inside testdata trees and _test.go files are never
+	// loaded, so they neither suppress nor count toward the audit.
+	audit := auditModule(t, map[string]string{
+		"p/p.go": `package p
+
+func A() { _ = 0 }
+`,
+		"p/p_test.go": `package p
+
+func helper() {
+	//lint:ignore nosuch directives in test files are not loaded
+	_ = 0
+}
+`,
+		"p/testdata/fix.go": `package fix
+
+func B() {
+	//lint:ignore
+	_ = 0
+}
+`,
+	})
+	if len(audit) != 0 {
+		t.Fatalf("audit reported %d diagnostics from testdata/_test.go, want 0: %v", len(audit), audit)
+	}
+}
+
+func TestSuppressDirectiveWhitespace(t *testing.T) {
+	// Extra interior whitespace is fine: fields are split, the reason
+	// rejoined. The directive suppresses the finding on the next line.
+	pkgs, err := LoadDir(writeModule(t, map[string]string{
+		"internal/lp/lp.go": `package lp
+
+func isZero(x float64) bool {
+	//lint:ignore   floatcmp    spaced   out   but   well-formed
+	return x == 0
+}
+`,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, Suite()); len(diags) != 0 {
+		t.Fatalf("well-formed spaced directive did not suppress: %v", diags)
+	}
+}

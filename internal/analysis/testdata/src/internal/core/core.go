@@ -1,0 +1,69 @@
+// Package core misuses the cost model the way a hurried planner
+// would: per-value coefficients added straight into energy totals
+// (unitcheck) and plans patched after construction (planfreeze).
+package core
+
+import "fixture/internal/plan"
+
+// PathCost folds the per-value coefficient into an energy total
+// without multiplying by a value count.
+func PathCost(c *plan.Costs, v int) float64 {
+	total := c.Msg[v]
+	total += c.Val[v] // want unitcheck "mixed units: mJ += mJ/val"
+	return total
+}
+
+// EdgeCost adds a message cost to a per-value coefficient.
+func EdgeCost(c *plan.Costs, v int) float64 {
+	return c.Msg[v] + c.Val[v] // want unitcheck "mixed units: mJ + mJ/val"
+}
+
+// Misconvert passes an energy total where a value count belongs.
+func Misconvert(c *plan.Costs, v int) float64 {
+	total := c.Msg[v]
+	return c.ValueCost(v, int(total)) // want unitcheck "wants val, got mJ"
+}
+
+// WeighedCost multiplies the coefficient out first; legal.
+//
+//unit:n=val
+func WeighedCost(c *plan.Costs, v, n int) float64 {
+	return c.Msg[v] + c.ValueCost(v, n)
+}
+
+// CalibrationFudge knowingly treats the coefficient as a flat cost
+// while sweeping calibration constants.
+func CalibrationFudge(c *plan.Costs, v int) float64 {
+	//lint:ignore unitcheck fixture demonstrating an honored suppression
+	return c.Msg[v] + c.Val[v]
+}
+
+//unit:mJ a stray directive attaches to nothing // want unitcheck "attached to no declaration"
+
+// Widen writes through a frozen plan outside its defining package.
+func Widen(p *plan.Plan, v int) {
+	p.Bandwidth[v]++ // want planfreeze "write to frozen plan.Plan"
+}
+
+// Fake builds a plan around the constructor's validation.
+func Fake(n int) *plan.Plan {
+	return &plan.Plan{Bandwidth: make([]int, n)} // want planfreeze "composite literal constructs frozen plan.Plan"
+}
+
+// Reroute hands a frozen plan to a helper that mutates it; the
+// interprocedural mutator masks catch the call site.
+func Reroute(p *plan.Plan) {
+	p.Grow(0, 1) // want planfreeze "mutates its frozen plan.Plan argument"
+}
+
+// Rebind swaps which plan a variable names; rebinding is not mutation.
+func Rebind(p, q *plan.Plan) *plan.Plan {
+	p = q
+	return p
+}
+
+// Scratch repairs a search-internal working copy in place.
+func Scratch(p *plan.Plan, v int) {
+	//lint:ignore planfreeze fixture demonstrating an honored suppression
+	p.Bandwidth[v] = 0
+}

@@ -1,0 +1,30 @@
+// Package energy anchors the dataflow fixtures: the unit table tags
+// these fields by (package suffix, type, name) exactly as it does in
+// the real tree, and budgetflow recognizes this Ledger wherever it is
+// written.
+package energy
+
+// Model mirrors the tagged fields of the real cost model.
+type Model struct {
+	PerMessage    float64
+	PerByte       float64
+	BytesPerValue int
+}
+
+// PerValue returns the energy of moving one value across a link.
+func (m Model) PerValue() float64 { return m.PerByte * float64(m.BytesPerValue) }
+
+// Ledger mirrors the real accounting ledger.
+type Ledger struct {
+	Collection float64
+	Trigger    float64
+	Requests   float64
+	Install    float64
+	Messages   int
+	Values     int
+}
+
+// Total sums the energy categories.
+func (l *Ledger) Total() float64 {
+	return l.Collection + l.Trigger + l.Requests + l.Install
+}

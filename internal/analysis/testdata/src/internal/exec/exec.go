@@ -1,0 +1,56 @@
+// Package exec exercises budgetflow: every energy.Ledger debit must
+// go through a charge* accounting helper, so the executor and the
+// simulator cannot drift apart one scattered += at a time.
+package exec
+
+import "fixture/internal/energy"
+
+// Result mirrors the executor's result carrier.
+type Result struct {
+	Ledger energy.Ledger
+}
+
+// chargeMsg is a sanctioned accounting helper.
+func chargeMsg(led *energy.Ledger, cost float64) {
+	led.Collection += cost
+	led.Messages++
+}
+
+// chargeValue batches debits through a closure; closures inside a
+// helper are part of it.
+func chargeValue(led *energy.Ledger, costs []float64) {
+	add := func(c float64) {
+		led.Collection += c
+		led.Values++
+	}
+	for _, c := range costs {
+		add(c)
+	}
+}
+
+// Deliver routes its debit through a helper; legal.
+func Deliver(r *Result, cost float64) {
+	chargeMsg(&r.Ledger, cost)
+}
+
+// Sneak debits the ledger inline, bypassing the helpers.
+func Sneak(r *Result, cost float64) {
+	r.Ledger.Collection += cost // want budgetflow "energy.Ledger.Collection written outside the accounting helpers"
+	r.Ledger.Messages++         // want budgetflow "energy.Ledger.Messages written outside the accounting helpers"
+}
+
+// Reset replaces the whole ledger: a reset, not a debit; legal.
+func Reset(r *Result) {
+	r.Ledger = energy.Ledger{}
+}
+
+// Tally only reads; legal.
+func Tally(r *Result) float64 {
+	return r.Ledger.Total()
+}
+
+// Backdate reconciles a ledger against a replay trace.
+func Backdate(r *Result, cost float64) {
+	//lint:ignore budgetflow fixture demonstrating an honored suppression
+	r.Ledger.Requests += cost
+}

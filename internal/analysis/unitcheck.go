@@ -1,0 +1,627 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitcheck: flow-sensitive unit propagation over each function. The
+// declared units (table + directives, units.go) seed the analysis;
+// reaching definitions carry units through local variables; call
+// return summaries carry them across functions. Mixing is flagged
+// where it happens — additions, subtractions, comparisons, compound
+// assignments, call arguments, returns, and composite-literal fields
+// whose two sides have different *known* units. Unknown never flags:
+// an untagged quantity is unconstrained, and untyped constants are
+// chameleons that adopt the unit of the other operand (so `total :=
+// 0.0` then `total += costMJ` is mJ, while `cost * 0.5` keeps its
+// unit because constants are dimensionless under * and /).
+
+type reportFn func(pos token.Pos, format string, args ...interface{})
+
+// evalRes is the unit of one evaluated expression. chameleon marks a
+// constant expression with no tagged unit: unknown under + and -,
+// dimensionless under * and /.
+type evalRes struct {
+	u         *Unit
+	chameleon bool
+}
+
+// unitAnalysis propagates units through one function body (or
+// function literal, with outer pointing at the enclosing analysis for
+// captured variables).
+type unitAnalysis struct {
+	w     *unitWorld
+	pkg   *Package
+	fn    *types.Func // nil for function literals
+	flow  *funcFlow
+	outer *unitAnalysis
+
+	defUnit []*Unit
+	cur     bitset
+	memo    map[ast.Expr]evalRes
+	changed bool
+
+	returns          []*Unit
+	sawUnknownReturn bool
+	lits             []*ast.FuncLit
+}
+
+// analyze runs unit propagation over fd, reporting through rep when
+// non-nil. The flow solution is cached on the world; the unit solution
+// is cheap enough to recompute.
+func (w *unitWorld) analyze(pkg *Package, fd *ast.FuncDecl, fn *types.Func, rep reportFn) *unitAnalysis {
+	ua := &unitAnalysis{w: w, pkg: pkg, fn: fn, flow: w.flowOf(pkg, fd)}
+	ua.run(rep)
+	return ua
+}
+
+func (ua *unitAnalysis) run(rep reportFn) {
+	ua.defUnit = make([]*Unit, len(ua.flow.defs))
+	// Iterate to a local fixed point so units flow around loops, then
+	// make one reporting pass with the solved state.
+	for round := 0; round < 5; round++ {
+		ua.simulate(nil)
+		if !ua.changed {
+			break
+		}
+	}
+	if rep != nil {
+		ua.simulate(rep)
+	}
+	// Function literals get their own CFGs, with this analysis as the
+	// lookup scope for captured variables.
+	for _, lit := range ua.lits {
+		flow := analyzeFlow(ua.pkg.Info, lit.Type, nil, lit.Body)
+		sub := &unitAnalysis{w: ua.w, pkg: ua.pkg, flow: flow, outer: ua}
+		sub.run(rep)
+	}
+}
+
+// simulate walks every block forward from its reaching-definitions
+// entry state, evaluating each node once. With rep == nil it only
+// updates defUnit (setting ua.changed when the solution moved); with
+// rep != nil it reports mismatches.
+func (ua *unitAnalysis) simulate(rep reportFn) {
+	ua.changed = false
+	ua.returns = ua.returns[:0]
+	ua.sawUnknownReturn = false
+	ua.lits = ua.lits[:0]
+	words := (len(ua.flow.defs) + 63) / 64
+	ua.cur = newBitset(words)
+	for _, blk := range ua.flow.cfg.Blocks {
+		ua.cur.copyFrom(ua.flow.in[blk.Index])
+		if blk == ua.flow.cfg.Entry() {
+			for _, d := range ua.flow.entry {
+				ua.applyDef(d)
+			}
+		}
+		for _, n := range blk.Nodes {
+			ua.processNode(n, rep)
+		}
+	}
+}
+
+// setDef records a definition's unit and advances the reaching state.
+func (ua *unitAnalysis) setDef(d *definition, u *Unit) {
+	if !u.equal(ua.defUnit[d.index]) {
+		ua.defUnit[d.index] = u
+		ua.changed = true
+	}
+	for _, j := range ua.flow.defsOf[d.obj] {
+		ua.cur.clear(j)
+	}
+	ua.cur.set(d.index)
+}
+
+// applyDef computes the unit a definition produces from the state
+// before it. A declared unit (directive or table) is sticky: the
+// variable keeps it even through a flagged bad assignment, so one bug
+// does not cascade.
+func (ua *unitAnalysis) applyDef(d *definition) {
+	declared := ua.w.decl[d.obj]
+	var u *Unit
+	switch d.kind {
+	case defEntry, defOpaque:
+		u = declared
+	case defAssign:
+		r := ua.eval(d.rhs, nil)
+		switch {
+		case declared != nil:
+			u = declared
+		case r.chameleon:
+			u = nil
+		default:
+			u = r.u
+		}
+	case defOpAssign:
+		base := declared
+		if base == nil {
+			base = ua.lookupVar(d.obj)
+		}
+		r := ua.eval(d.rhs, nil)
+		switch d.op {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if base != nil {
+				u = base
+			} else if !r.chameleon {
+				u = r.u
+			}
+		case token.MUL_ASSIGN:
+			u = mulUnits(base, factorUnit(r))
+		case token.QUO_ASSIGN:
+			u = divUnits(base, factorUnit(r))
+		case token.REM_ASSIGN:
+			u = base
+		}
+		if declared != nil {
+			u = declared
+		}
+	case defIncDec:
+		u = declared
+		if u == nil {
+			u = ua.lookupVar(d.obj)
+		}
+	}
+	ua.setDef(d, u)
+}
+
+// lookupVar joins the units of the definitions of obj reaching the
+// current point; for variables of an enclosing function it joins over
+// every definition (captures are flow-insensitive).
+func (ua *unitAnalysis) lookupVar(obj types.Object) *Unit {
+	if idx, ok := ua.flow.defsOf[obj]; ok {
+		var u *Unit
+		first := true
+		for _, j := range idx {
+			if !ua.cur.has(j) {
+				continue
+			}
+			if first {
+				u = ua.defUnit[j]
+				first = false
+			} else {
+				u = joinUnits(u, ua.defUnit[j])
+			}
+		}
+		return u
+	}
+	if ua.outer != nil {
+		return ua.outer.lookupAll(obj)
+	}
+	return nil
+}
+
+// lookupAll joins over every definition of obj, ignoring flow.
+func (ua *unitAnalysis) lookupAll(obj types.Object) *Unit {
+	if u := ua.w.decl[obj]; u != nil {
+		return u
+	}
+	if idx, ok := ua.flow.defsOf[obj]; ok {
+		var u *Unit
+		for i, j := range idx {
+			if i == 0 {
+				u = ua.defUnit[j]
+			} else {
+				u = joinUnits(u, ua.defUnit[j])
+			}
+		}
+		return u
+	}
+	if ua.outer != nil {
+		return ua.outer.lookupAll(obj)
+	}
+	return nil
+}
+
+// processNode evaluates one block node: checks its expressions and
+// applies its definitions.
+func (ua *unitAnalysis) processNode(n ast.Node, rep reportFn) {
+	ua.memo = make(map[ast.Expr]evalRes)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		ua.assign(n, rep)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			ua.eval(r, rep)
+		}
+		if len(n.Results) == 1 {
+			r := ua.eval(n.Results[0], rep)
+			if ua.fn != nil && ua.w.declaredRet[ua.fn] {
+				want := ua.w.ret[ua.fn]
+				if rep != nil && want != nil && r.u != nil && !want.equal(r.u) {
+					rep(n.Results[0].Pos(), "mixed units: return of %s from a function returning %s", r.u, want)
+				}
+			}
+			ua.returns = append(ua.returns, r.u)
+			if r.u == nil && !r.chameleon {
+				ua.sawUnknownReturn = true
+			}
+		}
+	case *ast.IncDecStmt:
+		if _, ok := unparen(n.X).(*ast.Ident); !ok {
+			ua.eval(n.X, rep)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ua.valueSpec(vs, rep)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		ua.eval(n.Chan, rep)
+		ua.eval(n.Value, rep)
+	case *ast.ExprStmt:
+		ua.eval(n.X, rep)
+	case *ast.GoStmt:
+		ua.eval(n.Call, rep)
+	case *ast.DeferStmt:
+		ua.eval(n.Call, rep)
+	case *ast.RangeStmt:
+		// X was evaluated in the predecessor block; Key/Value define
+		// opaque units below.
+	case ast.Expr:
+		ua.eval(n, rep)
+	}
+	for _, d := range ua.flow.defsAt[n] {
+		ua.applyDef(d)
+	}
+}
+
+// assign checks an assignment statement: every right-hand side is
+// evaluated, 1:1 assignments compare against the target's declared
+// unit, and compound assignments check their operator's mixing rule.
+func (ua *unitAnalysis) assign(n *ast.AssignStmt, rep reportFn) {
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		for _, rhs := range n.Rhs {
+			ua.eval(rhs, rep)
+		}
+		for _, lhs := range n.Lhs {
+			if _, ok := unparen(lhs).(*ast.Ident); !ok {
+				ua.eval(lhs, rep)
+			}
+		}
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			want := ua.declaredUnitOfExpr(n.Lhs[i])
+			r := ua.eval(n.Rhs[i], rep)
+			if rep != nil && want != nil && r.u != nil && !want.equal(r.u) {
+				rep(n.Lhs[i].Pos(), "mixed units: assigning %s to %s", r.u, want)
+			}
+		}
+		return
+	}
+	// Compound assignment: x op= rhs.
+	lhs, rhs := n.Lhs[0], n.Rhs[0]
+	l := ua.eval(lhs, rep)
+	r := ua.eval(rhs, rep)
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if rep != nil && l.u != nil && r.u != nil && !l.u.equal(r.u) {
+			rep(n.Pos(), "mixed units: %s %s %s", l.u, n.Tok, r.u)
+		}
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		want := ua.declaredUnitOfExpr(lhs)
+		if want == nil {
+			return
+		}
+		f := factorUnit(r)
+		got := mulUnits(l.u, f)
+		if n.Tok == token.QUO_ASSIGN {
+			got = divUnits(l.u, f)
+		}
+		if rep != nil && got != nil && !got.equal(want) {
+			rep(n.Pos(), "mixed units: %s %s %s changes the declared unit", l.u, n.Tok, f)
+		}
+	}
+}
+
+// valueSpec checks `var x T = expr` declarations against declared
+// units.
+func (ua *unitAnalysis) valueSpec(vs *ast.ValueSpec, rep reportFn) {
+	for _, v := range vs.Values {
+		ua.eval(v, rep)
+	}
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		obj := ua.pkg.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		want := ua.w.decl[obj]
+		r := ua.eval(vs.Values[i], rep)
+		if rep != nil && want != nil && r.u != nil && !want.equal(r.u) {
+			rep(vs.Values[i].Pos(), "mixed units: assigning %s to %s", r.u, want)
+		}
+	}
+}
+
+// factorUnit is an operand's unit under * and /: constants without a
+// tagged unit are dimensionless there.
+func factorUnit(r evalRes) *Unit {
+	if r.u == nil && r.chameleon {
+		return &Unit{dims: map[string]int{}}
+	}
+	return r.u
+}
+
+// declaredUnitOfExpr resolves the declared (table/directive) unit of
+// an assignable expression: an identifier, a struct field selection,
+// or an index/deref chain over one.
+func (ua *unitAnalysis) declaredUnitOfExpr(e ast.Expr) *Unit {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := ua.pkg.Info.Defs[e]
+		if obj == nil {
+			obj = ua.pkg.Info.Uses[e]
+		}
+		if obj == nil {
+			return nil
+		}
+		return ua.w.decl[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := ua.pkg.Info.Selections[e]; ok {
+			return ua.w.decl[sel.Obj()]
+		}
+		if obj := ua.pkg.Info.Uses[e.Sel]; obj != nil {
+			return ua.w.decl[obj]
+		}
+	case *ast.IndexExpr:
+		return ua.declaredUnitOfExpr(e.X)
+	case *ast.StarExpr:
+		return ua.declaredUnitOfExpr(e.X)
+	}
+	return nil
+}
+
+// eval computes the unit of an expression, reporting mixed-unit
+// operations as it descends. Results are memoized per node so the
+// definition pass can reuse them without re-reporting.
+func (ua *unitAnalysis) eval(e ast.Expr, rep reportFn) evalRes {
+	if r, ok := ua.memo[e]; ok {
+		return r
+	}
+	r := ua.evalUncached(e, rep)
+	ua.memo[e] = r
+	return r
+}
+
+func (ua *unitAnalysis) evalUncached(e ast.Expr, rep reportFn) evalRes {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ua.eval(e.X, rep)
+	case *ast.BasicLit:
+		return evalRes{chameleon: true}
+	case *ast.Ident:
+		obj := ua.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = ua.pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return evalRes{}
+		}
+		if u := ua.w.decl[obj]; u != nil {
+			return evalRes{u: u}
+		}
+		if _, ok := obj.(*types.Const); ok {
+			return evalRes{chameleon: true}
+		}
+		if _, ok := obj.(*types.Var); ok {
+			return evalRes{u: ua.lookupVar(obj)}
+		}
+		return evalRes{}
+	case *ast.SelectorExpr:
+		ua.eval(e.X, rep)
+		if sel, ok := ua.pkg.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return evalRes{u: ua.w.decl[v]}
+			}
+			return evalRes{}
+		}
+		// Package-qualified name.
+		if obj := ua.pkg.Info.Uses[e.Sel]; obj != nil {
+			if u := ua.w.decl[obj]; u != nil {
+				return evalRes{u: u}
+			}
+			if _, ok := obj.(*types.Const); ok {
+				return evalRes{chameleon: true}
+			}
+		}
+		return evalRes{}
+	case *ast.IndexExpr:
+		ua.eval(e.Index, rep)
+		r := ua.eval(e.X, rep)
+		return evalRes{u: r.u}
+	case *ast.SliceExpr:
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				ua.eval(b, rep)
+			}
+		}
+		r := ua.eval(e.X, rep)
+		return evalRes{u: r.u}
+	case *ast.StarExpr:
+		return ua.eval(e.X, rep)
+	case *ast.UnaryExpr:
+		r := ua.eval(e.X, rep)
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return r
+		}
+		return evalRes{}
+	case *ast.BinaryExpr:
+		return ua.binary(e, rep)
+	case *ast.CallExpr:
+		return ua.call(e, rep)
+	case *ast.CompositeLit:
+		return ua.compositeLit(e, rep)
+	case *ast.FuncLit:
+		ua.lits = append(ua.lits, e)
+		return evalRes{}
+	case *ast.TypeAssertExpr:
+		ua.eval(e.X, rep)
+		return evalRes{}
+	case *ast.KeyValueExpr:
+		// Reached only for non-struct composites; both sides checked.
+		ua.eval(e.Key, rep)
+		ua.eval(e.Value, rep)
+		return evalRes{}
+	}
+	return evalRes{}
+}
+
+func (ua *unitAnalysis) binary(e *ast.BinaryExpr, rep reportFn) evalRes {
+	l := ua.eval(e.X, rep)
+	r := ua.eval(e.Y, rep)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		if rep != nil && l.u != nil && r.u != nil && !l.u.equal(r.u) {
+			rep(e.Pos(), "mixed units: %s %s %s", l.u, e.Op, r.u)
+		}
+		return evalRes{u: joinUnits(l.u, r.u), chameleon: l.chameleon && r.chameleon}
+	case token.MUL:
+		return evalRes{u: mulUnits(factorUnit(l), factorUnit(r)), chameleon: l.chameleon && r.chameleon}
+	case token.QUO:
+		return evalRes{u: divUnits(factorUnit(l), factorUnit(r)), chameleon: l.chameleon && r.chameleon}
+	case token.REM:
+		return evalRes{u: l.u, chameleon: l.chameleon && r.chameleon}
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		if rep != nil && l.u != nil && r.u != nil && !l.u.equal(r.u) {
+			rep(e.Pos(), "mixed units: %s %s %s", l.u, e.Op, r.u)
+		}
+	}
+	return evalRes{}
+}
+
+func (ua *unitAnalysis) call(e *ast.CallExpr, rep reportFn) evalRes {
+	// Conversions preserve the operand's unit (float64(nValues)).
+	if tv, ok := ua.pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			return ua.eval(e.Args[0], rep)
+		}
+		return evalRes{}
+	}
+	for _, a := range e.Args {
+		ua.eval(a, rep)
+	}
+	if _, ok := unparen(e.Fun).(*ast.FuncLit); ok {
+		ua.eval(e.Fun, rep) // immediately-invoked literals still get analyzed
+	}
+	callee := staticCallee(ua.pkg.Info, e)
+	if callee == nil {
+		return evalRes{}
+	}
+	// Check tagged parameters against argument units.
+	sig, ok := callee.Type().(*types.Signature)
+	if ok {
+		np := sig.Params().Len()
+		for i, a := range e.Args {
+			pi := i
+			if sig.Variadic() && pi >= np-1 {
+				pi = np - 1
+			}
+			if pi >= np {
+				break
+			}
+			param := sig.Params().At(pi)
+			want := ua.w.decl[param]
+			r := ua.eval(a, rep)
+			if rep != nil && want != nil && r.u != nil && !want.equal(r.u) {
+				rep(a.Pos(), "mixed units: argument %q wants %s, got %s", param.Name(), want, r.u)
+			}
+		}
+	}
+	return evalRes{u: ua.w.retUnit(callee)}
+}
+
+// compositeLit checks struct literals whose fields carry declared
+// units; other composites just have their elements evaluated.
+func (ua *unitAnalysis) compositeLit(e *ast.CompositeLit, rep reportFn) evalRes {
+	var st *types.Struct
+	if t := ua.pkg.Info.TypeOf(e); t != nil {
+		st, _ = t.Underlying().(*types.Struct)
+	}
+	if st == nil {
+		for _, elt := range e.Elts {
+			ua.eval(elt, rep)
+		}
+		return evalRes{}
+	}
+	fieldByName := func(name string) *types.Var {
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				return st.Field(i)
+			}
+		}
+		return nil
+	}
+	for i, elt := range e.Elts {
+		var field *types.Var
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field = fieldByName(id.Name)
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+		}
+		r := ua.eval(value, rep)
+		if field == nil {
+			continue
+		}
+		want := ua.w.decl[field]
+		if rep != nil && want != nil && r.u != nil && !want.equal(r.u) {
+			rep(value.Pos(), "mixed units: field %q is %s, value is %s", field.Name(), want, r.u)
+		}
+	}
+	return evalRes{}
+}
+
+// newUnitCheck builds the unitcheck analyzer.
+func newUnitCheck() *Check {
+	return &Check{
+		Name:    "unitcheck",
+		Doc:     "mixed-unit arithmetic on cost-model quantities (mJ, B, msg, val, s)",
+		Applies: unitScope,
+		Run: func(pass *Pass) {
+			w := pass.Prog.unitWorld()
+			for _, e := range w.errs[pass.Pkg] {
+				pass.Reportf(e.pos, "%s", e.msg)
+			}
+			rep := func(pos token.Pos, format string, args ...interface{}) {
+				pass.Reportf(pos, format, args...)
+			}
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if d.Body == nil {
+							continue
+						}
+						fn, ok := pass.Pkg.Info.Defs[d.Name].(*types.Func)
+						if !ok {
+							continue
+						}
+						w.analyze(pass.Pkg, d, fn, rep)
+					case *ast.GenDecl:
+						// Package-level initializers, checked without flow.
+						ua := &unitAnalysis{w: w, pkg: pass.Pkg, flow: &funcFlow{defsOf: map[types.Object][]int{}}}
+						ua.memo = make(map[ast.Expr]evalRes)
+						for _, spec := range d.Specs {
+							if vs, ok := spec.(*ast.ValueSpec); ok {
+								ua.valueSpec(vs, rep)
+							}
+						}
+					}
+				}
+			}
+		},
+	}
+}

@@ -63,7 +63,7 @@ func (g *Greedy) Plan(budget float64) (*plan.Plan, error) {
 			if !usedEdge[e] {
 				extra += cfg.Costs.Msg[e]
 			}
-			extra += cfg.Costs.Val[e]
+			extra += cfg.Costs.ValueCost(e, 1)
 		})
 		return extra
 	}

@@ -55,7 +55,7 @@ func (p *Knapsack) Plan(budget float64) (*plan.Plan, error) {
 	for idx, i := range cands {
 		w := 0.0
 		cfg.Net.AncestorEdges(i, func(e network.NodeID) {
-			w += cfg.Costs.Msg[e] + cfg.Costs.Val[e]
+			w += cfg.Costs.Msg[e] + cfg.Costs.ValueCost(e, 1)
 		})
 		weights[idx] = w
 		values[idx] = cfg.Samples.ColumnSum(int(i))

@@ -193,7 +193,7 @@ func repairBandwidth(cfg Config, bw []int, budget float64) {
 			}
 			bw[v]--
 			loss := base - bandwidthCoverage(cfg, bw)
-			save := cfg.Costs.Val[v]
+			save := cfg.Costs.ValueCost(network.NodeID(v), 1)
 			if bw[v] == 0 {
 				save += cfg.Costs.Msg[v]
 			}
@@ -235,7 +235,7 @@ func fillBandwidth(cfg Config, bw []int, budget float64, caps []float64) {
 			if parent := net.Parent(network.NodeID(v)); parent != network.Root && bw[parent] == 0 {
 				continue
 			}
-			extra := cfg.Costs.Val[v]
+			extra := cfg.Costs.ValueCost(network.NodeID(v), 1)
 			if bw[v] == 0 {
 				extra += cfg.Costs.Msg[v]
 			}

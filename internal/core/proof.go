@@ -67,9 +67,9 @@ func (p *ProofPlanner) MinBudget() float64 {
 	cfg := p.cfg
 	total := 0.0
 	for v := 1; v < cfg.Net.Size(); v++ {
-		total += cfg.Costs.Msg[v] + cfg.Costs.Val[v]
+		total += cfg.Costs.Msg[v] + cfg.Costs.ValueCost(network.NodeID(v), 1)
 		if len(cfg.Net.Children(network.NodeID(v))) > 0 {
-			total += cfg.Costs.Model().PerByte
+			total += cfg.Costs.ProofMetaCost()
 		}
 	}
 	return total
@@ -128,7 +128,10 @@ func (p *ProofPlanner) ExpectedProven(bw []int) float64 {
 }
 
 func expectedProven(cfg Config, bw []int) float64 {
-	pl := &plan.Plan{Kind: plan.Proof, Bandwidth: bw}
+	pl, err := plan.NewProof(cfg.Net, bw)
+	if err != nil {
+		return 0
+	}
 	env := exec.Env{Net: cfg.Net, Costs: cfg.Costs}
 	total := 0
 	for j := 0; j < cfg.Samples.Len(); j++ {
@@ -150,9 +153,9 @@ func expectedProven(cfg Config, bw []int) float64 {
 func proofCost(cfg Config, bw []int) float64 {
 	total := 0.0
 	for v := 1; v < cfg.Net.Size(); v++ {
-		total += cfg.Costs.Msg[v] + cfg.Costs.Val[v]*float64(bw[v])
+		total += cfg.Costs.Msg[v] + cfg.Costs.ValueCost(network.NodeID(v), bw[v])
 		if len(cfg.Net.Children(network.NodeID(v))) > 0 {
-			total += cfg.Costs.Model().PerByte
+			total += cfg.Costs.ProofMetaCost()
 		}
 	}
 	return total
@@ -197,7 +200,7 @@ func (p *ProofPlanner) fill(bw []int, budget float64) {
 			if bw[v] >= cfg.Net.SubtreeSize(network.NodeID(v)) {
 				continue
 			}
-			if cost+cfg.Costs.Val[v] > budget {
+			if cost+cfg.Costs.ValueCost(network.NodeID(v), 1) > budget {
 				continue
 			}
 			bw[v]++
@@ -340,7 +343,7 @@ func (b *proofBuilder) addCostRow(budget float64) {
 	for v := 1; v < cfg.Net.Size(); v++ {
 		fixed += cfg.Costs.Msg[v]
 		if len(cfg.Net.Children(network.NodeID(v))) > 0 {
-			fixed += cfg.Costs.Model().PerByte // proven-count reserve
+			fixed += cfg.Costs.ProofMetaCost() // proven-count reserve
 		}
 		terms = append(terms, lp.Term{Var: b.bs[v], Coef: cfg.Costs.Val[v]})
 	}

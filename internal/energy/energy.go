@@ -73,13 +73,19 @@ func (m Model) PerValue() float64 { return m.PerByte * float64(m.BytesPerValue) 
 const TxFraction = 81.0 / (81.0 + 30.0)
 
 // TxShare returns the sender's part of a combined link cost.
+//
+//unit:cost=mJ
 func (m Model) TxShare(cost float64) float64 { return cost * TxFraction }
 
 // RxShare returns the receiver's part of a combined link cost.
+//
+//unit:cost=mJ
 func (m Model) RxShare(cost float64) float64 { return cost * (1 - TxFraction) }
 
 // Unicast returns the total cost of one unicast message carrying
 // nValues sensor readings plus extraBytes of other content.
+//
+//unit:nValues=val extraBytes=B
 func (m Model) Unicast(nValues, extraBytes int) float64 {
 	return m.PerMessage + m.PerByte*float64(nValues*m.BytesPerValue+extraBytes)
 }

@@ -209,13 +209,27 @@ func zoneOpen(lo, hi *ValueAt) bool {
 	return hi.Outranks(*lo)
 }
 
+// chargeRequest debits one mop-up request (broadcast or tailored
+// unicast) of the given cost, aimed at v.
+func (m *mopper) chargeRequest(v network.NodeID, cost float64) {
+	m.res.Ledger.Requests += cost
+	m.res.Ledger.Messages++
+	m.st.env.em.request(v, cost)
+	m.res.Queried = true
+}
+
+// chargeReply debits a mop-up response carrying n fresh values on the
+// edge above c.
+func (m *mopper) chargeReply(c network.NodeID, n int, cost float64) {
+	m.res.Ledger.Requests += cost
+	m.res.Ledger.Messages++
+	m.res.Ledger.Values += n
+	m.st.env.em.msg(c, n, n*m.st.env.Costs.Model().BytesPerValue, cost)
+}
+
 // broadcast charges one request broadcast from v to its children.
 func (m *mopper) broadcast(v network.NodeID) {
-	c := m.st.env.Costs.Model().Request()
-	m.res.Ledger.Requests += c
-	m.res.Ledger.Messages++
-	m.st.env.em.request(v, c)
-	m.res.Queried = true
+	m.chargeRequest(v, m.st.env.Costs.Model().Request())
 }
 
 // unicastRequest charges one per-child tailored request on the edge
@@ -226,10 +240,7 @@ func (m *mopper) unicastRequest(c network.NodeID) {
 	if f := env.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[c] {
 		cost *= 1 + f.RerouteFactor
 	}
-	m.res.Ledger.Requests += cost
-	m.res.Ledger.Messages++
-	env.em.request(c, cost)
-	m.res.Queried = true
+	m.chargeRequest(c, cost)
 }
 
 // respond merges a child's response into the parent's knowledge and
@@ -248,14 +259,11 @@ func (m *mopper) respond(c network.NodeID, resp []ValueAt, parent network.NodeID
 		}
 	}
 	env := st.env
-	cost := env.Costs.Msg[c] + env.Costs.Val[c]*float64(len(fresh))
+	cost := env.Costs.Msg[c] + env.Costs.ValueCost(c, len(fresh))
 	if f := env.Failures; f != nil && f.Prob != nil && f.Rng.Float64() < f.Prob[c] {
 		cost *= 1 + f.RerouteFactor
 	}
-	m.res.Ledger.Requests += cost
-	m.res.Ledger.Messages++
-	m.res.Ledger.Values += len(fresh)
-	env.em.msg(c, len(fresh), len(fresh)*env.Costs.Model().BytesPerValue, cost)
+	m.chargeReply(c, len(fresh), cost)
 	if len(fresh) > 0 {
 		merged := append(st.retrieved[parent], fresh...)
 		SortDesc(merged)

@@ -123,6 +123,13 @@ func (e Env) chargeMsg(led *energy.Ledger, v network.NodeID, nValues, extraBytes
 	e.em.msg(v, nValues, nValues*m.BytesPerValue+extraBytes, c)
 }
 
+// chargeTrigger debits the broadcast trigger that starts a collection
+// phase.
+func (e Env) chargeTrigger(led *energy.Ledger, p *plan.Plan) {
+	led.Trigger += p.TriggerCost(e.Net, e.Costs)
+	e.em.trigger(p)
+}
+
 // Result is the outcome of executing a plan on one epoch of readings.
 type Result struct {
 	// Returned holds every value that reached the root (including the
@@ -169,8 +176,7 @@ func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
 // runSelection moves chosen readings to the root unfiltered.
 func runSelection(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
-	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
-	env.em.trigger(p)
+	env.chargeTrigger(&res.Ledger, p)
 	net := env.Net
 	lists := make([][]ValueAt, net.Size())
 	net.PostorderWalk(func(v network.NodeID) {
@@ -202,8 +208,7 @@ func runSelection(env Env, p *plan.Plan, values []float64) *Result {
 // and forwards only its edge's bandwidth worth of top values.
 func runFiltering(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
-	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
-	env.em.trigger(p)
+	env.chargeTrigger(&res.Ledger, p)
 	net := env.Net
 	lists := make([][]ValueAt, net.Size())
 	net.PostorderWalk(func(v network.NodeID) {

@@ -103,7 +103,7 @@ func (s *naiveOne) chargeRequest(edge network.NodeID, led *energy.Ledger) {
 }
 
 func (s *naiveOne) chargeValue(edge network.NodeID, led *energy.Ledger) {
-	c := s.inflate(edge, s.env.Costs.Msg[edge]+s.env.Costs.Val[edge])
+	c := s.inflate(edge, s.env.Costs.Msg[edge]+s.env.Costs.ValueCost(edge, 1))
 	led.Collection += c
 	led.Messages++
 	led.Values++
@@ -167,6 +167,24 @@ type naiveBatch struct {
 	done    map[network.NodeID]bool
 }
 
+// chargeRequest debits one batch request unicast down the edge above c.
+func (s *naiveBatch) chargeRequest(c network.NodeID, led *energy.Ledger) {
+	cost := s.env.Costs.Model().Request()
+	led.Requests += cost
+	led.Messages++
+	s.env.em.request(c, cost)
+}
+
+// chargeReply debits the reply message carrying a batch of values back
+// up the edge above c (an empty reply is still a message).
+func (s *naiveBatch) chargeReply(c network.NodeID, vals []ValueAt, led *energy.Ledger) {
+	cost := s.env.Costs.Msg[c] + s.env.Costs.ValueCost(c, len(vals))
+	led.Collection += cost
+	led.Messages++
+	led.Values += len(vals)
+	s.env.em.msg(c, len(vals), len(vals)*s.env.Costs.Model().BytesPerValue, cost)
+}
+
 // next pops up to want of the largest remaining values of v's subtree,
 // refilling child buffers batch values at a time.
 func (s *naiveBatch) next(v network.NodeID, want int, led *energy.Ledger) []ValueAt {
@@ -178,16 +196,9 @@ func (s *naiveBatch) next(v network.NodeID, want int, led *energy.Ledger) []Valu
 			if s.done[c] || len(s.pending[c]) > 0 {
 				continue
 			}
-			reqCost := s.env.Costs.Model().Request()
-			led.Requests += reqCost
-			led.Messages++
-			s.env.em.request(c, reqCost)
+			s.chargeRequest(c, led)
 			vals := s.next(c, s.batch, led)
-			replyCost := s.env.Costs.Msg[c] + s.env.Costs.Val[c]*float64(len(vals))
-			led.Collection += replyCost
-			led.Messages++
-			led.Values += len(vals)
-			s.env.em.msg(c, len(vals), len(vals)*s.env.Costs.Model().BytesPerValue, replyCost)
+			s.chargeReply(c, vals, led)
 			if len(vals) == 0 {
 				s.done[c] = true
 				continue

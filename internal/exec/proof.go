@@ -29,8 +29,7 @@ type ProofState struct {
 // conditions (c.1)-(c.3).
 func runProof(env Env, p *plan.Plan, values []float64) *Result {
 	res := &Result{}
-	res.Ledger.Trigger += p.TriggerCost(env.Net, env.Costs)
-	env.em.trigger(p)
+	env.chargeTrigger(&res.Ledger, p)
 	net := env.Net
 	st := &ProofState{
 		env:       env,

@@ -176,6 +176,16 @@ func NewCosts(net *network.Network, m energy.Model) *Costs {
 // Model returns the underlying energy model.
 func (c *Costs) Model() energy.Model { return c.model }
 
+// ValueCost returns the cost of carrying n values on the edge above v.
+// Val is a per-value coefficient (mJ/val); multiplying by the value
+// count is the only sanctioned way to turn it into energy, and
+// unitcheck flags Val used directly in an energy sum.
+//
+//unit:n=val return=mJ
+func (c *Costs) ValueCost(v network.NodeID, n int) float64 {
+	return c.Val[v] * float64(n)
+}
+
 // InflateForFailures raises each edge's costs by its expected reroute
 // overhead: cost *= 1 + failProb[v]*rerouteFactor, the adjustment
 // Section 4.4 feeds into optimization.
@@ -195,6 +205,17 @@ func (c *Costs) InflateForFailures(failProb []float64, rerouteFactor float64) er
 	return nil
 }
 
+// proofMetaBytes is the per-message overhead of a Proof plan: the
+// proven-count field on each internal edge (§4.3).
+const proofMetaBytes = 1 //unit:B
+
+// ProofMetaCost returns the energy reserved per internal edge for the
+// proven-count field of Proof plans (§4.3). PerByte alone is mJ/B;
+// this is the sanctioned conversion to energy.
+//
+//unit:return=mJ
+func (c *Costs) ProofMetaCost() float64 { return c.model.PerByte * proofMetaBytes }
+
 // CollectionCost returns the static energy cost of one collection
 // phase of the plan: a message on every used edge plus the per-value
 // cost of its bandwidth. For Proof plans one extra byte per internal
@@ -206,9 +227,9 @@ func (p *Plan) CollectionCost(net *network.Network, c *Costs) float64 {
 		if !p.UsesEdge(v) {
 			continue
 		}
-		total += c.Msg[i] + c.Val[i]*float64(p.Bandwidth[i])
+		total += c.Msg[i] + c.ValueCost(v, p.Bandwidth[i])
 		if p.Kind == Proof && len(net.Children(v)) > 0 {
-			total += c.model.PerByte
+			total += c.ProofMetaCost()
 		}
 	}
 	return total

@@ -95,9 +95,7 @@ func (in *installer) trySend(v network.NodeID) {
 	in.res.EdgeAttempts[v]++
 	if in.cfg.LossProb != nil && in.cfg.Rng.Float64() < in.cfg.LossProb[v] {
 		in.res.EdgeFailures[v]++
-		in.res.NodeEnergy[parent] += in.cfg.Model.TxShare(cost)
-		in.res.Ledger.Install += in.cfg.Model.TxShare(cost)
-		in.res.Retransmissions++
+		in.chargeLoss(parent, cost)
 		if in.attempts[v] > in.cfg.MaxRetries {
 			in.res.Dropped++
 			in.res.Abandoned = append(in.res.Abandoned, v)
@@ -106,11 +104,23 @@ func (in *installer) trySend(v network.NodeID) {
 		in.schedule(in.now+dur*1.5, evTrySend, v)
 		return
 	}
+	in.chargeInstall(parent, v, cost)
+	in.schedule(in.now+dur, evDelivery, v)
+}
+
+// chargeLoss debits the parent's TX share of a lost bundle unicast.
+func (in *installer) chargeLoss(parent network.NodeID, cost float64) {
+	in.res.NodeEnergy[parent] += in.cfg.Model.TxShare(cost)
+	in.res.Ledger.Install += in.cfg.Model.TxShare(cost)
+	in.res.Retransmissions++
+}
+
+// chargeInstall debits a delivered bundle unicast from parent to v.
+func (in *installer) chargeInstall(parent, v network.NodeID, cost float64) {
 	in.res.NodeEnergy[parent] += in.cfg.Model.TxShare(cost)
 	in.res.NodeEnergy[v] += in.cfg.Model.RxShare(cost)
 	in.res.Ledger.Install += cost
 	in.res.Ledger.Messages++
-	in.schedule(in.now+dur, evDelivery, v)
 }
 
 // deliver marks v installed and forwards its children's bundles.

@@ -288,9 +288,7 @@ func (s *sim) run() {
 			}
 		}
 		if rebroadcasts {
-			s.res.Ledger.Trigger += s.cfg.Model.Trigger()
-			s.res.NodeEnergy[v] += s.cfg.Model.Trigger()
-			s.em.trigger(v, float64(net.Depth(v))*trigDur)
+			s.chargeTrigger(v, float64(net.Depth(v))*trigDur)
 		}
 	}
 	for _, v := range net.Preorder() {
@@ -314,6 +312,31 @@ func (s *sim) run() {
 		}
 	}
 	s.finish()
+}
+
+// chargeTrigger debits one trigger rebroadcast at v, heard at hearAt.
+func (s *sim) chargeTrigger(v network.NodeID, hearAt float64) {
+	s.res.Ledger.Trigger += s.cfg.Model.Trigger()
+	s.res.NodeEnergy[v] += s.cfg.Model.Trigger()
+	s.em.trigger(v, hearAt)
+}
+
+// chargeLoss debits the sender's TX share of a lost collection unicast;
+// the receiver hears nothing and pays nothing.
+func (s *sim) chargeLoss(v network.NodeID, cost float64) {
+	s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
+	s.res.Ledger.Collection += s.cfg.Model.TxShare(cost)
+	s.res.Retransmissions++
+}
+
+// chargeDelivery debits a delivered collection unicast from v to its
+// parent carrying nValues readings.
+func (s *sim) chargeDelivery(v, parent network.NodeID, nValues int, cost float64) {
+	s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
+	s.res.NodeEnergy[parent] += s.cfg.Model.RxShare(cost)
+	s.res.Ledger.Collection += cost
+	s.res.Ledger.Messages++
+	s.res.Ledger.Values += nValues
 }
 
 // onTrigger initializes a node: it reads its sensor, arms its deadline,
@@ -382,9 +405,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 	}
 	if lost {
 		s.res.EdgeFailures[v]++
-		s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
-		s.res.Ledger.Collection += s.cfg.Model.TxShare(cost)
-		s.res.Retransmissions++
+		s.chargeLoss(v, cost)
 		s.em.loss(v, s.now, s.attempts[v])
 		if s.attempts[v] > s.cfg.MaxRetries {
 			s.res.Dropped++
@@ -396,11 +417,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 		s.schedule(s.now+dur*1.5, evTrySend, v)
 		return
 	}
-	s.res.NodeEnergy[v] += s.cfg.Model.TxShare(cost)
-	s.res.NodeEnergy[parent] += s.cfg.Model.RxShare(cost)
-	s.res.Ledger.Collection += cost
-	s.res.Ledger.Messages++
-	s.res.Ledger.Values += len(payload)
+	s.chargeDelivery(v, parent, len(payload), cost)
 	s.em.delivered(v, len(payload), len(payload)*s.cfg.Model.BytesPerValue+extra, s.firstTry[v], s.now+dur)
 	s.sent[v] = true
 	s.childList[v] = payload

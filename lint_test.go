@@ -26,3 +26,76 @@ func TestLintRepoClean(t *testing.T) {
 		t.Log("reproduce with `go run ./cmd/lint`; silence a finding with `//lint:ignore <check> <reason>` plus justification")
 	}
 }
+
+// TestLoadDirWorkersDeterministic pins the contract that worker count
+// only changes wall-clock, never output: package order, check output,
+// and positions are identical for serial and parallel loads.
+func TestLoadDirWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole repository twice; skipped with -short")
+	}
+	serial, err := analysis.LoadDirWorkers(".", 1)
+	if err != nil {
+		t.Fatalf("serial load: %v", err)
+	}
+	parallel, err := analysis.LoadDirWorkers(".", 8)
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial load found %d packages, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Path != parallel[i].Path {
+			t.Errorf("package %d: serial %s, parallel %s", i, serial[i].Path, parallel[i].Path)
+		}
+	}
+	sd := analysis.RunWorkers(serial, analysis.Suite(), 1)
+	pd := analysis.RunWorkers(parallel, analysis.Suite(), 8)
+	if len(sd) != len(pd) {
+		t.Fatalf("serial run produced %d diagnostics, parallel %d", len(sd), len(pd))
+	}
+	for i := range sd {
+		if sd[i] != pd[i] {
+			t.Errorf("diagnostic %d differs: serial %s, parallel %s", i, sd[i], pd[i])
+		}
+	}
+}
+
+// BenchmarkLoadRepo measures the load stage (parse + type-check of the
+// whole module, stdlib through the source importer) serial vs parallel.
+func BenchmarkLoadRepo(b *testing.B) {
+	for _, bm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.LoadDirWorkers(".", bm.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLintRepo measures the check stage alone: the repository is
+// loaded once outside the timer, then the full suite runs over it with
+// one worker vs the machine's worth.
+func BenchmarkLintRepo(b *testing.B) {
+	pkgs, err := analysis.LoadDir(".")
+	if err != nil {
+		b.Fatalf("loading repository: %v", err)
+	}
+	for _, bm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				analysis.RunWorkers(pkgs, analysis.Suite(), bm.workers)
+			}
+		})
+	}
+}
