@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-fig all|3|4|5|7|8|9|samplesize|installcost|spatial|lossymedium|naivetradeoff] [-csv DIR] [-quick] [-plot]
-//	            [-metrics FILE] [-trace FILE] [-pprof ADDR|DIR]
+//	            [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR]
 //
 // -quick shrinks every experiment to a smoke-test scale (seconds
 // instead of minutes).
@@ -13,9 +13,12 @@
 // Each figure prints a per-phase cost breakdown (collection, trigger,
 // request energy plus traffic and LP solver totals) under its table.
 // -metrics additionally writes the whole run's metric exposition at
-// exit ("-" for stdout); -trace streams JSON-lines trace events;
-// -pprof serves net/http/pprof (value with ":") or writes
-// cpu.prof/heap.prof into a directory.
+// exit ("-" for stdout); -trace streams JSON-lines trace events, one
+// span per figure so tracetool can attribute work per experiment;
+// -listen serves the live registry (/metrics in Prometheus text
+// format, /snapshot.json) while the sweep runs — the main use case for
+// watching long sweeps; -pprof serves net/http/pprof (value with ":")
+// or writes cpu.prof/heap.prof into a directory.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	plot := flag.Bool("plot", false, "render an ASCII chart under each table")
 	metrics := flag.String("metrics", "", "write the run's metric exposition here at exit ('-' for stdout)")
 	traceOut := flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
+	listen := flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 	pprofArg := flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 	flag.Parse()
 
@@ -50,6 +54,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, cerr)
 		}
 	}()
+	if *listen != "" {
+		bound, err := ocli.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics and /snapshot.json on %s\n", bound)
+	}
 	// The breakdown tables want a registry even when -metrics is off.
 	reg := ocli.Registry()
 	if reg == nil {
@@ -166,10 +178,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range selected {
+	for i, id := range selected {
 		start := time.Now()
 		before := reg.Snapshot()
+		// One span per figure on an index clock, so tracetool groups and
+		// attributes the work per experiment.
+		var fspan *obs.Span
+		if tr := ocli.Tracer(); tr != nil {
+			fspan = tr.StartSpan(nil, "experiment", float64(i), obs.F("fig", id))
+			experiments.SetSpan(fspan)
+		}
 		res, err := runs[id]()
+		if fspan != nil {
+			experiments.SetSpan(nil)
+			fspan.End(float64(i + 1))
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			os.Exit(1)

@@ -7,18 +7,22 @@
 // Usage:
 //
 //	prospector [-nodes N] [-k K] [-samples S] [-budget-frac F]
-//	           [-planner greedy|lp-lf|lp+lf|proof|exact] [-seed SEED] [-epochs E]
+//	           [-planner greedy|lp-lf|lp+lf|proof|exact|naive] [-seed SEED] [-epochs E]
 //	           [-describe] [-dot FILE] [-sim] [-loss P]
-//	           [-metrics FILE] [-trace FILE] [-pprof ADDR|DIR]
+//	           [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR]
 //
 // -sim executes through the discrete-event mote simulator (reporting
 // latency and per-node energy) instead of the analytic executor;
 // -loss adds a uniform per-link loss probability to the simulation.
 //
 // Observability: -metrics writes the run's metric exposition at exit
-// ("-" for stdout); -trace streams deterministic JSON-lines events;
-// -pprof either serves net/http/pprof (value with a ":") or writes
-// cpu.prof/heap.prof into a directory.
+// ("-" for stdout); -trace streams deterministic JSON-lines events —
+// the run is wrapped in a root "query" span so tracetool can rebuild
+// the full tree (query → plan/solve → epochs → per-node rounds);
+// -listen serves the live registry at ADDR (/metrics in Prometheus
+// text format, /snapshot.json) while the run executes; -pprof either
+// serves net/http/pprof (value with a ":") or writes cpu.prof/heap.prof
+// into a directory.
 package main
 
 import (
@@ -54,7 +58,7 @@ func run() error {
 		k          = flag.Int("k", 10, "top-k rank bound")
 		nSamples   = flag.Int("samples", 15, "past samples used for planning")
 		budgetFrac = flag.Float64("budget-frac", 0.3, "energy budget as a fraction of NAIVE-k's cost")
-		planner    = flag.String("planner", "lp+lf", "greedy, lp-lf, lp+lf, proof, or exact")
+		planner    = flag.String("planner", "lp+lf", "greedy, lp-lf, lp+lf, proof, exact, or naive (the NAIVE-k baseline)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		epochs     = flag.Int("epochs", 10, "evaluation epochs")
 		describe   = flag.Bool("describe", false, "print the per-node plan table")
@@ -63,6 +67,7 @@ func run() error {
 		lossProb   = flag.Float64("loss", 0, "uniform per-link loss probability for -sim")
 		metrics    = flag.String("metrics", "", "write the metric exposition here at exit ('-' for stdout)")
 		traceOut   = flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
+		listen     = flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 		pprofArg   = flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 	)
 	flag.Parse()
@@ -76,6 +81,21 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "prospector:", cerr)
 		}
 	}()
+	if *listen != "" {
+		bound, err := ocli.Serve(*listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving /metrics and /snapshot.json on %s\n", bound)
+	}
+	// The root span makes the whole run one tree for tracetool; its End
+	// is deferred after Close's defer, so it lands before the flush.
+	var root *obs.Span
+	if tr := ocli.Tracer(); tr != nil {
+		root = tr.StartSpan(nil, "query",
+			0, obs.F("planner", *planner), obs.F("nodes", *nodes), obs.F("k", *k))
+		defer root.End(0)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := network.Build(network.DefaultBuildConfig(*nodes), rng)
@@ -100,8 +120,8 @@ func run() error {
 	// The LP solver never reads the wall clock itself (determinism
 	// analyzer); the CLI injects one so lp.solve_seconds gets real data.
 	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: ocli.Registry(),
-		LP: lp.Options{Now: time.Now}}
-	env := exec.Env{Net: net, Costs: costs, Obs: ocli.Registry(), Trace: ocli.Tracer()}
+		Trace: ocli.Tracer(), Span: root, LP: lp.Options{Now: time.Now}}
+	env := exec.Env{Net: net, Costs: costs, Obs: ocli.Registry(), Trace: ocli.Tracer(), Span: root}
 
 	naivePlan, err := core.NaiveKPlan(net, *k)
 	if err != nil {
@@ -151,6 +171,12 @@ func run() error {
 			return err
 		}
 		return report(env, p, truth, *k)
+	case "naive":
+		// The NAIVE-k baseline plan, runnable through -sim and tracing
+		// like any other filtering plan (the budget does not apply).
+		fmt.Printf("NAIVE-%d plan: %v\n", *k, naivePlan)
+		return finish(naivePlan, env, net, truth, *k, *describe, *dotFile,
+			*useSim, *lossProb, rng, ocli, root)
 	default:
 		var pl core.Planner
 		switch *planner {
@@ -171,20 +197,30 @@ func run() error {
 			return err
 		}
 		fmt.Printf("%s plan: %v\n", pl.Name(), p)
-		if *describe {
-			fmt.Print(p.Describe(net))
-		}
-		if *dotFile != "" {
-			if err := writeDOT(net, p, *dotFile); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *dotFile)
-		}
-		if *useSim {
-			return simReport(net, p, truth, *k, *lossProb, rng, ocli)
-		}
-		return report(env, p, truth, *k)
+		return finish(p, env, net, truth, *k, *describe, *dotFile,
+			*useSim, *lossProb, rng, ocli, root)
 	}
+}
+
+// finish runs the shared tail of every non-exact planner mode:
+// optional plan table / DOT dump, then execution through the simulator
+// or the analytic executor.
+func finish(p *plan.Plan, env exec.Env, net *network.Network, truth [][]float64,
+	k int, describe bool, dotFile string, useSim bool, loss float64,
+	rng *rand.Rand, ocli *obs.CLI, root *obs.Span) error {
+	if describe {
+		fmt.Print(p.Describe(net))
+	}
+	if dotFile != "" {
+		if err := writeDOT(net, p, dotFile); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dotFile)
+	}
+	if useSim {
+		return simReport(net, p, truth, k, loss, rng, ocli, root)
+	}
+	return report(env, p, truth, k)
 }
 
 func writeDOT(net *network.Network, p *plan.Plan, path string) error {
@@ -201,13 +237,14 @@ func writeDOT(net *network.Network, p *plan.Plan, path string) error {
 
 // simReport executes the plan through the discrete-event simulator,
 // reporting latency, retransmissions, and the hottest radios.
-func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, ocli *obs.CLI) error {
+func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, ocli *obs.CLI, root *obs.Span) error {
 	if p.Kind == plan.Selection {
 		return fmt.Errorf("-sim supports filtering/proof plans (use -planner lp+lf or proof)")
 	}
 	cfg := sim.DefaultConfig(net)
 	cfg.Obs = ocli.Registry()
 	cfg.Trace = ocli.Tracer()
+	cfg.Span = root
 	if loss > 0 {
 		probs := make([]float64, net.Size())
 		for i := 1; i < net.Size(); i++ {

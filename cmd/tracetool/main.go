@@ -1,0 +1,86 @@
+// Command tracetool analyzes the JSON-lines traces written by
+// prospector -trace / experiments -trace.
+//
+// Usage:
+//
+//	tracetool summary   trace.jsonl         per-phase totals
+//	tracetool tree      trace.jsonl         indented span tree
+//	tracetool critpath  trace.jsonl         longest latency chain per round
+//	tracetool attribute trace.jsonl         per-node energy / message shares
+//	tracetool diff      a.jsonl b.jsonl     per-phase deltas, A = baseline
+//
+// All output is deterministic: the same trace bytes produce the same
+// report bytes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prospector/internal/traceanalysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tracetool <summary|tree|critpath|attribute|diff> <trace.jsonl> [trace2.jsonl]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary", "tree", "critpath", "attribute":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: tracetool %s <trace.jsonl>", cmd)
+		}
+		t, err := load(rest[0])
+		if err != nil {
+			return err
+		}
+		switch cmd {
+		case "summary":
+			fmt.Print(traceanalysis.Summarize(t).Render())
+		case "tree":
+			fmt.Print(t.RenderTree())
+		case "critpath":
+			fmt.Print(traceanalysis.RenderCritPaths(traceanalysis.CritPaths(t)))
+		case "attribute":
+			fmt.Print(traceanalysis.Attribute(t).Render())
+		}
+		return nil
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: tracetool diff <a.jsonl> <b.jsonl>")
+		}
+		a, err := load(rest[0])
+		if err != nil {
+			return err
+		}
+		b, err := load(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("A = %s\nB = %s\n", rest[0], rest[1])
+		fmt.Print(traceanalysis.Diff(traceanalysis.Summarize(a), traceanalysis.Summarize(b)).Render())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summary, tree, critpath, attribute, or diff)", cmd)
+	}
+}
+
+func load(path string) (*traceanalysis.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := traceanalysis.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -7,13 +7,16 @@ import (
 )
 
 // deterministicPkgs are the package-path suffixes whose behavior must
-// be replayable: the planners, the executor, the simulator, and the LP
-// solver. Clocks and RNGs reach them by injection only.
+// be replayable: the planners, the executor, the simulator, the LP
+// solver, and the trace toolchain (same trace bytes in, same analysis
+// out). Clocks and RNGs reach them by injection only.
 var deterministicPkgs = []string{
 	"/internal/sim",
 	"/internal/exec",
 	"/internal/core",
 	"/internal/lp",
+	"/internal/traceanalysis",
+	"/cmd/tracetool",
 }
 
 // bannedCalls maps package path -> function name -> the reason it

@@ -10,8 +10,9 @@ import (
 // else must go through those helpers (or a tolerance), because a raw
 // equality on computed floats silently depends on rounding.
 var floatcmpScope = map[string][]string{
-	"/internal/lp":    {"isZero", "sameFloat"},
-	"/internal/stats": {"exactly"},
+	"/internal/lp":            {"isZero", "sameFloat"},
+	"/internal/stats":         {"exactly"},
+	"/internal/traceanalysis": {},
 }
 
 func newFloatcmpCheck() *Check {

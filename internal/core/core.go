@@ -40,14 +40,25 @@ type Config struct {
 	// Obs, when non-nil, receives core.<planner>.* metrics (see obs.go)
 	// and is forwarded to the LP solver for the lp.* family.
 	Obs *obs.Registry
+	// Trace, when non-nil, records one core.plan span per produced plan
+	// and is forwarded to the LP solver for lp.solve spans.
+	Trace *obs.Tracer
+	// Span, when non-nil, parents the core.plan and lp.solve spans.
+	Span *obs.Span
 }
 
 // solveLP runs the configured solve path (presolve by default),
-// forwarding the planner registry to the solver.
+// forwarding the planner registry and trace context to the solver.
 func (c Config) solveLP(m *lp.Model) (*lp.Solution, error) {
 	opts := c.LP
 	if opts.Obs == nil {
 		opts.Obs = c.Obs
+	}
+	if opts.Trace == nil {
+		opts.Trace = c.Trace
+	}
+	if opts.Span == nil {
+		opts.Span = c.Span
 	}
 	if c.DisablePresolve {
 		return m.Solve(opts)

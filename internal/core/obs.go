@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 )
 
@@ -19,18 +20,36 @@ import (
 // finishPlan records planner-output metrics and passes the plan
 // constructor's result through, so Plan methods can wrap their return
 // expression in place: return finishPlan(cfg, name, budget)(plan.New...).
-// Planning is off the hot path; registry lookups here are fine.
+// Planning is off the hot path; registry lookups here are fine. With
+// Config.Trace (or a parent Config.Span) set, each produced plan also
+// emits one flat zero-length "core.plan" span — planning is untimed by
+// design (deterministic, no wall clock) — carrying the planner name and
+// plan shape.
 func finishPlan(cfg Config, name string, budget float64) func(*plan.Plan, error) (*plan.Plan, error) {
 	return func(p *plan.Plan, err error) (*plan.Plan, error) {
-		if err != nil || cfg.Obs == nil {
+		if err != nil {
 			return p, err
 		}
-		r := cfg.Obs
-		r.Counter("core." + name + ".plans").Inc()
-		r.Gauge("core." + name + ".plan_size").Set(float64(p.Participants()))
-		r.Gauge("core." + name + ".bandwidth_total").Set(float64(p.TotalBandwidth()))
-		if budget > 0 {
-			r.Gauge("core." + name + ".budget_utilization").Set(p.CollectionCost(cfg.Net, cfg.Costs) / budget)
+		if r := cfg.Obs; r != nil {
+			r.Counter("core." + name + ".plans").Inc()
+			r.Gauge("core." + name + ".plan_size").Set(float64(p.Participants()))
+			r.Gauge("core." + name + ".bandwidth_total").Set(float64(p.TotalBandwidth()))
+			if budget > 0 {
+				r.Gauge("core." + name + ".budget_utilization").Set(p.CollectionCost(cfg.Net, cfg.Costs) / budget)
+			}
+		}
+		if cfg.Trace != nil || cfg.Span != nil {
+			fields := []obs.Field{
+				obs.F("planner", name),
+				obs.F("kind", p.Kind.String()),
+				obs.F("participants", p.Participants()),
+				obs.F("bandwidth_total", p.TotalBandwidth()),
+			}
+			if cfg.Span != nil {
+				cfg.Span.Span("core.plan", 0, 0, fields...)
+			} else {
+				cfg.Trace.Span("core.plan", 0, 0, fields...)
+			}
 		}
 		return p, nil
 	}

@@ -5,6 +5,7 @@ import (
 
 	"prospector/internal/energy"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 )
 
 // MopUpResult is the outcome of an exact second phase.
@@ -47,11 +48,13 @@ func (st *ProofState) MopUpWith(k int, opts MopUpOptions) (*MopUpResult, error) 
 	}
 	res := &MopUpResult{}
 	m := &mopper{st: st, res: res, opts: opts}
+	st.env.em.begin(obs.F("plan", "mopup"), obs.F("k", k))
 	ans := m.answer(network.Root, k, nil, nil)
 	if len(ans) > k {
 		ans = ans[:k]
 	}
 	res.Answer = ans
+	st.env.em.finish(&res.Ledger)
 	return res, nil
 }
 

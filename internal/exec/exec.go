@@ -89,9 +89,13 @@ type Env struct {
 	// Obs, when non-nil, receives exec.* metrics (see obs.go). Leaving
 	// it nil keeps the per-message hot path allocation-free.
 	Obs *obs.Registry
-	// Trace, when non-nil, receives one exec.msg event per message on a
-	// deterministic step clock.
+	// Trace, when non-nil, receives one exec.epoch span per run and one
+	// exec.msg event per message on a deterministic step clock.
 	Trace *obs.Tracer
+	// Span, when non-nil, becomes the parent of the exec.epoch spans,
+	// slotting executions into a caller-owned trace tree (typically the
+	// CLI's root query span).
+	Span *obs.Span
 
 	// em caches resolved metric handles for one run; populated by the
 	// entry points, never by callers.
@@ -103,6 +107,7 @@ type Env struct {
 func (e Env) instrumented() Env {
 	if e.Obs != nil || e.Trace != nil {
 		e.em = newExecObs(e.Obs, e.Trace, e.Net, e.Costs.Model())
+		e.em.parent = e.Span
 	}
 	return e
 }
@@ -162,15 +167,20 @@ func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
 		return nil, err
 	}
 	env = env.instrumented()
+	var res *Result
+	env.em.begin(obs.F("plan", p.Kind.String()))
 	switch p.Kind {
 	case plan.Selection:
-		return runSelection(env, p, values), nil
+		res = runSelection(env, p, values)
 	case plan.Filtering:
-		return runFiltering(env, p, values), nil
+		res = runFiltering(env, p, values)
 	case plan.Proof:
-		return runProof(env, p, values), nil
+		res = runProof(env, p, values)
+	default:
+		return nil, fmt.Errorf("exec: unknown plan kind %v", p.Kind)
 	}
-	return nil, fmt.Errorf("exec: unknown plan kind %v", p.Kind)
+	env.em.finish(&res.Ledger)
+	return res, nil
 }
 
 // runSelection moves chosen readings to the root unfiltered.

@@ -5,6 +5,7 @@ import (
 
 	"prospector/internal/energy"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 )
 
 // NaiveOne simulates the NAIVE-1 exact algorithm of Section 2: a
@@ -30,6 +31,7 @@ func NaiveOne(env Env, values []float64, k int) (*Result, error) {
 		done:    make(map[network.NodeID]bool, env.Net.Size()),
 	}
 	res := &Result{}
+	env.em.begin(obs.F("plan", "naive1"), obs.F("k", k))
 	for i := 0; i < k; i++ {
 		v, ok := s.next(network.Root, &res.Ledger)
 		if !ok {
@@ -37,6 +39,7 @@ func NaiveOne(env Env, values []float64, k int) (*Result, error) {
 		}
 		res.Returned = append(res.Returned, v)
 	}
+	env.em.finish(&res.Ledger)
 	return res, nil
 }
 
@@ -150,11 +153,13 @@ func NaiveBatch(env Env, values []float64, k, batch int) (*Result, error) {
 		done:    make(map[network.NodeID]bool, env.Net.Size()),
 	}
 	res := &Result{}
+	env.em.begin(obs.F("plan", "naive-batch"), obs.F("k", k), obs.F("batch", batch))
 	got := s.next(network.Root, k, &res.Ledger)
 	if len(got) > k {
 		got = got[:k]
 	}
 	res.Returned = got
+	env.em.finish(&res.Ledger)
 	return res, nil
 }
 

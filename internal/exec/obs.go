@@ -20,9 +20,15 @@ import (
 //	exec.energy_mj.requests       gauge, accumulated request energy
 //	exec.node.<id>.energy_mj      gauge, per-node radio spend (TX+RX+trigger)
 //
-// With Env.Trace set, each data message additionally emits an
-// "exec.msg" event on a deterministic step clock (one tick per
-// message), replaying the collection round bottom-up.
+// With Env.Trace set, each entry point (Run, NaiveOne, NaiveBatch,
+// MopUp) wraps its work in an "exec.epoch" span on a deterministic
+// step clock (one tick per message), carrying energy/message totals at
+// End. Inside it, every data message emits an "exec.msg" event with
+// its per-node energy shares (tx_mj to the sender, rx_mj to the
+// parent), every trigger rebroadcast an "exec.trigger" event with the
+// rebroadcasting node's energy, and every request an "exec.request"
+// event — enough for tracetool attribute to rebuild the per-node
+// energy gauges exactly.
 
 // execObs holds pre-resolved metric handles so the per-message hot
 // path performs no registry lookups. A nil *execObs (observability
@@ -37,8 +43,10 @@ type execObs struct {
 	lvlMsgs, lvlBytes                 []*obs.Counter // indexed by sender depth
 	nodeEnergy                        []*obs.Gauge   // indexed by node
 
-	trace *obs.Tracer
-	step  float64 // deterministic trace clock: one tick per message
+	trace  *obs.Tracer
+	parent *obs.Span // caller-supplied enclosing span (Env.Span)
+	span   *obs.Span // current exec.epoch span
+	step   float64   // deterministic trace clock: one tick per message
 }
 
 // newExecObs resolves every handle up front; returns nil when both the
@@ -105,6 +113,38 @@ func itoa(v int) string {
 	return string(b[i:])
 }
 
+// begin opens an exec.epoch span on the step clock, parented to the
+// caller's Env.Span. A nil receiver or absent tracer no-ops.
+func (e *execObs) begin(fields ...obs.Field) {
+	if e == nil || e.trace == nil {
+		return
+	}
+	e.span = e.trace.StartSpan(e.parent, "exec.epoch", e.step, fields...)
+}
+
+// finish ends the epoch span with the run's ledger totals.
+func (e *execObs) finish(led *energy.Ledger) {
+	if e == nil {
+		return
+	}
+	e.span.End(e.step,
+		obs.F("energy_mj", led.Total()),
+		obs.F("messages", led.Messages),
+		obs.F("values", led.Values))
+	e.span = nil
+}
+
+// event bumps the step clock and emits one trace record, parented to
+// the epoch span when one is open.
+func (e *execObs) event(name string, fields ...obs.Field) {
+	e.step++
+	if e.span != nil {
+		e.span.Event(name, e.step, fields...)
+		return
+	}
+	e.trace.Event(name, e.step, fields...)
+}
+
 // msg records one data message from v to its parent carrying nValues
 // readings (contentBytes total content) at combined energy cost.
 func (e *execObs) msg(v network.NodeID, nValues, contentBytes int, cost float64) {
@@ -123,18 +163,23 @@ func (e *execObs) msg(v network.NodeID, nValues, contentBytes int, cost float64)
 		e.nodeEnergy[e.net.Parent(v)].Add(e.model.RxShare(cost))
 	}
 	if e.trace != nil {
-		e.step++
-		e.trace.Event("exec.msg", e.step,
+		// "dst" (not "parent"): parented events already use the parent
+		// key for the enclosing span's ID.
+		e.event("exec.msg",
 			obs.F("node", int(v)),
-			obs.F("parent", int(e.net.Parent(v))),
+			obs.F("dst", int(e.net.Parent(v))),
 			obs.F("values", nValues),
-			obs.F("bytes", contentBytes))
+			obs.F("bytes", contentBytes),
+			obs.F("tx_mj", e.model.TxShare(cost)),
+			obs.F("rx_mj", e.model.RxShare(cost)))
 	}
 }
 
 // trigger attributes the collection trigger broadcast: one Trigger()
 // charge per internal node with a participating child, matching
-// plan.TriggerCost and the simulator's per-node accounting.
+// plan.TriggerCost and the simulator's per-node accounting. Each
+// rebroadcasting node emits its own exec.trigger event so traces can
+// attribute the energy per node.
 func (e *execObs) trigger(p *plan.Plan) {
 	if e == nil {
 		return
@@ -148,15 +193,14 @@ func (e *execObs) trigger(p *plan.Plan) {
 				if e.nodeEnergy != nil {
 					e.nodeEnergy[v].Add(c)
 				}
+				if e.trace != nil {
+					e.event("exec.trigger", obs.F("node", int(v)), obs.F("energy_mj", c))
+				}
 				break
 			}
 		}
 	}
 	e.triggerEnergy.Add(total)
-	if e.trace != nil {
-		e.step++
-		e.trace.Event("exec.trigger", e.step, obs.F("energy_mj", total))
-	}
 }
 
 // request records one request message (mop-up or naive pull) down the
@@ -169,7 +213,6 @@ func (e *execObs) request(v network.NodeID, cost float64) {
 	e.requests.Inc()
 	e.requestEnergy.Add(cost)
 	if e.trace != nil {
-		e.step++
-		e.trace.Event("exec.request", e.step, obs.F("node", int(v)))
+		e.event("exec.request", obs.F("node", int(v)), obs.F("energy_mj", cost))
 	}
 }

@@ -21,6 +21,7 @@ var (
 	obsMu     sync.RWMutex
 	obsReg    *obs.Registry
 	obsTracer *obs.Tracer
+	obsSpan   *obs.Span
 )
 
 // SetObs attaches a metrics registry and/or tracer to every scenario
@@ -31,10 +32,19 @@ func SetObs(r *obs.Registry, tr *obs.Tracer) {
 	obsMu.Unlock()
 }
 
-func currentObs() (*obs.Registry, *obs.Tracer) {
+// SetSpan parents every subsequent scenario's spans (planner, solver,
+// executor) under s — typically one span per figure, so the trace tree
+// groups the work by experiment. Nil detaches.
+func SetSpan(s *obs.Span) {
+	obsMu.Lock()
+	obsSpan = s
+	obsMu.Unlock()
+}
+
+func currentObs() (*obs.Registry, *obs.Tracer, *obs.Span) {
 	obsMu.RLock()
 	defer obsMu.RUnlock()
-	return obsReg, obsTracer
+	return obsReg, obsTracer, obsSpan
 }
 
 // newScenario assembles a scenario with the package observability
@@ -44,10 +54,13 @@ func currentObs() (*obs.Registry, *obs.Tracer) {
 // the clock that feeds lp.solve_seconds is injected here, outside the
 // deterministic core.
 func newScenario(cfg core.Config, env exec.Env, truth [][]float64) *scenario {
-	r, tr := currentObs()
+	r, tr, sp := currentObs()
 	cfg.Obs = r
+	cfg.Trace = tr
+	cfg.Span = sp
 	env.Obs = r
 	env.Trace = tr
+	env.Span = sp
 	if r != nil && cfg.LP.Now == nil {
 		cfg.LP.Now = time.Now
 	}

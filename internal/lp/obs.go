@@ -23,22 +23,39 @@ import (
 // solveSecondsBounds buckets solve wall time from 10µs to 10s.
 var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 
-// recordSolve publishes one solve's statistics; no-op when r is nil.
-// The solve_seconds histogram is only fed when the caller injected a
-// clock (timed): a solver without Options.Now has no wall-time signal
-// to report, and observing zeros would skew the distribution.
-func recordSolve(r *obs.Registry, sol *Solution, elapsed time.Duration, timed bool) {
-	if r == nil {
-		return
+// recordSolve publishes one solve's statistics; no-op without a
+// registry or tracer. The solve_seconds histogram is only fed when the
+// caller injected a clock (timed): a solver without Options.Now has no
+// wall-time signal to report, and observing zeros would skew the
+// distribution. With Options.Trace (or a parent Options.Span) the solve
+// additionally emits one flat "lp.solve" span carrying the outcome.
+// The span's timeline is [0, 0]: traces must be byte-identical for a
+// fixed seed, so wall time stays out of them — the deterministic
+// iteration/pivot counts on the span are the solve-effort signal, and
+// wall time lives only in the lp.solve_seconds histogram.
+func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool) {
+	if r := opts.Obs; r != nil {
+		r.Counter("lp.solves").Inc()
+		r.Counter("lp.status." + sol.Status.String()).Inc()
+		r.Counter("lp.iterations").Add(int64(sol.Iterations))
+		r.Counter("lp.pivots").Add(int64(sol.Pivots))
+		r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
+		r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
+		if timed {
+			r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
+		}
 	}
-	r.Counter("lp.solves").Inc()
-	r.Counter("lp.status." + sol.Status.String()).Inc()
-	r.Counter("lp.iterations").Add(int64(sol.Iterations))
-	r.Counter("lp.pivots").Add(int64(sol.Pivots))
-	r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
-	r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
-	if timed {
-		r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
+	if opts.Trace != nil || opts.Span != nil {
+		fields := []obs.Field{
+			obs.F("status", sol.Status.String()),
+			obs.F("iterations", sol.Iterations),
+			obs.F("pivots", sol.Pivots),
+		}
+		if opts.Span != nil {
+			opts.Span.Span("lp.solve", 0, 0, fields...)
+		} else {
+			opts.Trace.Span("lp.solve", 0, 0, fields...)
+		}
 	}
 }
 

@@ -67,6 +67,11 @@ type Options struct {
 	// reads the wall clock itself, keeping library solves replayable;
 	// with Now nil, solve timing is simply not recorded.
 	Now func() time.Time
+	// Trace, when non-nil, receives one lp.solve span per Solve call.
+	Trace *obs.Tracer
+	// Span, when non-nil, parents the lp.solve spans (requires Trace or
+	// an open span; a Span without Trace still emits through the span).
+	Span *obs.Span
 }
 
 func (o Options) withDefaults(rows int) Options {
@@ -167,7 +172,7 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	if opts.Now != nil {
 		elapsed = opts.Now().Sub(start)
 	}
-	recordSolve(opts.Obs, sol, elapsed, opts.Now != nil)
+	recordSolve(opts, sol, elapsed, opts.Now != nil)
 	if st == Optimal || st == IterationLimit {
 		for i := 0; i < s.nStruct; i++ {
 			sol.X[i] = s.value(i)

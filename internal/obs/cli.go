@@ -24,6 +24,7 @@ type CLI struct {
 	traceFile   *os.File
 	cpuFile     *os.File
 	pprofDir    string
+	stopServe   func() error
 }
 
 // StartCLI interprets the three standard observability flags:
@@ -64,7 +65,8 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 				return nil, fmt.Errorf("obs: trace file: %w", err)
 			}
 			c.traceFile = f
-			c.tracer = NewTracer(f)
+			// Buffered: file traces are hot-path output; Close flushes.
+			c.tracer = NewBufferedTracer(f)
 		}
 	}
 	if pprofArg != "" {
@@ -94,6 +96,25 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 		}
 	}
 	return c, nil
+}
+
+// Serve exposes the CLI's registry at addr (/metrics in Prometheus
+// text format, /snapshot.json) for the lifetime of the process,
+// creating a registry first if the flags alone didn't. It returns the
+// bound address, so ":0" picks a free port. No-op on a nil CLI.
+func (c *CLI) Serve(addr string) (string, error) {
+	if c == nil {
+		return "", nil
+	}
+	if c.reg == nil {
+		c.reg = NewRegistry()
+	}
+	bound, stop, err := Serve(addr, c.reg)
+	if err != nil {
+		return "", err
+	}
+	c.stopServe = stop
+	return bound, nil
 }
 
 // Registry returns the metrics registry, nil when metrics are disabled
@@ -137,7 +158,13 @@ func (c *CLI) Close() error {
 		}
 	}
 	if c.tracer != nil {
-		keep(c.tracer.Err())
+		// Flush drains the buffer (if any) and reports the first error
+		// the tracer saw, so this covers Err too.
+		keep(c.tracer.Flush())
+	}
+	if c.stopServe != nil {
+		keep(c.stopServe())
+		c.stopServe = nil
 	}
 	if c.traceFile != nil {
 		keep(c.traceFile.Close())

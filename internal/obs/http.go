@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Live exposition. Handler serves a registry over HTTP so long sweeps
+// can be watched while they run:
+//
+//	/metrics        Prometheus text exposition (format 0.0.4)
+//	/snapshot.json  the registry snapshot as one JSON document
+//
+// Both endpoints take a fresh snapshot per request; the registry stays
+// lock-free for writers in between.
+
+// Handler returns an HTTP handler exposing the registry. A nil
+// registry serves empty (but well-formed) documents, so the endpoint
+// can be wired up before deciding whether metrics are on.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The snapshot is already in memory; an exposition write error
+		// just means the scraper hung up.
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts the exposition server on addr (e.g. ":9090"). It
+// listens eagerly — a bad address fails the run up front — then serves
+// in the background for the lifetime of the process. It returns the
+// bound address (useful with ":0") and a stop function.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() {
+		// Serve returns ErrServerClosed on Close; anything else only
+		// costs the exposition endpoint, never the run.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format: metric names sanitized to [a-zA-Z0-9_:], one # TYPE line per
+// family, histograms expanded into cumulative _bucket/_sum/_count
+// series. Families are sorted, so the output is deterministic. A nil
+// snapshot writes nothing.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	type series struct {
+		labels string // rendered label block, "" when unlabeled
+		key    string // original series key, for value lookup
+	}
+	type family struct {
+		name string // sanitized family name
+		kind string // counter | gauge | histogram
+		ss   []series
+	}
+	fams := map[string]*family{}
+	add := func(key, kind string) {
+		name, labels := splitSeries(key)
+		name = sanitizeMetricName(name)
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, kind: kind}
+			fams[name] = f
+		}
+		f.ss = append(f.ss, series{labels: labels, key: key})
+	}
+	for k := range s.Counters {
+		add(k, "counter")
+	}
+	for k := range s.Gauges {
+		add(k, "gauge")
+	}
+	for k := range s.Histograms {
+		add(k, "histogram")
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.ss, func(i, j int) bool { return f.ss[i].key < f.ss[j].key })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.ss {
+			var err error
+			switch f.kind {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, sr.labels, s.Counters[sr.key])
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, sr.labels, formatFloat(s.Gauges[sr.key]))
+			case "histogram":
+				err = writePromHistogram(w, f.name, sr.labels, s.Histograms[sr.key])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name, labels string, h HistogramSnapshot) error {
+	bucket := func(edge string, cum int64) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", withLE(name+"_bucket"+labels, edge), cum)
+		return err
+	}
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if err := bucket(formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	if err := bucket("+Inf", h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+	return err
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_:], replacing everything else (dots,
+// dashes) with underscores.
+func sanitizeMetricName(name string) string {
+	ok := func(r rune, first bool) bool {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':' {
+			return true
+		}
+		return !first && r >= '0' && r <= '9'
+	}
+	var b strings.Builder
+	for i, r := range name {
+		if ok(r, i == 0) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled metrics. A labeled handle is an ordinary Counter/Gauge/
+// Histogram registered under a canonical series key: the base name
+// followed by the label set sorted by key, rendered key="value". The
+// same name+labels therefore always resolves to the same handle no
+// matter the argument order, and snapshots/expositions see one stable
+// series per combination.
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key, Val string
+}
+
+// L builds a Label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// SeriesName returns the canonical series key for name plus labels:
+// `name{k1="v1",k2="v2"}` with the labels sorted by key (ties by
+// value); values are escaped like Prometheus label values. With no
+// labels it returns name unchanged.
+func SeriesName(name string, labels ...Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Val < ls[j].Val
+	})
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelVal(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelVal escapes a label value the way the Prometheus text
+// format does: backslash, double quote, and newline.
+func escapeLabelVal(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeries decomposes a series key back into base name and rendered
+// label block ("" when unlabeled). The label block keeps its braces.
+func splitSeries(series string) (name, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 && strings.HasSuffix(series, "}") {
+		return series[:i], series[i:]
+	}
+	return series, ""
+}
+
+// CounterL returns (creating if needed) the counter for name with this
+// label set. Returns nil on a nil registry.
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(SeriesName(name, labels...))
+}
+
+// GaugeL returns (creating if needed) the gauge for name with this
+// label set. Returns nil on a nil registry.
+func (r *Registry) GaugeL(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(SeriesName(name, labels...))
+}
+
+// HistogramL returns (creating if needed) the histogram for name with
+// this label set; bounds follow the Registry.Histogram rules. Returns
+// nil on a nil registry.
+func (r *Registry) HistogramL(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(SeriesName(name, labels...), bounds)
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSeriesNameCanonical: label order must not matter, values must be
+// escaped, and the unlabeled case must pass through.
+func TestSeriesNameCanonical(t *testing.T) {
+	a := SeriesName("m", L("b", "2"), L("a", "1"))
+	b := SeriesName("m", L("a", "1"), L("b", "2"))
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Fatalf("series names: %q vs %q", a, b)
+	}
+	if got := SeriesName("m"); got != "m" {
+		t.Errorf("unlabeled series = %q", got)
+	}
+	if got := SeriesName("m", L("k", "a\"b\\c\nd")); got != `m{k="a\"b\\c\nd"}` {
+		t.Errorf("escaping = %q", got)
+	}
+}
+
+// TestLabeledHandleIdentity: the same name+labels resolve to one handle
+// regardless of argument order, and distinct label sets to distinct
+// handles. Nil registries stay inert.
+func TestLabeledHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.CounterL("hits", L("plan", "lp"), L("phase", "epoch"))
+	c2 := r.CounterL("hits", L("phase", "epoch"), L("plan", "lp"))
+	if c1 != c2 {
+		t.Fatal("label order produced distinct counters")
+	}
+	if c3 := r.CounterL("hits", L("plan", "naive")); c3 == c1 {
+		t.Fatal("distinct label sets shared a counter")
+	}
+	g1 := r.GaugeL("depth", L("node", "3"))
+	g2 := r.GaugeL("depth", L("node", "3"))
+	if g1 != g2 {
+		t.Fatal("gauge handles differ")
+	}
+	h1 := r.HistogramL("lat", []float64{1, 2}, L("k", "v"))
+	h2 := r.HistogramL("lat", nil, L("k", "v"))
+	if h1 != h2 {
+		t.Fatal("histogram handles differ")
+	}
+	var nr *Registry
+	if nr.CounterL("x", L("a", "b")) != nil || nr.GaugeL("x") != nil || nr.HistogramL("x", nil) != nil {
+		t.Fatal("nil registry returned live labeled handles")
+	}
+}
+
+// TestHistogramBoundsSanitized: duplicate and unsorted edges are
+// deduped and sorted; NaN and infinite edges are dropped.
+func TestHistogramBoundsSanitized(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{2, 1, 2, math.NaN(), math.Inf(1), 1, math.Inf(-1)})
+	got := h.Bounds()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("bounds = %v, want [1 2]", got)
+	}
+	if counts := h.BucketCounts(); len(counts) != 3 {
+		t.Fatalf("%d buckets for 2 edges, want 3", len(counts))
+	}
+}
+
+// TestHistogramNaNObservations: NaN observations land in a dedicated
+// counter, never in buckets, count, or sum.
+func TestHistogramNaNObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.NaN())
+	if h.Count() != 1 || h.Sum() != 0.5 {
+		t.Fatalf("NaN leaked into count/sum: %d %g", h.Count(), h.Sum())
+	}
+	if h.NaNCount() != 2 {
+		t.Fatalf("NaNCount = %d, want 2", h.NaNCount())
+	}
+	snap := r.Snapshot()
+	if snap.Histograms["h"].NaNCount != 2 {
+		t.Errorf("snapshot NaNCount = %d", snap.Histograms["h"].NaNCount)
+	}
+	var nilH *Histogram
+	if nilH.NaNCount() != 0 {
+		t.Error("nil histogram NaNCount != 0")
+	}
+}
+
+// TestWritePrometheus pins the exposition format: sanitized names, one
+// TYPE line per family, labeled series merged with the le label, and
+// cumulative buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.messages").Add(4)
+	r.CounterL("plan.runs", L("planner", "lp+lf")).Add(2)
+	r.CounterL("plan.runs", L("planner", "naive")).Add(1)
+	r.Gauge("sim.latency_seconds").Set(0.25)
+	h := r.HistogramL("solve_s", []float64{0.1, 1}, L("status", "optimal"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE plan_runs counter`,
+		`plan_runs{planner="lp+lf"} 2`,
+		`plan_runs{planner="naive"} 1`,
+		`# TYPE sim_latency_seconds gauge`,
+		`sim_latency_seconds 0.25`,
+		`# TYPE sim_messages counter`,
+		`sim_messages 4`,
+		`# TYPE solve_s histogram`,
+		`solve_s_bucket{status="optimal",le="0.1"} 1`,
+		`solve_s_bucket{status="optimal",le="1"} 2`,
+		`solve_s_bucket{status="optimal",le="+Inf"} 3`,
+		`solve_s_sum{status="optimal"} 5.55`,
+		`solve_s_count{status="optimal"} 3`,
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Errorf("prometheus exposition:\n%swant:\n%s", buf.String(), want)
+	}
+
+	var nilSnap *Snapshot
+	if err := nilSnap.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil snapshot exposition: %v", err)
+	}
+}
+
+// TestHTTPHandler drives the live endpoints end to end, including the
+// nil-registry case the CLIs hit when -listen is set without metrics.
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.messages").Add(7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "sim_messages 7") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+	body, ctype = get("/snapshot.json")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("snapshot content type = %q", ctype)
+	}
+	if !strings.Contains(body, `"sim.messages": 7`) {
+		t.Errorf("snapshot body missing counter:\n%s", body)
+	}
+
+	nilSrv := httptest.NewServer(Handler(nil))
+	defer nilSrv.Close()
+	resp, err := http.Get(nilSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("nil registry /metrics = %d", resp.StatusCode)
+	}
+}
+
+// TestServeLifecycle covers the eager-listen contract: ":0" binds and
+// reports a real address, stop shuts the listener down, and a bad
+// address fails up front.
+func TestServeLifecycle(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("serve bound %s but GET failed: %v", addr, err)
+	}
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+	if _, _, err := Serve("256.256.256.256:0", nil); err == nil {
+		t.Error("bad address did not fail eagerly")
+	}
+}

@@ -70,10 +70,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns (creating if needed) the histogram with this name.
-// bounds are the inclusive upper edges of the finite buckets, strictly
-// increasing; one overflow bucket (+Inf) is implicit. If the histogram
-// already exists its original bounds win. Returns nil on a nil
-// registry.
+// bounds are the inclusive upper edges of the finite buckets; one
+// overflow bucket (+Inf) is implicit. Bounds are sorted, and duplicate
+// or non-finite edges are dropped (a duplicated edge would create a
+// bucket no observation can ever land in). If the histogram already
+// exists its original bounds win. Returns nil on a nil registry.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -82,12 +83,31 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
-		b := append([]float64(nil), bounds...)
-		sort.Float64s(b)
+		b := sanitizeBounds(bounds)
 		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 		r.hists[name] = h
 	}
 	return h
+}
+
+// sanitizeBounds sorts the finite bucket edges and removes duplicates,
+// NaNs, and infinities (the overflow bucket already covers +Inf).
+func sanitizeBounds(bounds []float64) []float64 {
+	b := make([]float64, 0, len(bounds))
+	for _, e := range bounds {
+		if !math.IsNaN(e) && !math.IsInf(e, 0) {
+			b = append(b, e)
+		}
+	}
+	sort.Float64s(b)
+	out := b[:0]
+	for i, e := range b {
+		if i > 0 && e == b[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -153,11 +173,19 @@ type Histogram struct {
 	counts  []int64 // len(bounds)+1; last is overflow
 	sumBits uint64
 	n       int64
+	nan     int64 // NaN observations, kept out of counts/sum/n
 }
 
-// Observe records one value. No-op on a nil histogram.
+// Observe records one value. A NaN observation is routed to a
+// dedicated counter (see NaNCount) instead of a bucket: folding it
+// into Sum would poison the total for the rest of the run. No-op on a
+// nil histogram.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		atomic.AddInt64(&h.nan, 1)
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: inclusive upper edge
@@ -170,6 +198,15 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// NaNCount returns how many NaN observations were rejected (0 on a nil
+// histogram).
+func (h *Histogram) NaNCount() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.nan)
 }
 
 // Count returns the number of observations (0 on a nil histogram).

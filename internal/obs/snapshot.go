@@ -14,6 +14,8 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"` // per bucket; last is overflow
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// NaNCount tallies NaN observations rejected by Observe.
+	NaNCount int64 `json:"nan_count,omitempty"`
 }
 
 // Snapshot is a frozen, serializable view of a registry.
@@ -52,10 +54,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for k, h := range hists {
 		s.Histograms[k] = HistogramSnapshot{
-			Bounds: h.Bounds(),
-			Counts: h.BucketCounts(),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
+			Bounds:   h.Bounds(),
+			Counts:   h.BucketCounts(),
+			Count:    h.Count(),
+			Sum:      h.Sum(),
+			NaNCount: h.NaNCount(),
 		}
 	}
 	return s
@@ -116,21 +119,33 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s{le=%q} %d\n", k, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLE(k, formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s{le=\"+Inf\"} %d\n", k, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLE(k, "+Inf"), h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s.sum %s\n", k, formatFloat(h.Sum)); err != nil {
+		name, labels := splitSeries(k)
+		if _, err := fmt.Fprintf(w, "%s.sum%s %s\n", name, labels, formatFloat(h.Sum)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s.count %d\n", k, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s.count%s %d\n", name, labels, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// withLE appends the cumulative-bucket le label to a series key,
+// merging into an existing label block: `h{le="1"}` for plain names,
+// `h{a="b",le="1"}` for labeled series.
+func withLE(series, edge string) string {
+	name, labels := splitSeries(series)
+	if labels == "" {
+		return name + `{le="` + edge + `"}`
+	}
+	return name + labels[:len(labels)-1] + `,le="` + edge + `"}`
 }
 
 // WriteJSON emits the snapshot as one indented JSON document. A nil

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -12,9 +13,14 @@ import (
 // step counter, never the wall clock), field order is preserved, and
 // floats are formatted with the shortest round-trip representation. A
 // nil *Tracer discards everything at the cost of one nil check.
+//
+// Individual Span handles are single-goroutine objects, but the tracer
+// itself is safe for concurrent use: emission is serialized under one
+// mutex, so seq numbers are strictly increasing across goroutines.
 type Tracer struct {
 	mu  sync.Mutex
 	w   io.Writer
+	bw  *bufio.Writer // non-nil iff NewBufferedTracer; w aliases it
 	seq int64
 	err error
 	buf []byte
@@ -24,6 +30,32 @@ type Tracer struct {
 // underlying writer; check Err after the run for deferred I/O errors.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w}
+}
+
+// NewBufferedTracer wraps a writer in a buffer so hot-path emission
+// costs a memory copy instead of a syscall per record. Callers must
+// Flush (typically at Close time) or trailing records are lost; write
+// errors surface through Err/Flush once the buffer drains.
+func NewBufferedTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	return &Tracer{w: bw, bw: bw}
+}
+
+// Flush drains the internal buffer (a no-op for unbuffered tracers and
+// on a nil tracer) and returns the first error the tracer has seen,
+// which a failed flush becomes part of.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw != nil {
+		if err := t.bw.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
 }
 
 // Field is one key/value pair of a trace record.
@@ -61,9 +93,18 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-func (t *Tracer) emit(kind, name string, head, fields []Field) {
+// emit serializes one record. kindVal is the value of the kind key: a
+// name string for ev/span/begin records, a span ID int64 for end
+// records.
+func (t *Tracer) emit(kind string, kindVal interface{}, head, fields []Field) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.emitLocked(kind, kindVal, head, fields)
+}
+
+// emitLocked is emit with t.mu already held (StartSpan needs the next
+// seq and the record write to be one atomic step).
+func (t *Tracer) emitLocked(kind string, kindVal interface{}, head, fields []Field) {
 	if t.err != nil {
 		return
 	}
@@ -75,7 +116,14 @@ func (t *Tracer) emit(kind, name string, head, fields []Field) {
 	b = append(b, ',', '"')
 	b = append(b, kind...)
 	b = append(b, '"', ':')
-	b = strconv.AppendQuote(b, name)
+	switch v := kindVal.(type) {
+	case int64:
+		b = strconv.AppendInt(b, v, 10)
+	case string:
+		b = strconv.AppendQuote(b, v)
+	default:
+		b = strconv.AppendQuote(b, fmt.Sprintf("%v", v))
+	}
 	for _, f := range head {
 		b = appendField(b, f)
 	}

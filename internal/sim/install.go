@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/plan"
 )
 
@@ -52,6 +53,9 @@ func (in *installer) run() {
 	n := in.cfg.Net.Size()
 	in.delivered = make([]bool, n)
 	in.delivered[network.Root] = true
+	in.em.begin("sim.install",
+		obs.F("plan", in.plan.Kind.String()),
+		obs.F("nodes", n))
 	// The queue carries evTrySend events whose node is the RECEIVING
 	// child: the parent transmits that child's bundle.
 	for _, c := range in.cfg.Net.Children(network.Root) {
@@ -69,6 +73,7 @@ func (in *installer) run() {
 			in.deliver(e.node)
 		}
 	}
+	in.em.finish(in.res.Latency, &in.res.Ledger)
 }
 
 // trySend attempts the unicast of child v's bundle from its parent.
@@ -86,6 +91,7 @@ func (in *installer) trySend(v network.NodeID) {
 		if in.cfg.Rng != nil {
 			jitter = in.cfg.Rng.Float64() * dur / 4
 		}
+		in.em.deferred(v, in.now, free+jitter)
 		in.schedule(free+jitter, evTrySend, v)
 		return
 	}
@@ -93,18 +99,27 @@ func (in *installer) trySend(v network.NodeID) {
 	cost := in.cfg.Model.PerMessage + in.cfg.Model.PerByte*float64(bytes)
 	in.attempts[v]++
 	in.res.EdgeAttempts[v]++
+	firstTry := in.firstTry[v]
+	if firstTry < 0 {
+		firstTry = in.now
+		in.firstTry[v] = firstTry
+	}
 	if in.cfg.LossProb != nil && in.cfg.Rng.Float64() < in.cfg.LossProb[v] {
 		in.res.EdgeFailures[v]++
 		in.chargeLoss(parent, cost)
+		in.em.loss(v, parent, in.now, in.attempts[v], in.cfg.Model.TxShare(cost))
 		if in.attempts[v] > in.cfg.MaxRetries {
 			in.res.Dropped++
 			in.res.Abandoned = append(in.res.Abandoned, v)
+			in.em.drop(v, in.now)
 			return // the whole subtree below v stays uninstalled
 		}
 		in.schedule(in.now+dur*1.5, evTrySend, v)
 		return
 	}
 	in.chargeInstall(parent, v, cost)
+	in.em.installed(v, bytes, firstTry, in.now+dur,
+		in.cfg.Model.TxShare(cost), in.cfg.Model.RxShare(cost))
 	in.schedule(in.now+dur, evDelivery, v)
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"strconv"
 
+	"prospector/internal/energy"
 	"prospector/internal/network"
 	"prospector/internal/obs"
 )
@@ -25,10 +26,16 @@ import (
 // two stacks must report identical numbers (enforced by
 // TestLosslessMatchesExec).
 //
-// With Config.Trace set, the run additionally emits JSON-lines on the
-// simulated clock: sim.trigger, sim.deadline, sim.defer, sim.loss, and
-// sim.drop events, plus one sim.xfer span per delivered message
-// covering first transmission attempt to delivery.
+// With Config.Trace set, the run wraps itself in a "sim.epoch" span
+// ("sim.install" for the distribution phase) on the simulated clock,
+// parented to Config.Span when one is supplied. Inside it, sim.trigger,
+// sim.deadline, sim.defer, sim.loss, and sim.drop events record the
+// protocol's progress, and one sim.xfer child span per delivered
+// message covers first transmission attempt to delivery. Every record
+// that spends energy carries its per-node shares (energy_mj on
+// triggers, tx_mj on losses, tx_mj/rx_mj on transfers and installs) in
+// the exact floats added to Result.NodeEnergy, so tracetool attribute
+// can replay the trace into bitwise-identical per-node totals.
 
 // simObs holds pre-resolved handles; nil disables instrumentation at
 // the cost of one pointer check per event.
@@ -40,7 +47,9 @@ type simObs struct {
 	triggers, retrans, deferrals, dropped *obs.Counter
 	latency                               *obs.Gauge
 
-	trace *obs.Tracer
+	trace  *obs.Tracer
+	parent *obs.Span // caller-supplied enclosing span (Config.Span)
+	span   *obs.Span // current sim.epoch / sim.install span
 }
 
 func newSimObs(r *obs.Registry, tr *obs.Tracer, net *network.Network) *simObs {
@@ -77,10 +86,29 @@ func newSimObs(r *obs.Registry, tr *obs.Tracer, net *network.Network) *simObs {
 	return o
 }
 
+// begin opens the phase span (sim.epoch or sim.install) at simulated
+// time zero, parented to the caller's Config.Span.
+func (o *simObs) begin(name string, fields ...obs.Field) {
+	if o == nil || o.trace == nil {
+		return
+	}
+	o.span = o.trace.StartSpan(o.parent, name, 0, fields...)
+}
+
+// emitEvent routes an event through the open phase span when present.
+func (o *simObs) emitEvent(name string, at float64, fields ...obs.Field) {
+	if o.span != nil {
+		o.span.Event(name, at, fields...)
+		return
+	}
+	o.trace.Event(name, at, fields...)
+}
+
 // delivered records one successful transmission from v carrying
 // nValues readings and contentBytes of content, spanning [start, end]
-// on the simulated clock.
-func (o *simObs) delivered(v network.NodeID, nValues, contentBytes int, start, end float64) {
+// on the simulated clock. txMJ and rxMJ are the exact energy shares
+// charged to the sender and the receiving parent.
+func (o *simObs) delivered(v network.NodeID, nValues, contentBytes int, start, end, txMJ, rxMJ float64) {
 	if o == nil {
 		return
 	}
@@ -93,21 +121,51 @@ func (o *simObs) delivered(v network.NodeID, nValues, contentBytes int, start, e
 		o.lvlBytes[d].Add(int64(contentBytes))
 	}
 	if o.trace != nil {
-		o.trace.Span("sim.xfer", start, end,
+		// "dst" (not "parent"): the record's parent key is taken by the
+		// enclosing span's ID.
+		fields := []obs.Field{
 			obs.F("node", int(v)),
-			obs.F("parent", int(o.net.Parent(v))),
+			obs.F("dst", int(o.net.Parent(v))),
 			obs.F("values", nValues),
-			obs.F("bytes", contentBytes))
+			obs.F("bytes", contentBytes),
+			obs.F("tx_mj", txMJ),
+			obs.F("rx_mj", rxMJ),
+		}
+		if o.span != nil {
+			o.span.Span("sim.xfer", start, end, fields...)
+		} else {
+			o.trace.Span("sim.xfer", start, end, fields...)
+		}
 	}
 }
 
-func (o *simObs) trigger(v network.NodeID, at float64) {
+// installed records one delivered plan bundle on the edge above v
+// (parent transmits, v receives) with its exact energy shares.
+func (o *simObs) installed(v network.NodeID, bytes int, start, end, txMJ, rxMJ float64) {
+	if o == nil || o.trace == nil {
+		return
+	}
+	fields := []obs.Field{
+		obs.F("node", int(v)),
+		obs.F("dst", int(o.net.Parent(v))),
+		obs.F("bytes", bytes),
+		obs.F("tx_mj", txMJ),
+		obs.F("rx_mj", rxMJ),
+	}
+	if o.span != nil {
+		o.span.Span("sim.bundle", start, end, fields...)
+	} else {
+		o.trace.Span("sim.bundle", start, end, fields...)
+	}
+}
+
+func (o *simObs) trigger(v network.NodeID, at, energyMJ float64) {
 	if o == nil {
 		return
 	}
 	o.triggers.Inc()
 	if o.trace != nil {
-		o.trace.Event("sim.trigger", at, obs.F("node", int(v)))
+		o.emitEvent("sim.trigger", at, obs.F("node", int(v)), obs.F("energy_mj", energyMJ))
 	}
 }
 
@@ -117,17 +175,24 @@ func (o *simObs) deferred(v network.NodeID, at, until float64) {
 	}
 	o.deferrals.Inc()
 	if o.trace != nil {
-		o.trace.Event("sim.defer", at, obs.F("node", int(v)), obs.F("until", until))
+		o.emitEvent("sim.defer", at, obs.F("node", int(v)), obs.F("until", until))
 	}
 }
 
-func (o *simObs) loss(v network.NodeID, at float64, attempt int) {
+// loss records one transmission attempt lost to the medium; txMJ is the
+// sender's wasted TX share. sender is the transmitting node (the edge's
+// lower endpoint during collection, the parent during installation).
+func (o *simObs) loss(v, sender network.NodeID, at float64, attempt int, txMJ float64) {
 	if o == nil {
 		return
 	}
 	o.retrans.Inc()
 	if o.trace != nil {
-		o.trace.Event("sim.loss", at, obs.F("node", int(v)), obs.F("attempt", attempt))
+		o.emitEvent("sim.loss", at,
+			obs.F("node", int(v)),
+			obs.F("sender", int(sender)),
+			obs.F("attempt", attempt),
+			obs.F("tx_mj", txMJ))
 	}
 }
 
@@ -137,7 +202,7 @@ func (o *simObs) drop(v network.NodeID, at float64) {
 	}
 	o.dropped.Inc()
 	if o.trace != nil {
-		o.trace.Event("sim.drop", at, obs.F("node", int(v)))
+		o.emitEvent("sim.drop", at, obs.F("node", int(v)))
 	}
 }
 
@@ -146,13 +211,22 @@ func (o *simObs) deadline(v network.NodeID, at float64) {
 		return
 	}
 	if o.trace != nil {
-		o.trace.Event("sim.deadline", at, obs.F("node", int(v)))
+		o.emitEvent("sim.deadline", at, obs.F("node", int(v)))
 	}
 }
 
-func (o *simObs) finish(latency float64) {
+// finish sets the latency gauge and closes the phase span with the
+// run's ledger totals.
+func (o *simObs) finish(latency float64, led *energy.Ledger) {
 	if o == nil {
 		return
 	}
 	o.latency.Set(latency)
+	if o.span != nil {
+		o.span.End(latency,
+			obs.F("energy_mj", led.Total()),
+			obs.F("messages", led.Messages),
+			obs.F("values", led.Values))
+		o.span = nil
+	}
 }

@@ -58,6 +58,9 @@ type Config struct {
 	// Trace, when non-nil, receives JSON-lines events and spans stamped
 	// with the simulated clock.
 	Trace *obs.Tracer
+	// Span, when non-nil, parents the run's sim.epoch / sim.install
+	// span, slotting the simulation into a caller-owned trace tree.
+	Span *obs.Span
 }
 
 // DefaultConfig returns MICA2-flavored settings for a network.
@@ -226,6 +229,9 @@ func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
 		em:        newSimObs(cfg.Obs, cfg.Trace, cfg.Net),
 		firstTry:  make([]float64, n),
 	}
+	if s.em != nil {
+		s.em.parent = cfg.Span
+	}
 	for i := range s.firstTry {
 		s.firstTry[i] = -1
 	}
@@ -276,6 +282,9 @@ func (s *sim) msgDuration(nValues, extra int) float64 {
 
 func (s *sim) run() {
 	net := s.cfg.Net
+	s.em.begin("sim.epoch",
+		obs.F("plan", s.plan.Kind.String()),
+		obs.F("nodes", net.Size()))
 	// Trigger propagation: each internal node with participating
 	// children rebroadcasts; depth d hears it after d trigger-hops.
 	trigDur := s.msgDuration(0, 0) / 2 // broadcasts skip the handshake
@@ -316,9 +325,10 @@ func (s *sim) run() {
 
 // chargeTrigger debits one trigger rebroadcast at v, heard at hearAt.
 func (s *sim) chargeTrigger(v network.NodeID, hearAt float64) {
-	s.res.Ledger.Trigger += s.cfg.Model.Trigger()
-	s.res.NodeEnergy[v] += s.cfg.Model.Trigger()
-	s.em.trigger(v, hearAt)
+	c := s.cfg.Model.Trigger()
+	s.res.Ledger.Trigger += c
+	s.res.NodeEnergy[v] += c
+	s.em.trigger(v, hearAt, c)
 }
 
 // chargeLoss debits the sender's TX share of a lost collection unicast;
@@ -406,7 +416,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 	if lost {
 		s.res.EdgeFailures[v]++
 		s.chargeLoss(v, cost)
-		s.em.loss(v, s.now, s.attempts[v])
+		s.em.loss(v, v, s.now, s.attempts[v], s.cfg.Model.TxShare(cost))
 		if s.attempts[v] > s.cfg.MaxRetries {
 			s.res.Dropped++
 			s.em.drop(v, s.now)
@@ -418,7 +428,8 @@ func (s *sim) onTrySend(v network.NodeID) {
 		return
 	}
 	s.chargeDelivery(v, parent, len(payload), cost)
-	s.em.delivered(v, len(payload), len(payload)*s.cfg.Model.BytesPerValue+extra, s.firstTry[v], s.now+dur)
+	s.em.delivered(v, len(payload), len(payload)*s.cfg.Model.BytesPerValue+extra,
+		s.firstTry[v], s.now+dur, s.cfg.Model.TxShare(cost), s.cfg.Model.RxShare(cost))
 	s.sent[v] = true
 	s.childList[v] = payload
 	s.childProv[v] = provenCnt
@@ -559,7 +570,7 @@ func (s *sim) finish() {
 	sort.SliceStable(s.res.Returned, func(i, j int) bool {
 		return s.res.Returned[i].Outranks(s.res.Returned[j])
 	})
-	s.em.finish(s.res.Latency)
+	s.em.finish(s.res.Latency, &s.res.Ledger)
 }
 
 // EstimateLossProbs aggregates per-edge failure statistics from a set

@@ -1,0 +1,195 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeAttr is one node's share of the traced run.
+type NodeAttr struct {
+	Node int
+	// EnergyMJ is the node's radio spend (TX + RX + trigger), rebuilt by
+	// replaying the trace's per-record energy shares in sequence order.
+	// Because the producer emits the exact floats it adds to its own
+	// per-node accumulators, and each node's additions replay in the
+	// same order, this sum is bitwise identical to the producer's.
+	EnergyMJ float64
+	// TxMJ / RxMJ / TriggerMJ split EnergyMJ by role. They are summed in
+	// the same replay pass but as separate accumulators, so they need
+	// not add bitwise to EnergyMJ.
+	TxMJ, RxMJ, TriggerMJ float64
+	// Messages counts data transmissions this node originated (transfer
+	// sends during collection, bundle sends during installation).
+	Messages int64
+	// SubtreeMJ is EnergyMJ summed over the node and every descendant
+	// reachable through observed transfer edges.
+	SubtreeMJ float64
+	// Parent is the node's parent in the observed collection tree, -1
+	// when the trace shows no edge above the node.
+	Parent int
+}
+
+// EpochAttr is one collection round's totals, taken from the epoch
+// span's end fields.
+type EpochAttr struct {
+	SpanID   int64
+	Name     string
+	EnergyMJ float64
+	Messages int64
+	Values   int64
+}
+
+// Attribution is the per-node energy breakdown of a trace.
+type Attribution struct {
+	Nodes  []NodeAttr // sorted by node ID
+	Epochs []EpochAttr
+	// RequestMJ is energy spent on request messages (mop-up / naive
+	// pulls). The producer keeps it off its per-node gauges — requests
+	// travel the tree top-down with no single chargeable node — so the
+	// replay keeps it separate too.
+	RequestMJ float64
+	Requests  int64
+}
+
+// Node returns the attribution row for a node ID and whether the trace
+// mentioned it.
+func (a *Attribution) Node(id int) (NodeAttr, bool) {
+	i := sort.Search(len(a.Nodes), func(i int) bool { return a.Nodes[i].Node >= id })
+	if i < len(a.Nodes) && a.Nodes[i].Node == id {
+		return a.Nodes[i], true
+	}
+	return NodeAttr{}, false
+}
+
+// Attribute replays a trace's energy records into per-node totals.
+//
+// The replay applies, in record sequence order:
+//
+//	sim.xfer / exec.msg   tx_mj -> node (sender), rx_mj -> dst (parent)
+//	sim.bundle            tx_mj -> dst (sending parent), rx_mj -> node
+//	sim.trigger / exec.trigger   energy_mj -> node
+//	sim.loss              tx_mj -> sender (wasted transmission)
+//	exec.request          energy_mj -> RequestMJ only
+//
+// matching exactly where the producers add each share.
+func Attribute(t *Trace) *Attribution {
+	a := &Attribution{}
+	nodes := map[int]*NodeAttr{}
+	row := func(id int) *NodeAttr {
+		n := nodes[id]
+		if n == nil {
+			n = &NodeAttr{Node: id, Parent: -1}
+			nodes[id] = n
+		}
+		return n
+	}
+	for i := range t.Records {
+		rec := &t.Records[i]
+		switch rec.Name {
+		case "sim.xfer", "exec.msg":
+			node, dst := rec.Int("node", -1), rec.Int("dst", -1)
+			tx, _ := rec.Num("tx_mj")
+			rx, _ := rec.Num("rx_mj")
+			s := row(node)
+			s.EnergyMJ += tx
+			s.TxMJ += tx
+			s.Messages++
+			s.Parent = dst
+			d := row(dst)
+			d.EnergyMJ += rx
+			d.RxMJ += rx
+		case "sim.bundle":
+			// Installation reverses the roles: dst (the parent) transmits
+			// the bundle, node receives it. The producer charges TX before
+			// RX, so the replay does too.
+			node, dst := rec.Int("node", -1), rec.Int("dst", -1)
+			tx, _ := rec.Num("tx_mj")
+			rx, _ := rec.Num("rx_mj")
+			d := row(dst)
+			d.EnergyMJ += tx
+			d.TxMJ += tx
+			d.Messages++
+			s := row(node)
+			s.EnergyMJ += rx
+			s.RxMJ += rx
+			s.Parent = dst
+		case "sim.trigger", "exec.trigger":
+			e, _ := rec.Num("energy_mj")
+			n := row(rec.Int("node", -1))
+			n.EnergyMJ += e
+			n.TriggerMJ += e
+		case "sim.loss":
+			tx, _ := rec.Num("tx_mj")
+			n := row(rec.Int("sender", -1))
+			n.EnergyMJ += tx
+			n.TxMJ += tx
+		case "exec.request":
+			e, _ := rec.Num("energy_mj")
+			a.RequestMJ += e
+			a.Requests++
+		}
+	}
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	a.Nodes = make([]NodeAttr, len(ids))
+	for i, id := range ids {
+		a.Nodes[i] = *nodes[id]
+	}
+	// Subtree rollup: push each node's own energy up its observed parent
+	// chain. The hop cap guards against a malformed trace whose edges
+	// form a cycle.
+	index := map[int]int{}
+	for i := range a.Nodes {
+		index[a.Nodes[i].Node] = i
+	}
+	for i := range a.Nodes {
+		e := a.Nodes[i].EnergyMJ
+		at := i
+		for hops := 0; hops <= len(a.Nodes); hops++ {
+			a.Nodes[at].SubtreeMJ += e
+			p, ok := index[a.Nodes[at].Parent]
+			if !ok || p == at {
+				break
+			}
+			at = p
+		}
+	}
+	for _, name := range []string{"sim.install", "sim.epoch", "exec.epoch"} {
+		for _, sp := range t.Spans(name) {
+			ep := EpochAttr{SpanID: sp.ID, Name: sp.Name}
+			ep.EnergyMJ, _ = sp.Num("energy_mj")
+			ep.Messages = int64(sp.Nums["messages"])
+			ep.Values = int64(sp.Nums["values"])
+			a.Epochs = append(a.Epochs, ep)
+		}
+	}
+	sort.Slice(a.Epochs, func(i, j int) bool { return a.Epochs[i].SpanID < a.Epochs[j].SpanID })
+	return a
+}
+
+// Render formats the attribution as the text `tracetool attribute`
+// prints. Energy columns print in shortest round-trip form so the
+// output is comparable across runs byte for byte.
+func (a *Attribution) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %6s %8s %14s %14s\n", "node", "parent", "messages", "energy (mJ)", "subtree (mJ)")
+	for _, n := range a.Nodes {
+		parent := "-"
+		if n.Parent >= 0 {
+			parent = fmt.Sprintf("%d", n.Parent)
+		}
+		fmt.Fprintf(&b, "%4d %6s %8d %14g %14g\n", n.Node, parent, n.Messages, n.EnergyMJ, n.SubtreeMJ)
+	}
+	if a.Requests > 0 {
+		fmt.Fprintf(&b, "requests: %d messages, %g mJ (not attributed per node)\n", a.Requests, a.RequestMJ)
+	}
+	for _, ep := range a.Epochs {
+		fmt.Fprintf(&b, "%s span %d: %g mJ, %d messages, %d values\n",
+			ep.Name, ep.SpanID, ep.EnergyMJ, ep.Messages, ep.Values)
+	}
+	return b.String()
+}

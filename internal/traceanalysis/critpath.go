@@ -1,0 +1,151 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hop is one transfer on a critical path: node's message to dst.
+type Hop struct {
+	Node  int
+	Dst   int
+	Start float64
+	End   float64
+	// Wait is the idle gap between the previous hop's delivery and
+	// this hop's first transmission attempt (carrier-sense deferral,
+	// slot alignment); 0 on the first hop.
+	Wait float64
+}
+
+// EpochPath is the critical latency chain of one collection round: the
+// sequence of transfers that gated the root's last reception, deepest
+// sender first.
+type EpochPath struct {
+	SpanID  int64
+	Name    string // sim.epoch or exec.epoch
+	Latency float64
+	Hops    []Hop
+}
+
+// epochSpanNames are the phases critpath analyzes.
+var epochSpanNames = []string{"sim.epoch", "exec.epoch"}
+
+// CritPaths extracts the critical path of every collection round in
+// the trace, in span-ID order.
+//
+// A round's transfers form a DAG via the collection tree: a node's
+// message cannot leave before the child deliveries it pooled. The
+// critical path is reconstructed backwards from the latest delivery to
+// a non-transmitting node (the root): each step picks the
+// latest-finishing transfer into the current sender that completed
+// before the sender started. Both sim.xfer child spans (simulated
+// clock) and exec.msg events (step clock, zero-width) are understood.
+func CritPaths(t *Trace) []EpochPath {
+	var out []EpochPath
+	for _, name := range epochSpanNames {
+		for _, ep := range t.Spans(name) {
+			if p, ok := critPath(ep); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	// Spans() yields ID order per name; interleave the two families
+	// back into global ID order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].SpanID < out[j-1].SpanID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// critPath reconstructs one epoch's chain. ok is false when the round
+// moved no messages.
+func critPath(ep *Span) (EpochPath, bool) {
+	var xfers []Hop
+	for _, c := range ep.Children {
+		if c.Name == "sim.xfer" {
+			xfers = append(xfers, Hop{}.with(c.Int("node", -1), c.Int("dst", -1), c.Start, c.End))
+		}
+	}
+	for _, ev := range ep.Events {
+		if ev.Name == "exec.msg" {
+			xfers = append(xfers, Hop{}.with(ev.Int("node", -1), ev.Int("dst", -1), ev.Time, ev.Time))
+		}
+	}
+	if len(xfers) == 0 {
+		return EpochPath{}, false
+	}
+	senders := map[int]bool{}
+	for _, x := range xfers {
+		senders[x.Node] = true
+	}
+	// Terminal hop: the latest delivery to a node that never transmits
+	// (the root of the collection tree). Ties break toward the earlier
+	// record, which xfers order provides.
+	terminal := -1
+	for i, x := range xfers {
+		if senders[x.Dst] {
+			continue
+		}
+		if terminal < 0 || x.End > xfers[terminal].End {
+			terminal = i
+		}
+	}
+	if terminal < 0 {
+		return EpochPath{}, false
+	}
+	path := []Hop{xfers[terminal]}
+	cur := xfers[terminal]
+	for hops := 0; hops < len(xfers); hops++ {
+		prev := -1
+		for i, x := range xfers {
+			if x.Dst != cur.Node || x.End > cur.Start {
+				continue
+			}
+			if prev < 0 || x.End > xfers[prev].End {
+				prev = i
+			}
+		}
+		if prev < 0 {
+			break
+		}
+		cur = xfers[prev]
+		path = append(path, cur)
+	}
+	// Reverse into causal (deepest-first) order and fill waits.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	for i := 1; i < len(path); i++ {
+		path[i].Wait = path[i].Start - path[i-1].End
+	}
+	return EpochPath{SpanID: ep.ID, Name: ep.Name, Latency: xfers[terminal].End, Hops: path}, true
+}
+
+// with returns the hop with its fields set (keeps the construction
+// sites above compact).
+func (h Hop) with(node, dst int, start, end float64) Hop {
+	h.Node, h.Dst, h.Start, h.End = node, dst, start, end
+	return h
+}
+
+// RenderCritPaths formats the chains as the text `tracetool critpath`
+// prints.
+func RenderCritPaths(paths []EpochPath) string {
+	if len(paths) == 0 {
+		return "no collection rounds with transfers in trace\n"
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%s span %d: latency %.4f, %d hops\n", p.Name, p.SpanID, p.Latency, len(p.Hops))
+		for i, h := range p.Hops {
+			fmt.Fprintf(&b, "  %2d: node %3d -> %3d  [%.4f, %.4f]", i+1, h.Node, h.Dst, h.Start, h.End)
+			if i > 0 {
+				fmt.Fprintf(&b, "  wait %.4f", h.Wait)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseDelta compares one phase between two traces. Zero-valued sides
+// mean the phase is absent from that trace.
+type PhaseDelta struct {
+	Name string
+	A, B PhaseTotal
+	InA  bool
+	InB  bool
+}
+
+// DeltaEnergy returns B-A energy.
+func (d PhaseDelta) DeltaEnergy() float64 { return d.B.EnergyMJ - d.A.EnergyMJ }
+
+// DeltaMessages returns B-A message count.
+func (d PhaseDelta) DeltaMessages() int64 { return d.B.Messages - d.A.Messages }
+
+// DeltaDuration returns B-A duration.
+func (d PhaseDelta) DeltaDuration() float64 { return d.B.Duration - d.A.Duration }
+
+// EventDelta compares one event family between two traces.
+type EventDelta struct {
+	Name     string
+	A, B     EventTotal
+	InA, InB bool
+}
+
+// DiffResult is the phase-by-phase comparison `tracetool diff` prints.
+type DiffResult struct {
+	Phases []PhaseDelta // union of both traces' phases, sorted by name
+	Events []EventDelta
+}
+
+// Diff compares two summaries phase by phase. The A side is the
+// baseline: positive deltas mean B spent more.
+func Diff(a, b *Summary) *DiffResult {
+	d := &DiffResult{}
+	names := map[string]bool{}
+	for _, p := range a.Phases {
+		names[p.Name] = true
+	}
+	for _, p := range b.Phases {
+		names[p.Name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		pd := PhaseDelta{Name: n}
+		pd.A, pd.InA = a.Phase(n)
+		pd.B, pd.InB = b.Phase(n)
+		d.Phases = append(d.Phases, pd)
+	}
+	names = map[string]bool{}
+	for _, e := range a.Events {
+		names[e.Name] = true
+	}
+	for _, e := range b.Events {
+		names[e.Name] = true
+	}
+	ordered = ordered[:0]
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		ed := EventDelta{Name: n}
+		for _, e := range a.Events {
+			if e.Name == n {
+				ed.A, ed.InA = e, true
+			}
+		}
+		for _, e := range b.Events {
+			if e.Name == n {
+				ed.B, ed.InB = e, true
+			}
+		}
+		d.Events = append(d.Events, ed)
+	}
+	return d
+}
+
+// Render formats the diff as the text table `tracetool diff` prints.
+// Columns are A (baseline), B, and B-A; percentages are relative to A
+// and omitted when A is (near-)zero.
+func (d *DiffResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %14s %14s %9s\n", "phase", "A mJ", "B mJ", "delta mJ", "delta %")
+	for _, pd := range d.Phases {
+		name := pd.Name
+		if !pd.InA {
+			name += " (B only)"
+		} else if !pd.InB {
+			name += " (A only)"
+		}
+		fmt.Fprintf(&b, "%-14s %14.3f %14.3f %+14.3f %s\n",
+			name, pd.A.EnergyMJ, pd.B.EnergyMJ, pd.DeltaEnergy(), pctString(pd.A.EnergyMJ, pd.DeltaEnergy()))
+		if pd.A.Messages != 0 || pd.B.Messages != 0 {
+			fmt.Fprintf(&b, "%-14s %14d %14d %+14d msgs\n", "", pd.A.Messages, pd.B.Messages, pd.DeltaMessages())
+		}
+		if dd := pd.DeltaDuration(); dd < 0 || dd > 0 || pd.A.Duration > 0 {
+			fmt.Fprintf(&b, "%-14s %14.4f %14.4f %+14.4f dur\n", "", pd.A.Duration, pd.B.Duration, dd)
+		}
+	}
+	if len(d.Events) > 0 {
+		fmt.Fprintf(&b, "%-14s %14s %14s %14s\n", "event", "A count", "B count", "delta")
+		for _, ed := range d.Events {
+			fmt.Fprintf(&b, "%-14s %14d %14d %+14d\n", ed.Name, ed.A.Count, ed.B.Count, ed.B.Count-ed.A.Count)
+		}
+	}
+	return b.String()
+}
+
+// pctString renders delta/base as a percentage, or "-" when the base
+// is too small for the ratio to mean anything.
+func pctString(base, delta float64) string {
+	if base < 1e-12 && base > -1e-12 {
+		return "        -"
+	}
+	return fmt.Sprintf("%+8.1f%%", 100*delta/base)
+}

@@ -1,0 +1,186 @@
+package traceanalysis_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"prospector/internal/energy"
+	"prospector/internal/exec"
+	"prospector/internal/network"
+	"prospector/internal/obs"
+	"prospector/internal/plan"
+	"prospector/internal/sim"
+	"prospector/internal/traceanalysis"
+)
+
+func randTree(rng *rand.Rand, n int) *network.Network {
+	parent := make([]network.NodeID, n)
+	for i := 1; i < n; i++ {
+		parent[i] = network.NodeID(rng.Intn(i))
+	}
+	net, err := network.New(parent, nil)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func randValues(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+func randBandwidth(rng *rand.Rand, net *network.Network, lo int) []int {
+	bw := make([]int, net.Size())
+	for v := 1; v < net.Size(); v++ {
+		bw[v] = lo + rng.Intn(4)
+		if s := net.SubtreeSize(network.NodeID(v)); bw[v] > s {
+			bw[v] = s
+		}
+	}
+	return bw
+}
+
+// parseTrace flushes the tracer and rebuilds the span tree.
+func parseTrace(t *testing.T, tr *obs.Tracer, buf *bytes.Buffer) *traceanalysis.Trace {
+	t.Helper()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	trace, err := traceanalysis.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return trace
+}
+
+// TestAttributeMatchesSimNodeEnergy is the acceptance keystone: replaying
+// a lossy simulated round's trace must rebuild Result.NodeEnergy
+// BITWISE — not approximately — because the trace carries the exact
+// floats the simulator added, in the same per-node order, serialized in
+// shortest round-trip form.
+func TestAttributeMatchesSimNodeEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(50)
+		net := randTree(rng, n)
+		vals := randValues(rng, n)
+		p, err := plan.NewProof(net, randBandwidth(rng, net, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		cfg := sim.DefaultConfig(net)
+		cfg.Trace = tr
+		if trial%2 == 0 {
+			loss := make([]float64, n)
+			for i := 1; i < n; i++ {
+				loss[i] = rng.Float64() * 0.4
+			}
+			cfg.LossProb = loss
+			cfg.Rng = rand.New(rand.NewSource(int64(trial)))
+		}
+		res, err := sim.Run(cfg, p, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr := traceanalysis.Attribute(parseTrace(t, tr, &buf))
+		checkNodeEnergy(t, trial, attr, res.NodeEnergy)
+	}
+}
+
+// TestAttributeMatchesInstallNodeEnergy covers the top-down
+// distribution phase, where the transmitting node is the parent (the
+// trace's dst field) rather than the record's node.
+func TestAttributeMatchesInstallNodeEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(50)
+		net := randTree(rng, n)
+		p, err := plan.NewProof(net, randBandwidth(rng, net, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		cfg := sim.DefaultConfig(net)
+		cfg.Trace = tr
+		if trial%2 == 0 {
+			loss := make([]float64, n)
+			for i := 1; i < n; i++ {
+				loss[i] = rng.Float64() * 0.4
+			}
+			cfg.LossProb = loss
+			cfg.Rng = rand.New(rand.NewSource(int64(trial)))
+		}
+		res, err := sim.RunInstall(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr := traceanalysis.Attribute(parseTrace(t, tr, &buf))
+		checkNodeEnergy(t, trial, attr, res.NodeEnergy)
+	}
+}
+
+// TestAttributeMatchesExecGauges cross-checks the analytic executor:
+// the replay must land on the same values as the exec.node.<i>.energy_mj
+// registry gauges, which exec accumulates independently of the trace.
+func TestAttributeMatchesExecGauges(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(50)
+		net := randTree(rng, n)
+		vals := randValues(rng, n)
+		p, err := plan.NewProof(net, randBandwidth(rng, net, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		reg := obs.NewRegistry()
+		env := exec.Env{Net: net, Costs: plan.NewCosts(net, energy.DefaultModel()), Obs: reg, Trace: tr}
+		if _, err := exec.Run(env, p, vals); err != nil {
+			t.Fatal(err)
+		}
+		attr := traceanalysis.Attribute(parseTrace(t, tr, &buf))
+		snap := reg.Snapshot()
+		for i := 0; i < n; i++ {
+			want := snap.Gauges["exec.node."+strconv.Itoa(i)+".energy_mj"]
+			got := 0.0
+			if row, ok := attr.Node(i); ok {
+				got = row.EnergyMJ
+			}
+			if got != want {
+				t.Fatalf("trial %d: node %d: attributed %v but gauge says %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// checkNodeEnergy asserts the attribution equals the simulator's
+// per-node accumulators with == (no tolerance).
+func checkNodeEnergy(t *testing.T, trial int, attr *traceanalysis.Attribution, want []float64) {
+	t.Helper()
+	for i, w := range want {
+		got := 0.0
+		if row, ok := attr.Node(i); ok {
+			got = row.EnergyMJ
+		}
+		if got != w {
+			t.Fatalf("trial %d: node %d: attributed %v but simulator metered %v (diff %g)",
+				trial, i, got, w, got-w)
+		}
+	}
+	// And no phantom nodes the simulator never charged.
+	for _, row := range attr.Nodes {
+		if row.Node < 0 || row.Node >= len(want) {
+			t.Fatalf("trial %d: attribution invented node %d", trial, row.Node)
+		}
+	}
+}

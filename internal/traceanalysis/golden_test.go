@@ -1,0 +1,91 @@
+package traceanalysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prospector/internal/traceanalysis"
+)
+
+// loadFixture parses a committed trace from testdata.
+func loadFixture(t *testing.T, name string) *traceanalysis.Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := traceanalysis.Parse(f)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return tr
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// checkGolden compares rendered output against a committed golden file
+// byte for byte — the reports promise deterministic output.
+func checkGolden(t *testing.T, got, goldenName string) {
+	t.Helper()
+	want := golden(t, goldenName)
+	if got != want {
+		t.Errorf("output differs from testdata/%s:\n--- got ---\n%s\n--- want ---\n%s", goldenName, got, want)
+	}
+}
+
+// The fixtures were produced by cmd/prospector on a 12-node network
+// (-nodes 12 -k 3 -epochs 3 -sim -loss 0.15 -seed 5) with the lp+lf
+// and exact planners; regenerate goldens with
+// `go run ./cmd/tracetool <sub> testdata/<trace>` if the trace format
+// deliberately changes.
+
+func TestGoldenSummary(t *testing.T) {
+	tr := loadFixture(t, "sim_lp.jsonl")
+	checkGolden(t, traceanalysis.Summarize(tr).Render(), "sim_lp.summary.golden")
+}
+
+func TestGoldenTree(t *testing.T) {
+	tr := loadFixture(t, "sim_lp.jsonl")
+	checkGolden(t, tr.RenderTree(), "sim_lp.tree.golden")
+}
+
+func TestGoldenCritPath(t *testing.T) {
+	tr := loadFixture(t, "sim_lp.jsonl")
+	checkGolden(t, traceanalysis.RenderCritPaths(traceanalysis.CritPaths(tr)), "sim_lp.critpath.golden")
+}
+
+func TestGoldenAttribute(t *testing.T) {
+	tr := loadFixture(t, "sim_lp.jsonl")
+	checkGolden(t, traceanalysis.Attribute(tr).Render(), "sim_lp.attribute.golden")
+}
+
+func TestGoldenDiff(t *testing.T) {
+	a := loadFixture(t, "sim_lp.jsonl")
+	b := loadFixture(t, "sim_naive.jsonl")
+	d := traceanalysis.Diff(traceanalysis.Summarize(a), traceanalysis.Summarize(b))
+	checkGolden(t, d.Render(), "sim_diff.golden")
+}
+
+// TestGoldenLegacyTrace keeps the parser accepting the pre-span trace
+// shape (flat spans without id/parent, unparented events) that
+// internal/obs still emits through its legacy Event/Span entry points.
+func TestGoldenLegacyTrace(t *testing.T) {
+	tr := loadFixture(t, filepath.Join("..", "..", "obs", "testdata", "trace_golden.jsonl"))
+	if tr.SpanCount() == 0 && len(tr.Loose) == 0 {
+		t.Fatal("legacy trace parsed to nothing")
+	}
+	for _, r := range tr.Roots {
+		if r.Open {
+			t.Errorf("legacy flat span %q parsed as open", r.Name)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package traceanalysis parses the JSON-lines traces emitted by
+// internal/obs back into a causal span tree and derives the analyses
+// cmd/tracetool exposes: per-phase summaries, the critical latency
+// path of a collection round, per-node/per-subtree energy attribution,
+// and trace-vs-trace diffs.
+//
+// The package is registered with the determinism lint: given the same
+// trace bytes it produces the same analysis, with no wall clocks, no
+// global RNGs, and no map-iteration-order leaks. Energy attribution
+// replays the per-record energy fields in sequence order, so its
+// per-node sums are bitwise identical to the producer's accumulators
+// (the tracer writes floats in shortest round-trip form).
+package traceanalysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind distinguishes the four record shapes of the trace format.
+type Kind int
+
+const (
+	// KindBegin opens a span: {"seq":N,"begin":NAME,"id":I,"parent":P,"t":T,...}
+	KindBegin Kind = iota
+	// KindEnd closes a span by ID: {"seq":N,"end":I,"t":T,...}
+	KindEnd
+	// KindSpan is a flat, already-closed span:
+	// {"seq":N,"span":NAME,"id":I,"parent":P,"start":S,"end":E,...}
+	// (legacy records omit id/parent; the parser assigns ID = seq).
+	KindSpan
+	// KindEvent is a point event: {"seq":N,"ev":NAME,"parent":P,"t":T,...}
+	// (parent optional).
+	KindEvent
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	case KindSpan:
+		return "span"
+	case KindEvent:
+		return "ev"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Record is one parsed trace line. Structural keys (seq, the kind key,
+// id, parent, t, start, end) are lifted into typed fields; everything
+// else lands in Nums or Strs by JSON type.
+type Record struct {
+	Seq    int64
+	Kind   Kind
+	Name   string // span/event name; "" for end records
+	ID     int64  // span identity (begin/span) or the closed span (end)
+	Parent int64  // enclosing span ID; 0 means root
+	Time   float64
+	Start  float64
+	End    float64
+	Nums   map[string]float64
+	Strs   map[string]string
+}
+
+// Num returns a numeric field and whether it was present.
+func (r *Record) Num(key string) (float64, bool) {
+	v, ok := r.Nums[key]
+	return v, ok
+}
+
+// Int returns a numeric field truncated to int, or def when absent.
+func (r *Record) Int(key string, def int) int {
+	if v, ok := r.Nums[key]; ok {
+		return int(v)
+	}
+	return def
+}
+
+// ParseRecords reads a JSON-lines trace into its records, in input
+// (= seq) order. Blank lines are skipped; any malformed line fails the
+// whole parse with its line number, since a truncated trace would
+// silently skew every downstream analysis.
+func ParseRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		rec, err := parseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("traceanalysis: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceanalysis: read: %w", err)
+	}
+	return recs, nil
+}
+
+func parseLine(raw []byte) (Record, error) {
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Record{}, err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rec := Record{Nums: map[string]float64{}, Strs: map[string]string{}}
+	kindSeen := false
+	for _, k := range keys {
+		v := m[k]
+		switch k {
+		case "seq":
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Seq = int64(n)
+		case "begin", "span", "ev":
+			if kindSeen {
+				return Record{}, fmt.Errorf("record has two kind keys")
+			}
+			kindSeen = true
+			name, ok := v.(string)
+			if !ok {
+				return Record{}, fmt.Errorf("%s: want string name, got %T", k, v)
+			}
+			rec.Name = name
+			switch k {
+			case "begin":
+				rec.Kind = KindBegin
+			case "span":
+				rec.Kind = KindSpan
+			default:
+				rec.Kind = KindEvent
+			}
+		case "end":
+			// "end" is the kind key on end records (numeric span ID) but
+			// an ordinary timestamp field on flat span records.
+			if n, ok := v.(float64); ok && !kindSeen &&
+				m["span"] == nil && m["ev"] == nil && m["begin"] == nil {
+				kindSeen = true
+				rec.Kind = KindEnd
+				rec.ID = int64(n)
+				continue
+			}
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.End = n
+		case "id":
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.ID = int64(n)
+		case "parent":
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Parent = int64(n)
+		case "t":
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Time = n
+		case "start":
+			n, err := asNum(k, v)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Start = n
+		default:
+			switch fv := v.(type) {
+			case float64:
+				rec.Nums[k] = fv
+			case string:
+				rec.Strs[k] = fv
+			case bool:
+				if fv {
+					rec.Nums[k] = 1
+				} else {
+					rec.Nums[k] = 0
+				}
+			default:
+				return Record{}, fmt.Errorf("field %q: unsupported value %T", k, v)
+			}
+		}
+	}
+	if !kindSeen {
+		return Record{}, fmt.Errorf("record has no begin/end/span/ev key")
+	}
+	if rec.Seq == 0 {
+		return Record{}, fmt.Errorf("record has no seq")
+	}
+	// Legacy flat spans carry no explicit ID; the record's seq is unique
+	// and matches how the tracer derives new-style IDs.
+	if rec.Kind == KindSpan && rec.ID == 0 {
+		rec.ID = rec.Seq
+	}
+	return rec, nil
+}
+
+func asNum(key string, v interface{}) (float64, error) {
+	n, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%s: want number, got %T", key, v)
+	}
+	return n, nil
+}

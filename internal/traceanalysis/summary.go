@@ -1,0 +1,144 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseTotal aggregates every span sharing one name ("phase"):
+// sim.epoch, exec.epoch, lp.solve, core.plan, sim.install, ...
+type PhaseTotal struct {
+	Name     string
+	Spans    int
+	Open     int // spans never closed (truncated trace)
+	Duration float64
+	EnergyMJ float64
+	Messages int64
+	Values   int64
+}
+
+// EventTotal counts every event sharing one name.
+type EventTotal struct {
+	Name     string
+	Count    int
+	EnergyMJ float64 // sum of energy_mj/tx_mj fields, when present
+}
+
+// Summary is the per-phase rollup of one trace.
+type Summary struct {
+	Records int
+	Spans   int
+	Phases  []PhaseTotal // sorted by name
+	Events  []EventTotal // sorted by name
+}
+
+// Phase returns the named phase total and whether it exists.
+func (s *Summary) Phase(name string) (PhaseTotal, bool) {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseTotal{}, false
+}
+
+// Summarize rolls a trace up into per-phase and per-event totals.
+// Span iteration is in ID order and events in seq order, so the float
+// sums are reproducible for a given trace.
+func Summarize(t *Trace) *Summary {
+	s := &Summary{Records: len(t.Records), Spans: t.SpanCount()}
+	ids := make([]int64, 0, t.SpanCount())
+	for id := range t.spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	phases := map[string]*PhaseTotal{}
+	for _, id := range ids {
+		sp := t.spans[id]
+		p := phases[sp.Name]
+		if p == nil {
+			p = &PhaseTotal{Name: sp.Name}
+			phases[sp.Name] = p
+		}
+		p.Spans++
+		if sp.Open {
+			p.Open++
+		}
+		p.Duration += sp.Duration()
+		if v, ok := sp.Num("energy_mj"); ok {
+			p.EnergyMJ += v
+		} else {
+			// Flat transfer spans carry split shares instead.
+			tx, _ := sp.Num("tx_mj")
+			rx, _ := sp.Num("rx_mj")
+			p.EnergyMJ += tx + rx
+		}
+		p.Messages += int64(sp.Nums["messages"])
+		p.Values += int64(sp.Nums["values"])
+	}
+	events := map[string]*EventTotal{}
+	for i := range t.Records {
+		rec := &t.Records[i]
+		if rec.Kind != KindEvent {
+			continue
+		}
+		e := events[rec.Name]
+		if e == nil {
+			e = &EventTotal{Name: rec.Name}
+			events[rec.Name] = e
+		}
+		e.Count++
+		if v, ok := rec.Num("energy_mj"); ok {
+			e.EnergyMJ += v
+		} else if v, ok := rec.Num("tx_mj"); ok {
+			e.EnergyMJ += v
+			if rx, ok := rec.Num("rx_mj"); ok {
+				e.EnergyMJ += rx
+			}
+		}
+	}
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Phases = append(s.Phases, *phases[n])
+	}
+	names = names[:0]
+	for n := range events {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Events = append(s.Events, *events[n])
+	}
+	return s
+}
+
+// Render formats the summary as the text table `tracetool summary`
+// prints.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d records, %d spans\n", s.Records, s.Spans)
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(&b, "%-14s %6s %10s %12s %9s %8s\n",
+			"phase", "spans", "duration", "energy (mJ)", "messages", "values")
+		for _, p := range s.Phases {
+			fmt.Fprintf(&b, "%-14s %6d %10.4f %12.3f %9d %8d",
+				p.Name, p.Spans, p.Duration, p.EnergyMJ, p.Messages, p.Values)
+			if p.Open > 0 {
+				fmt.Fprintf(&b, "  (%d open)", p.Open)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintf(&b, "%-14s %6s %12s\n", "event", "count", "energy (mJ)")
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, "%-14s %6d %12.3f\n", e.Name, e.Count, e.EnergyMJ)
+		}
+	}
+	return b.String()
+}
