@@ -226,6 +226,98 @@ func BenchmarkProofPlan30(b *testing.B) {
 	}
 }
 
+// benchBudgetSweep runs one planner across a whole Figure-3-style
+// budget axis per iteration: the workload the parametric pipeline
+// targets. Warm keeps the planner's cached model and basis chain
+// (one cold solve amortized across all iterations); Cold rebuilds and
+// cold-solves every Plan call via DisableWarm.
+func benchBudgetSweep(b *testing.B, disableWarm bool) {
+	b.Helper()
+	s := benchGaussian(b, 27, 60, 10, 15)
+	s.cfg.DisableWarm = disableWarm
+	naive, err := core.NaiveKPlan(s.cfg.Net, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := naive.CollectionCost(s.cfg.Net, s.cfg.Costs)
+	fracs := []float64{0.06, 0.1, 0.16, 0.24, 0.34, 0.46, 0.6, 0.8}
+	pl, err := core.NewLPNoFilter(s.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fracs {
+			if _, err := pl.Plan(f * base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBudgetSweepWarm(b *testing.B) { benchBudgetSweep(b, false) }
+
+func BenchmarkBudgetSweepCold(b *testing.B) { benchBudgetSweep(b, true) }
+
+// BenchmarkWarmResolveSteadyState pins the parametric hot path at the
+// solver level: mutate the budget row, warm re-solve from the chained
+// basis, all scratch served from the Workspace. The allocs/op column
+// must read 0 — any regression here rebuilds solver state per call.
+// (Planner-level Plan calls still allocate in rounding/repair; the
+// zero-alloc contract is lp.Solve's.)
+func BenchmarkWarmResolveSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewSource(28))
+	m := lp.NewModel()
+	m.Maximize()
+	var ids []lp.VarID
+	for j := 0; j < 120; j++ {
+		ids = append(ids, m.MustVar(0, 1, rng.Float64(), ""))
+	}
+	row := -1
+	for r := 0; r < 80; r++ {
+		var terms []lp.Term
+		for _, id := range ids {
+			if rng.Float64() < 0.15 {
+				terms = append(terms, lp.Term{Var: id, Coef: 0.5 + rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, lp.Term{Var: ids[0], Coef: 1})
+		}
+		if got := m.MustConstr(terms, lp.LE, 2+rng.Float64()); row < 0 {
+			row = got
+		}
+	}
+	ws := lp.NewWorkspace()
+	opts := lp.Options{Workspace: ws, KeepBasis: true}
+	sol, err := m.Solve(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		b.Fatalf("cold solve ended %v", sol.Status)
+	}
+	basis := sol.Basis
+	rhs := []float64{2.2, 2.8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetRHS(row, rhs[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		opts.Warm = basis
+		sol, err := m.Solve(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("warm solve ended %v", sol.Status)
+		}
+		basis = sol.Basis
+	}
+}
+
 // BenchmarkSimplexPricing ablates the entering rule (Dantzig vs Bland)
 // on a representative LP+LF program.
 func BenchmarkSimplexPricing(b *testing.B) {

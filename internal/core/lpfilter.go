@@ -28,8 +28,21 @@ import (
 //
 // with cap_e = min(k, subtree size): a top-k query never benefits from
 // moving more than k values across one edge.
+// LPFilter caches its LP across Plan calls (see paramLP) and is
+// therefore not safe for concurrent use; build one per goroutine.
 type LPFilter struct {
-	cfg Config
+	cfg   Config
+	param paramLP
+	prog  lpfilterProgram
+}
+
+// lpfilterProgram is the built LP+LF model plus what rounding needs.
+type lpfilterProgram struct {
+	model     *lp.Model
+	budgetRow int
+	bs        []lp.VarID
+	caps      []float64
+	empty     bool
 }
 
 // NewLPFilter builds the planner.
@@ -46,6 +59,63 @@ func (p *LPFilter) Name() string { return "LP+LF" }
 // Plan implements Planner.
 func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 	cfg := p.cfg
+	net := cfg.Net
+	n := net.Size()
+
+	var prog lpfilterProgram
+	var sol *lp.Solution
+	var err error
+	if cfg.DisableWarm {
+		prog = buildLPFilterProgram(cfg, budget)
+		if !prog.empty {
+			sol, err = cfg.solveLP(prog.model)
+		}
+	} else {
+		if !p.param.fresh(cfg) {
+			p.prog = buildLPFilterProgram(cfg, budget)
+			if p.prog.empty {
+				p.param.installEmpty(cfg)
+			} else {
+				p.param.install(cfg, p.prog.model, p.prog.budgetRow, 0)
+			}
+		}
+		prog = p.prog
+		if !prog.empty {
+			sol, err = p.param.solve(cfg, budget)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil {
+		return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, make([]int, n)))
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: LP+LF solve ended %v", sol.Status)
+	}
+
+	// Round bandwidths to integers, restore structural feasibility
+	// (no used edge under an unused one), then repair the budget.
+	bw := make([]int, n)
+	for v := 1; v < n; v++ {
+		if prog.bs[v] >= 0 {
+			bw[v] = int(math.Floor(sol.X[prog.bs[v]] + 0.5))
+			if bw[v] > int(prog.caps[v]) {
+				bw[v] = int(prog.caps[v])
+			}
+		}
+	}
+	enforceMonotone(net, bw)
+	if !cfg.DisableRepair {
+		repairBandwidth(cfg, bw, budget)
+		fillBandwidth(cfg, bw, budget, prog.caps)
+	}
+	return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, bw))
+}
+
+// buildLPFilterProgram assembles the LP+LF model; only the budget
+// row's rhs depends on the budget, making the program parametric.
+func buildLPFilterProgram(cfg Config, budget float64) lpfilterProgram {
 	net := cfg.Net
 	n := net.Size()
 	S := cfg.Samples.Len()
@@ -86,7 +156,10 @@ func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 		}
 		caps[v] = math.Min(float64(cfg.K), float64(net.SubtreeSize(network.NodeID(v))))
 		ys[v] = m.MustVar(0, 1, 0, fmt.Sprintf("y%d", v))
-		bs[v] = m.MustVar(0, caps[v], 0, fmt.Sprintf("b%d", v))
+		// Tiny index-distinct bandwidth penalty so the rounded plan is
+		// the same from every optimal pivot path (see tieEps).
+		obj := -tieEps * (1 + float64(v)/float64(n))
+		bs[v] = m.MustVar(0, caps[v], obj, fmt.Sprintf("b%d", v))
 		costTerms = append(costTerms,
 			lp.Term{Var: ys[v], Coef: cfg.Costs.Msg[v]},
 			lp.Term{Var: bs[v], Coef: cfg.Costs.Val[v]})
@@ -102,9 +175,9 @@ func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 		}
 	}
 	if len(costTerms) == 0 {
-		return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, make([]int, n)))
+		return lpfilterProgram{empty: true}
 	}
-	m.MustConstr(costTerms, lp.LE, budget)
+	budgetRow := m.MustConstr(costTerms, lp.LE, budget)
 
 	for j := 0; j < S; j++ {
 		for _, e := range xvars[j] {
@@ -133,31 +206,7 @@ func (p *LPFilter) Plan(budget float64) (*plan.Plan, error) {
 		}
 	}
 
-	sol, err := cfg.solveLP(m)
-	if err != nil {
-		return nil, err
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: LP+LF solve ended %v", sol.Status)
-	}
-
-	// Round bandwidths to integers, restore structural feasibility
-	// (no used edge under an unused one), then repair the budget.
-	bw := make([]int, n)
-	for v := 1; v < n; v++ {
-		if bs[v] >= 0 {
-			bw[v] = int(math.Floor(sol.X[bs[v]] + 0.5))
-			if bw[v] > int(caps[v]) {
-				bw[v] = int(caps[v])
-			}
-		}
-	}
-	enforceMonotone(net, bw)
-	if !cfg.DisableRepair {
-		repairBandwidth(cfg, bw, budget)
-		fillBandwidth(cfg, bw, budget, caps)
-	}
-	return finishPlan(cfg, p.Name(), budget)(plan.NewFiltering(net, bw))
+	return lpfilterProgram{model: m, budgetRow: budgetRow, bs: bs, caps: caps}
 }
 
 // enforceMonotone zeroes any bandwidth whose path to the root crosses

@@ -28,8 +28,21 @@ import (
 // edge); the edge-monotonicity chain here is the standard equivalent
 // reformulation with O(n) instead of O(n*height) rows — integer
 // solutions coincide.
+// LPNoFilter caches its LP across Plan calls (see paramLP) and is
+// therefore not safe for concurrent use; build one per goroutine.
 type LPNoFilter struct {
-	cfg Config
+	cfg   Config
+	param paramLP
+	prog  lplfProgram
+}
+
+// lplfProgram is the built LP-LF model plus what rounding needs.
+type lplfProgram struct {
+	model     *lp.Model
+	budgetRow int
+	xs        []lp.VarID
+	cands     []network.NodeID
+	empty     bool
 }
 
 // NewLPNoFilter builds the planner.
@@ -49,6 +62,61 @@ func (p *LPNoFilter) Plan(budget float64) (*plan.Plan, error) {
 	net := cfg.Net
 	n := net.Size()
 
+	var prog lplfProgram
+	var sol *lp.Solution
+	var err error
+	if cfg.DisableWarm {
+		prog = buildLPNoFilterProgram(cfg, budget)
+		if !prog.empty {
+			sol, err = cfg.solveLP(prog.model)
+		}
+	} else {
+		if !p.param.fresh(cfg) {
+			p.prog = buildLPNoFilterProgram(cfg, budget)
+			if p.prog.empty {
+				p.param.installEmpty(cfg)
+			} else {
+				p.param.install(cfg, p.prog.model, p.prog.budgetRow, 0)
+			}
+		}
+		prog = p.prog
+		if !prog.empty {
+			sol, err = p.param.solve(cfg, budget)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil {
+		// No candidate ever ranked in the top k; the empty plan is
+		// optimal.
+		return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, make([]bool, n)))
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: LP-LF solve ended %v", sol.Status)
+	}
+
+	// Round at 1/2 (the paper's scheme), then repair the budget.
+	chosen := make([]bool, n)
+	for _, i := range prog.cands {
+		if sol.X[prog.xs[i]] >= 0.5 {
+			chosen[i] = true
+		}
+	}
+	if !cfg.DisableRepair {
+		repairSelection(cfg, chosen, budget)
+		fillSelection(cfg, chosen, budget)
+	}
+	return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, chosen))
+}
+
+// buildLPNoFilterProgram assembles the LP-LF model. Everything except
+// the budget row's rhs depends only on (network, costs, samples, k),
+// which is what makes the program parametric in the budget.
+func buildLPNoFilterProgram(cfg Config, budget float64) lplfProgram {
+	net := cfg.Net
+	n := net.Size()
+
 	m := lp.NewModel()
 	m.Maximize()
 
@@ -61,7 +129,11 @@ func (p *LPNoFilter) Plan(budget float64) (*plan.Plan, error) {
 	// Edges that can carry a candidate's value.
 	edgeNeeded := make([]bool, n)
 	for _, i := range cands {
-		xs[i] = m.MustVar(0, 1, float64(cfg.Samples.ColumnSum(int(i))), fmt.Sprintf("x%d", i))
+		// Tiny lower-index preference splits equal-column-sum candidate
+		// ties the same way from every optimal pivot path (see tieEps);
+		// it matches fillSelection's lower-id-first ordering.
+		obj := float64(cfg.Samples.ColumnSum(int(i))) + tieEps*float64(n-int(i))/float64(n)
+		xs[i] = m.MustVar(0, 1, obj, fmt.Sprintf("x%d", i))
 		net.AncestorEdges(i, func(e network.NodeID) { edgeNeeded[e] = true })
 	}
 	ys := make([]lp.VarID, n)
@@ -93,32 +165,10 @@ func (p *LPNoFilter) Plan(budget float64) (*plan.Plan, error) {
 		}
 	}
 	if len(costTerms) == 0 {
-		// No candidate ever ranked in the top k; the empty plan is
-		// optimal.
-		return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, make([]bool, n)))
+		return lplfProgram{empty: true}
 	}
-	m.MustConstr(costTerms, lp.LE, budget)
-
-	sol, err := cfg.solveLP(m)
-	if err != nil {
-		return nil, err
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: LP-LF solve ended %v", sol.Status)
-	}
-
-	// Round at 1/2 (the paper's scheme), then repair the budget.
-	chosen := make([]bool, n)
-	for _, i := range cands {
-		if sol.X[xs[i]] >= 0.5 {
-			chosen[i] = true
-		}
-	}
-	if !cfg.DisableRepair {
-		repairSelection(cfg, chosen, budget)
-		fillSelection(cfg, chosen, budget)
-	}
-	return finishPlan(cfg, p.Name(), budget)(plan.NewSelection(net, chosen))
+	row := m.MustConstr(costTerms, lp.LE, budget)
+	return lplfProgram{model: m, budgetRow: row, xs: xs, cands: cands}
 }
 
 // repairSelection drops chosen nodes — least column sum first, ties by

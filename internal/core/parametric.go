@@ -1,0 +1,109 @@
+package core
+
+import (
+	"prospector/internal/lp"
+)
+
+// tieEps is the deterministic tie-break perturbation the LP builders
+// put on objective-neutral variables (bandwidths, and candidate ties).
+// The planners' programs are massively degenerate — many optimal
+// vertices share one objective value but round to different plans —
+// and which vertex a simplex run lands on depends on its pivot path,
+// so a warm dual-recovery chain and a cold two-phase run could
+// legitimately disagree. Index-distinct epsilons make the optimum a
+// unique vertex, so every correct solve path returns the same plan
+// (the warm-vs-cold differential tests rely on this). The value must
+// exceed the solver's optimality tolerance (1e-7) to be acted on, and
+// stay far below the objective's integral gaps (1.0) to never change
+// which plans are genuinely optimal.
+const tieEps = 1e-5
+
+// paramLP is the cached parametric program behind an LP planner's
+// Plan(budget) calls. The figure sweeps hammer one planner with a
+// monotone budget axis over fixed (network, samples) state; the only
+// thing that changes between calls is the budget row's right-hand
+// side. So the planner builds its model once, keeps the solver
+// workspace and the optimal basis, and serves each successive budget
+// with an in-place SetRHS plus a warm re-solve — dual recovery pivots
+// instead of two cold simplex phases, and no model canonicalization
+// at all.
+//
+// The cache is keyed on the sample window's mutation generation
+// (sample.Set.Gen): the adaptive runner slides the window in place, so
+// any observed mutation rebuilds the program. A paramLP (and therefore
+// any planner holding one) is not safe for concurrent use; experiment
+// trials each build their own planners.
+type paramLP struct {
+	model *lp.Model
+	// budgetRow is the retained index of the cost row, or -1 when the
+	// model has no budget row to update (degenerate all-zero costs).
+	budgetRow int
+	// fixed is the cost already committed before the budget row's
+	// variable terms (PROOF's mandatory per-edge messages); the row's
+	// rhs is budget - fixed.
+	fixed float64
+	ws    *lp.Workspace
+	basis *lp.Basis
+	gen   uint64
+	built bool
+	empty bool // no candidates: Plan short-circuits without a model
+}
+
+// fresh reports whether the cached program still describes cfg's
+// sample window.
+func (c *paramLP) fresh(cfg Config) bool {
+	return c.built && c.gen == cfg.Samples.Gen()
+}
+
+// install caches a freshly built model. The workspace survives
+// rebuilds (its buffers re-grow at most once per shape); the basis
+// chain does not.
+func (c *paramLP) install(cfg Config, model *lp.Model, budgetRow int, fixed float64) {
+	c.model = model
+	c.budgetRow = budgetRow
+	c.fixed = fixed
+	if c.ws == nil {
+		c.ws = lp.NewWorkspace()
+	}
+	c.basis = nil
+	c.gen = cfg.Samples.Gen()
+	c.built = true
+	c.empty = false
+}
+
+// installEmpty caches the "no candidates" outcome, which needs no LP.
+func (c *paramLP) installEmpty(cfg Config) {
+	c.model = nil
+	c.basis = nil
+	c.gen = cfg.Samples.Gen()
+	c.built = true
+	c.empty = true
+}
+
+// solve points the budget row at the new budget and re-solves: warm
+// from the chained basis when one exists, cold-direct otherwise. Any
+// non-optimal outcome (an IterationLimit mid-chain, a numerically
+// wedged basis) breaks the chain and falls back to the legacy presolve
+// path on the same mutated model, which also re-arms the next call to
+// start a fresh chain.
+func (c *paramLP) solve(cfg Config, budget float64) (*lp.Solution, error) {
+	if c.budgetRow >= 0 {
+		if err := c.model.SetRHS(c.budgetRow, budget-c.fixed); err != nil {
+			return nil, err
+		}
+	}
+	opts := cfg.lpOptions()
+	opts.Workspace = c.ws
+	opts.KeepBasis = true
+	opts.Warm = c.basis
+	sol, err := c.model.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == lp.Optimal {
+		c.basis = sol.Basis
+		return sol, nil
+	}
+	c.basis = nil
+	return cfg.solveLP(c.model)
+}

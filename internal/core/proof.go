@@ -31,6 +31,9 @@ import (
 //	c.3:       |desc(c)| * z_{i,a,j} <= b_{e(c)} when desc(c) holds no
 //	           smaller value (strict linearization of "c sends all";
 //	           the paper instead omits the row — see StrictC3)
+//
+// ProofPlanner caches its LP across Plan calls (see paramLP) and is
+// therefore not safe for concurrent use; build one per goroutine.
 type ProofPlanner struct {
 	cfg Config
 	// strictC3 controls the c.3 linearization (default true). With it
@@ -38,6 +41,19 @@ type ProofPlanner struct {
 	// provability the executed plan cannot deliver in the no-smaller-
 	// value corner case.
 	strictC3 bool
+	param    paramLP
+	prog     proofProgram
+}
+
+// proofProgram is the built PROOF model plus what rounding needs.
+type proofProgram struct {
+	model *lp.Model
+	// budgetRow is the cost row's retained index; fixed is the mandatory
+	// spend (every-edge messages + proof metadata) already subtracted
+	// from its rhs.
+	budgetRow int
+	fixed     float64
+	bs        []lp.VarID
 }
 
 // NewProofPlanner builds the planner with the strict c.3 linearization.
@@ -84,18 +100,20 @@ func (p *ProofPlanner) Plan(budget float64) (*plan.Plan, error) {
 		return nil, fmt.Errorf("core: proof plans need at least %.2f mJ, budget is %.2f", min, budget)
 	}
 
-	b := newProofBuilder(cfg, p.strictC3)
-	for j := 0; j < cfg.Samples.Len(); j++ {
-		for _, i := range cfg.Samples.Ones(j) {
-			// Creating the root-level variable (objective weight 1)
-			// recursively pulls in its whole support.
-			b.ensureZ(network.NodeID(i), network.Root, j)
+	var prog proofProgram
+	var sol *lp.Solution
+	var err error
+	if cfg.DisableWarm {
+		prog = buildProofProgram(cfg, p.strictC3, budget)
+		sol, err = cfg.solveLP(prog.model)
+	} else {
+		if !p.param.fresh(cfg) {
+			p.prog = buildProofProgram(cfg, p.strictC3, budget)
+			p.param.install(cfg, p.prog.model, p.prog.budgetRow, p.prog.fixed)
 		}
+		prog = p.prog
+		sol, err = p.param.solve(cfg, budget)
 	}
-	b.addBandwidthRows()
-	b.addCostRow(budget)
-
-	sol, err := cfg.solveLP(b.m)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +123,7 @@ func (p *ProofPlanner) Plan(budget float64) (*plan.Plan, error) {
 
 	bw := make([]int, n)
 	for v := 1; v < n; v++ {
-		bw[v] = int(math.Floor(sol.X[b.bs[v]] + 0.5))
+		bw[v] = int(math.Floor(sol.X[prog.bs[v]] + 0.5))
 		if bw[v] < 1 {
 			bw[v] = 1
 		}
@@ -118,6 +136,22 @@ func (p *ProofPlanner) Plan(budget float64) (*plan.Plan, error) {
 		p.fill(bw, budget)
 	}
 	return finishPlan(cfg, p.Name(), budget)(plan.NewProof(net, bw))
+}
+
+// buildProofProgram assembles the PROOF model via the lazy builder;
+// only the cost row's rhs depends on the budget.
+func buildProofProgram(cfg Config, strictC3 bool, budget float64) proofProgram {
+	b := newProofBuilder(cfg, strictC3)
+	for j := 0; j < cfg.Samples.Len(); j++ {
+		for _, i := range cfg.Samples.Ones(j) {
+			// Creating the root-level variable (objective weight 1)
+			// recursively pulls in its whole support.
+			b.ensureZ(network.NodeID(i), network.Root, j)
+		}
+	}
+	b.addBandwidthRows()
+	row, fixed := b.addCostRow(budget)
+	return proofProgram{model: b.m, budgetRow: row, fixed: fixed, bs: b.bs}
 }
 
 // ExpectedProven simulates the proof-carrying execution of a bandwidth
@@ -252,7 +286,10 @@ func newProofBuilder(cfg Config, strictC3 bool) *proofBuilder {
 	b.m.Maximize()
 	for v := 1; v < n; v++ {
 		cap := float64(cfg.Net.SubtreeSize(network.NodeID(v)))
-		b.bs[v] = b.m.MustVar(1, cap, 0, fmt.Sprintf("b%d", v))
+		// Tiny index-distinct bandwidth penalty: among equally-proving
+		// allocations, pick the unique minimal one (see tieEps).
+		obj := -tieEps * (1 + float64(v)/float64(n))
+		b.bs[v] = b.m.MustVar(1, cap, obj, fmt.Sprintf("b%d", v))
 	}
 	return b
 }
@@ -335,8 +372,11 @@ func (b *proofBuilder) addBandwidthRows() {
 	}
 }
 
-// addCostRow bounds the total collection cost.
-func (b *proofBuilder) addCostRow(budget float64) {
+// addCostRow bounds the total collection cost. It returns the row's
+// retained index (or -1 for a trivially true row) and the fixed spend
+// subtracted from the rhs, so parametric re-solves can update the row
+// as budget' - fixed.
+func (b *proofBuilder) addCostRow(budget float64) (int, float64) {
 	cfg := b.cfg
 	fixed := 0.0
 	var terms []lp.Term
@@ -347,5 +387,5 @@ func (b *proofBuilder) addCostRow(budget float64) {
 		}
 		terms = append(terms, lp.Term{Var: b.bs[v], Coef: cfg.Costs.Val[v]})
 	}
-	b.m.MustConstr(terms, lp.LE, budget-fixed)
+	return b.m.MustConstr(terms, lp.LE, budget-fixed), fixed
 }

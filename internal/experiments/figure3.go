@@ -105,9 +105,13 @@ func Figure3(cfg Figure3Config) (*Result, error) {
 		} else {
 			return err
 		}
-		for _, frac := range cfg.BudgetFracs {
-			budget := frac * naive
-			for name, pl := range planners {
+		// Planner-major: each planner walks the whole budget axis before
+		// the next starts, so its cached parametric LP serves the sweep
+		// as one warm basis chain (one cold solve per planner per trial).
+		for _, name := range []string{"Greedy", "LP-LF", "LP+LF"} {
+			pl := planners[name]
+			for _, frac := range cfg.BudgetFracs {
+				budget := frac * naive
 				p, err := pl.Plan(budget)
 				if err != nil {
 					return fmt.Errorf("figure3: %s at budget %.1f: %w", name, budget, err)
@@ -116,6 +120,7 @@ func Figure3(cfg Figure3Config) (*Result, error) {
 				if err != nil {
 					return err
 				}
+				frac := frac
 				record(func() { aggs[name].add(frac, cost, acc) })
 			}
 		}

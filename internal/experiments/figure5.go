@@ -108,6 +108,9 @@ func Figure5(cfg ZonesConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Planner-major: each planner finishes its budget sweep before
+		// the other starts, so the parametric LP cache turns all but the
+		// first solve of each sweep into warm re-solves.
 		for _, frac := range cfg.BudgetFracs {
 			budget := frac * naive
 			pf, err := lf.Plan(budget)
@@ -119,11 +122,14 @@ func Figure5(cfg ZonesConfig) (*Result, error) {
 				return nil, err
 			}
 			aggLF.add(frac, cost, acc)
+		}
+		for _, frac := range cfg.BudgetFracs {
+			budget := frac * naive
 			pn, err := nolf.Plan(budget)
 			if err != nil {
 				return nil, err
 			}
-			cost, acc, err = s.evaluate(pn)
+			cost, acc, err := s.evaluate(pn)
 			if err != nil {
 				return nil, err
 			}

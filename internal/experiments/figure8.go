@@ -77,7 +77,12 @@ func Figure8(cfg Figure8Config) (*Result, error) {
 			return err
 		}
 		min := ex.MinPhase1Budget()
-		return runTrials(len(cfg.BudgetMults), func(i int, record2 func(func())) error {
+		// The budget levels run serially as one warm basis chain: the
+		// planner caches its parametric PROOF program across Plan calls
+		// (which also makes it unsafe to share across goroutines), and a
+		// chained re-solve per level is cheaper than the concurrent cold
+		// solves this loop used before.
+		for i := range cfg.BudgetMults {
 			p, err := ex.Planner().Plan(min * cfg.BudgetMults[i])
 			if err != nil {
 				return err
@@ -97,8 +102,8 @@ func Figure8(cfg Figure8Config) (*Result, error) {
 				phase1.add(instance, c1/n, 0)
 				phase2.add(instance, c2/n, 0)
 			})
-			return nil
-		})
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -102,9 +102,12 @@ func Figure9(cfg Figure9Config) (*Result, error) {
 			return nil, err
 		}
 		trialGood := math.Inf(1)
-		for _, frac := range cfg.BudgetFracs {
-			budget := frac * naive
-			for name, pl := range planners {
+		// Planner-major (see figure3.go): one warm basis chain per
+		// planner per trial instead of interleaved cold solves.
+		for _, name := range []string{"Greedy", "LP-LF", "LP+LF"} {
+			pl := planners[name]
+			for _, frac := range cfg.BudgetFracs {
+				budget := frac * naive
 				p, err := pl.Plan(budget)
 				if err != nil {
 					return nil, err

@@ -120,6 +120,11 @@ func Breakdown(before, after *obs.Snapshot) string {
 		}
 		fmt.Fprintf(&b, "  LP: %d solves, %d iterations, %d pivots (%d degenerate), %.0f ms total solve time\n",
 			solves, cd("lp.iterations"), cd("lp.pivots"), cd("lp.degenerate_pivots"), solveSec*1000)
+		// Cold-vs-warm split of the solves: a healthy parametric sweep
+		// shows one cold solve per (planner, trial) and warm re-solves
+		// for the rest of the budget axis.
+		fmt.Fprintf(&b, "  LP: %d cold solves, %d warm re-solves (%d fell back cold)\n",
+			cd("lp.cold_solves"), cd("lp.warm_resolves"), cd("lp.warm_fallbacks"))
 	}
 	return b.String()
 }

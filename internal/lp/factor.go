@@ -1,0 +1,280 @@
+package lp
+
+import "math"
+
+// factor maintains the basis inverse in product form:
+//
+//	B^-1 = E_k · ... · E_1 · B0^-1
+//
+// where B0^-1 is either a signed diagonal (the ±identity artificial
+// start basis) or a dense inverse produced by the last explicit
+// refactorization, and each eta matrix E records one pivot as the
+// sparse spike w = B^-1 A_enter it eliminated. Pivots therefore cost
+// O(nnz(w)) instead of the O(m²) rank-one update a dense inverse
+// needs, and Ftran/Btran stream over the spikes. The eta file is
+// rebuilt into a fresh dense base whenever it grows past its budget or
+// the drift-control pivot counter fires (see solver.refactorEvery).
+//
+// Spike storage is flat (shared index/value arenas with per-eta
+// offsets) so a Workspace can replay thousands of solves without
+// allocating.
+type factor struct {
+	m int
+	// base is the dense row-major m×m inverse of the last
+	// refactorization; nil means diagonal mode with diag[i] = ±1.
+	base []float64
+	diag []float64
+	// Eta file: eta e pivots on row etaRow[e] with pivot value
+	// etaPiv[e]; its off-pivot nonzeros are etaIdx/etaVal in
+	// [etaOff[e], etaOff[e+1]).
+	etaRow []int32
+	etaPiv []float64
+	etaOff []int32
+	etaIdx []int32
+	etaVal []float64
+	// pivotsSince counts pivots since the last refactorization (drift
+	// control, carried across warm solves sharing this factor).
+	pivotsSince int
+}
+
+// resetDiag puts the factor in signed-diagonal mode for a cold start;
+// signs are patched per row by the caller once artificial directions
+// are known.
+func (f *factor) resetDiag(m int) {
+	f.m = m
+	f.base = nil
+	f.diag = growF64(f.diag, m)
+	for i := range f.diag {
+		f.diag[i] = 1
+	}
+	f.clearEtas()
+	f.pivotsSince = 0
+}
+
+func (f *factor) clearEtas() {
+	f.etaRow = f.etaRow[:0]
+	f.etaPiv = f.etaPiv[:0]
+	f.etaOff = append(f.etaOff[:0], 0)
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+// nnz returns the eta-file size (off-pivot nonzeros), the quantity the
+// refactorization budget bounds.
+func (f *factor) nnz() int { return len(f.etaVal) }
+
+func (f *factor) numEtas() int { return len(f.etaRow) }
+
+// appendEta records the pivot (w, leaveRow): the next B^-1 is E·B^-1
+// with E built from spike w. Only the spike's nonzeros are stored.
+func (f *factor) appendEta(w []float64, leaveRow int) {
+	f.etaRow = append(f.etaRow, int32(leaveRow))
+	f.etaPiv = append(f.etaPiv, w[leaveRow])
+	for i, wi := range w {
+		if i == leaveRow || isZero(wi) {
+			continue
+		}
+		f.etaIdx = append(f.etaIdx, int32(i))
+		f.etaVal = append(f.etaVal, wi)
+	}
+	f.etaOff = append(f.etaOff, int32(len(f.etaVal)))
+	f.pivotsSince++
+}
+
+// applyEtas runs the eta file forward over v (the Ftran direction):
+// for each eta, t = v[r]/piv; v[i] -= w_i·t; v[r] = t.
+func (f *factor) applyEtas(v []float64) {
+	for e := 0; e < len(f.etaRow); e++ {
+		r := f.etaRow[e]
+		vr := v[r]
+		if isZero(vr) {
+			continue
+		}
+		t := vr / f.etaPiv[e]
+		for k := f.etaOff[e]; k < f.etaOff[e+1]; k++ {
+			v[f.etaIdx[k]] -= f.etaVal[k] * t
+		}
+		v[r] = t
+	}
+}
+
+// ftranCol computes out = B^-1 A_j from the sparse column store.
+func (f *factor) ftranCol(col []centry, out []float64) {
+	for i := range out[:f.m] {
+		out[i] = 0
+	}
+	if f.base == nil {
+		for _, e := range col {
+			out[e.row] = f.diag[e.row] * e.coef
+		}
+	} else {
+		m := f.m
+		for _, e := range col {
+			coef := e.coef
+			c := e.row
+			for r := 0; r < m; r++ {
+				out[r] += coef * f.base[r*m+c]
+			}
+		}
+	}
+	f.applyEtas(out)
+}
+
+// ftranDense computes v = B^-1 v in place for a dense v, using scratch
+// (length >= m) for the dense mat-vec.
+func (f *factor) ftranDense(v, scratch []float64) {
+	m := f.m
+	if f.base == nil {
+		for i := 0; i < m; i++ {
+			v[i] *= f.diag[i]
+		}
+	} else {
+		for r := 0; r < m; r++ {
+			sum := 0.0
+			row := f.base[r*m : (r+1)*m]
+			for k := 0; k < m; k++ {
+				sum += row[k] * v[k]
+			}
+			scratch[r] = sum
+		}
+		copy(v[:m], scratch[:m])
+	}
+	f.applyEtas(v)
+}
+
+// btran computes y = yᵀ B^-1 in place: the eta file runs in reverse
+// (each eta adjusts only y[r]), then the base applies transposed.
+func (f *factor) btran(y, scratch []float64) {
+	for e := len(f.etaRow) - 1; e >= 0; e-- {
+		r := f.etaRow[e]
+		s := y[r]
+		for k := f.etaOff[e]; k < f.etaOff[e+1]; k++ {
+			s -= y[f.etaIdx[k]] * f.etaVal[k]
+		}
+		y[r] = s / f.etaPiv[e]
+	}
+	m := f.m
+	if f.base == nil {
+		for i := 0; i < m; i++ {
+			y[i] *= f.diag[i]
+		}
+		return
+	}
+	for k := 0; k < m; k++ {
+		scratch[k] = 0
+	}
+	for r := 0; r < m; r++ {
+		yr := y[r]
+		if isZero(yr) {
+			continue
+		}
+		row := f.base[r*m : (r+1)*m]
+		for k := 0; k < m; k++ {
+			scratch[k] += yr * row[k]
+		}
+	}
+	copy(y[:m], scratch[:m])
+}
+
+// refactorize rebuilds the dense base inverse from the given basis
+// columns by Gauss-Jordan elimination with partial pivoting, wiping
+// the eta file and accumulated floating-point drift. mat is reusable
+// scratch. Returns false (leaving the factor untouched) when the basis
+// matrix is numerically singular.
+func (f *factor) refactorize(basis []int, cols [][]centry, mat []float64) bool {
+	m := len(basis)
+	mat = mat[:m*m]
+	for i := range mat {
+		mat[i] = 0
+	}
+	next := growF64(f.baseScratch(), m*m)
+	for i := range next {
+		next[i] = 0
+	}
+	for col, bj := range basis {
+		for _, e := range cols[bj] {
+			mat[e.row*m+col] = e.coef
+		}
+		next[col*m+col] = 1
+	}
+	for col := 0; col < m; col++ {
+		p := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(mat[r*m+col]) > math.Abs(mat[p*m+col]) {
+				p = r
+			}
+		}
+		if isZero(mat[p*m+col]) {
+			return false
+		}
+		if p != col {
+			for k := 0; k < m; k++ {
+				mat[p*m+k], mat[col*m+k] = mat[col*m+k], mat[p*m+k]
+				next[p*m+k], next[col*m+k] = next[col*m+k], next[p*m+k]
+			}
+		}
+		inv := 1 / mat[col*m+col]
+		for k := 0; k < m; k++ {
+			mat[col*m+k] *= inv
+			next[col*m+k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			fc := mat[r*m+col]
+			if isZero(fc) {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				mat[r*m+k] -= fc * mat[col*m+k]
+				next[r*m+k] -= fc * next[col*m+k]
+			}
+		}
+	}
+	f.m = m
+	f.base = next
+	f.clearEtas()
+	f.pivotsSince = 0
+	return true
+}
+
+// baseScratch returns the retired dense base (if any) for reuse as the
+// next refactorization target, so alternating refactorizations don't
+// allocate.
+func (f *factor) baseScratch() []float64 {
+	if f.base != nil {
+		return f.base[:0]
+	}
+	return nil
+}
+
+// growF64 returns a slice of length n, reusing buf's storage when it
+// is large enough and zeroing nothing.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
+func growVstat(buf []vstat, n int) []vstat {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]vstat, n)
+}
+
+func growInt8(buf []int8, n int) []int8 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int8, n)
+}

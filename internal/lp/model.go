@@ -59,6 +59,11 @@ type Model struct {
 	names    []string
 	rows     []row
 	maximize bool
+	// structVersion counts structural edits (new variables or rows).
+	// A Basis captured from a solve is only reusable while the version
+	// is unchanged; the in-place mutators (SetRHS, SetObjCoef,
+	// SetVarBound) deliberately leave it alone.
+	structVersion uint64
 }
 
 type row struct {
@@ -89,6 +94,7 @@ func (m *Model) AddVar(lo, hi, obj float64, name string) (VarID, error) {
 	m.lo = append(m.lo, lo)
 	m.hi = append(m.hi, hi)
 	m.names = append(m.names, name)
+	m.structVersion++
 	return id, nil
 }
 
@@ -148,15 +154,77 @@ func (m *Model) AddConstr(terms []Term, sense Sense, rhs float64) error {
 		return nil
 	}
 	m.rows = append(m.rows, row{terms: clean, sense: sense, rhs: rhs})
+	m.structVersion++
 	return nil
 }
 
-// MustConstr is AddConstr for statically valid arguments.
-func (m *Model) MustConstr(terms []Term, sense Sense, rhs float64) {
+// MustConstr is AddConstr for statically valid arguments. It returns
+// the index of the retained row (usable with SetRHS), or -1 when the
+// row cancelled to a trivially true constraint and was dropped.
+func (m *Model) MustConstr(terms []Term, sense Sense, rhs float64) int {
+	before := len(m.rows)
 	if err := m.AddConstr(terms, sense, rhs); err != nil {
 		panic(err)
 	}
+	if len(m.rows) == before {
+		return -1
+	}
+	return before
 }
+
+// SetRHS replaces the right-hand side of retained row i in place. The
+// constraint matrix is untouched, so a Basis captured from a previous
+// solve stays valid and the next warm solve only has to repair primal
+// feasibility. Row indices are the values returned by MustConstr.
+func (m *Model) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("lp: SetRHS row %d out of range [0,%d)", i, len(m.rows))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: SetRHS rhs %g", rhs)
+	}
+	m.rows[i].rhs = rhs
+	return nil
+}
+
+// RHS returns the right-hand side of retained row i.
+func (m *Model) RHS(i int) float64 { return m.rows[i].rhs }
+
+// SetObjCoef replaces a variable's objective coefficient in place (in
+// the caller's declared sense, like AddVar). Basis-preserving: a warm
+// solve after an objective edit re-prices from the cached basis.
+func (m *Model) SetObjCoef(v VarID, obj float64) error {
+	if v < 0 || int(v) >= len(m.obj) {
+		return fmt.Errorf("lp: SetObjCoef unknown variable %d", v)
+	}
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		return fmt.Errorf("lp: SetObjCoef coefficient %g on variable %d", obj, v)
+	}
+	m.obj[v] = obj
+	return nil
+}
+
+// SetVarBound replaces a variable's bounds in place. Basis-preserving:
+// if the edit makes the cached basis primal-infeasible, the next warm
+// solve recovers with dual pivots instead of restarting cold.
+func (m *Model) SetVarBound(v VarID, lo, hi float64) error {
+	if v < 0 || int(v) >= len(m.obj) {
+		return fmt.Errorf("lp: SetVarBound unknown variable %d", v)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return fmt.Errorf("lp: SetVarBound NaN on variable %d", v)
+	}
+	if lo > hi {
+		return fmt.Errorf("lp: SetVarBound variable %d has lo %g > hi %g", v, lo, hi)
+	}
+	m.lo[v], m.hi[v] = lo, hi
+	return nil
+}
+
+// StructVersion identifies the model's structure (variable and row
+// count history). In-place mutators do not change it; AddVar and
+// AddConstr do, invalidating any captured Basis.
+func (m *Model) StructVersion() uint64 { return m.structVersion }
 
 // NumVars returns the number of variables added so far.
 func (m *Model) NumVars() int { return len(m.obj) }

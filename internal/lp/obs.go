@@ -15,6 +15,10 @@ import (
 //	lp.degenerate_pivots       counter, zero-step basis changes
 //	lp.bound_flips             counter, nonbasic bound-to-bound moves
 //	lp.solve_seconds           histogram of wall time per solve
+//	lp.cold_solves             counter, solves that ran both cold phases
+//	lp.warm_resolves           counter, solves served from a cached Basis
+//	lp.warm_fallbacks          counter, warm attempts restarted cold
+//	lp.warm_pivots             histogram, recovery pivots per warm re-solve
 //	lp.presolve.runs           counter, one per SolveWithPresolve call
 //	lp.presolve.rows_removed   counter, constraint rows eliminated
 //	lp.presolve.vars_fixed     counter, variables pinned by reductions
@@ -22,6 +26,11 @@ import (
 
 // solveSecondsBounds buckets solve wall time from 10µs to 10s.
 var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// warmPivotsBounds buckets recovery pivots per warm re-solve: the
+// parametric hot path should live in the low buckets; mass in the high
+// ones means the basis chain is not actually being reused.
+var warmPivotsBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // recordSolve publishes one solve's statistics; no-op without a
 // registry or tracer. The solve_seconds histogram is only fed when the
@@ -33,7 +42,11 @@ var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // fixed seed, so wall time stays out of them — the deterministic
 // iteration/pivot counts on the span are the solve-effort signal, and
 // wall time lives only in the lp.solve_seconds histogram.
-func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool) {
+//
+// kind partitions the solves: lp.cold_solves counts cold runs and
+// warm fallbacks (which end as cold runs), lp.warm_resolves counts
+// basis-reusing solves, so cold_solves + warm_resolves == solves.
+func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool, kind solveKind) {
 	if r := opts.Obs; r != nil {
 		r.Counter("lp.solves").Inc()
 		r.Counter("lp.status." + sol.Status.String()).Inc()
@@ -41,6 +54,16 @@ func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool)
 		r.Counter("lp.pivots").Add(int64(sol.Pivots))
 		r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
 		r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
+		switch kind {
+		case solveWarm:
+			r.Counter("lp.warm_resolves").Inc()
+			r.Histogram("lp.warm_pivots", warmPivotsBounds).Observe(float64(sol.Pivots))
+		case solveWarmFallback:
+			r.Counter("lp.cold_solves").Inc()
+			r.Counter("lp.warm_fallbacks").Inc()
+		default:
+			r.Counter("lp.cold_solves").Inc()
+		}
 		if timed {
 			r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())
 		}
@@ -48,6 +71,7 @@ func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool)
 	if opts.Trace != nil || opts.Span != nil {
 		fields := []obs.Field{
 			obs.F("status", sol.Status.String()),
+			obs.F("kind", kind.String()),
 			obs.F("iterations", sol.Iterations),
 			obs.F("pivots", sol.Pivots),
 		}

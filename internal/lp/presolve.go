@@ -42,6 +42,10 @@ func SolveWithPresolve(m *Model, opts Options) (*Solution, error) {
 	}
 	recordPresolve(opts.Obs, red, false)
 	reduced, keepVars := red.buildReduced()
+	// The reduced model is a fresh object with its own variable space:
+	// a Basis or Workspace chained to the original model cannot seed or
+	// capture anything meaningful here.
+	opts.Warm, opts.KeepBasis, opts.Workspace = nil, false, nil
 	sol, err := reduced.Solve(opts)
 	if err != nil {
 		return nil, err

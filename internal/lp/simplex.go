@@ -48,16 +48,36 @@ const (
 // Options tunes the solver. The zero value gives sensible defaults.
 type Options struct {
 	// MaxIters bounds total pivots across both phases; 0 means
-	// 5000 + 50*rows.
+	// 5000 + 50*rows. A warm solve gets the same budget; its internal
+	// cold fallback (when the cached basis proves unusable) restarts
+	// the count, so a fallback solve is never budget-starved by the
+	// failed warm attempt.
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance; 0 means 1e-7.
 	Tol float64
 	// Pricing selects the entering rule; default Dantzig.
 	Pricing Pricing
 	// RefactorEvery overrides the pivot budget between explicit basis
-	// reinversions; 0 keeps the size-based default. Mainly for tests
-	// and numerically hostile models.
+	// refactorizations; 0 keeps the size-based default. Mainly for
+	// tests and numerically hostile models.
 	RefactorEvery int
+	// Workspace, when non-nil, supplies all per-solve scratch (solver
+	// state, factorization storage, the returned Solution's backing
+	// arrays). Repeat solves through one Workspace are allocation-free
+	// at steady state. A Workspace is single-goroutine; the Solution
+	// it returns is valid until the next solve through the same
+	// Workspace.
+	Workspace *Workspace
+	// Warm, when non-nil, is a Basis captured from a previous solve
+	// (KeepBasis) of the same Model. The solver restores it and runs
+	// dual-simplex recovery pivots instead of the two cold phases; if
+	// the basis is stale (structural edits) or numerically unusable it
+	// falls back to a cold solve internally (lp.warm_fallbacks).
+	Warm *Basis
+	// KeepBasis asks Solve to capture the final basis on Solution.Basis
+	// for a later warm re-solve. With a Workspace the Basis storage is
+	// reused, invalidating the previously captured Basis.
+	KeepBasis bool
 	// Obs, when non-nil, receives solve metrics (lp.* counters and the
 	// lp.solve_seconds histogram). A nil registry costs one check per
 	// solve.
@@ -84,7 +104,9 @@ func (o Options) withDefaults(rows int) Options {
 	return o
 }
 
-// Solution is the result of a solve.
+// Solution is the result of a solve. When the solve ran through a
+// Workspace, X and Duals alias Workspace storage and are valid until
+// the next solve through that Workspace.
 type Solution struct {
 	Status     Status
 	Objective  float64   // in the model's declared sense
@@ -97,6 +119,13 @@ type Solution struct {
 	Pivots           int
 	DegeneratePivots int
 	BoundFlips       int
+	// Warm reports that this solve reused the supplied Basis (possibly
+	// with recovery pivots); false for cold solves and for warm
+	// attempts that fell back to a cold solve.
+	Warm bool
+	// Basis is the captured final basis when Options.KeepBasis was set
+	// and the solve ended Optimal; nil otherwise.
+	Basis *Basis
 }
 
 // variable status within the simplex.
@@ -112,7 +141,8 @@ const (
 // solver holds the standard-form problem: minimize c.x subject to
 // Ax = b, lo <= x <= hi, where columns 0..nStruct-1 are the model's
 // variables, then one slack per inequality row, then one artificial
-// per row (phase 1 only).
+// per row (phase 1 only). All slice state lives in a Workspace so the
+// shell can be replayed without allocating.
 type solver struct {
 	m, nStruct, nSlack int
 	nTotal             int // structural + slack + artificial
@@ -123,18 +153,22 @@ type solver struct {
 
 	basis []int // basis[r] = column basic in row r
 	stat  []vstat
-	binv  []float64 // m*m row-major dense basis inverse
+	f     *factor   // basis inverse in product form
 	xB    []float64 // values of basic variables
 	xN    []float64 // current value of every column (authoritative for nonbasic)
 	y     []float64 // duals scratch
 	w     []float64 // entering column in basis coordinates
+	rho   []float64 // dual simplex: row r of B^-1
+	scr   []float64 // btran / dense mat-vec scratch
+	resid []float64 // recomputeBasics right-hand side scratch
+	p1c   []float64 // phase-1 cost vector
+	mat   []float64 // refactorization scratch (reused, not reallocated)
 
 	tol      float64
 	opts     Options
 	iters    int
 	maxIt    int
 	artStart int // first artificial column
-	pivots   int // pivots since last refactorization
 
 	// Solve statistics, surfaced on Solution and in opts.Obs.
 	pivotsTotal int
@@ -147,129 +181,38 @@ type centry struct {
 	coef float64
 }
 
-// Solve optimizes the model. The model may be reused or extended and
-// solved again; each call is independent.
+// Solve optimizes the model. The model may be reused, mutated in place
+// (SetRHS, SetObjCoef, SetVarBound), or extended and solved again; each
+// call is independent unless Options.Warm chains it to a prior basis.
 func (m *Model) Solve(opts Options) (*Solution, error) {
 	var start time.Time
 	if opts.Now != nil {
 		start = opts.Now()
 	}
-	s, err := newSolver(m, opts)
-	if err != nil {
-		return nil, err
+	ws := opts.Workspace
+	if ws == nil {
+		ws = &Workspace{}
 	}
-	st := s.run()
-	sol := &Solution{
-		Status:           st,
-		X:                make([]float64, m.NumVars()),
-		Duals:            make([]float64, s.m),
-		Iterations:       s.iters,
-		Pivots:           s.pivotsTotal,
-		DegeneratePivots: s.degenerate,
-		BoundFlips:       s.flips,
+	s := ws.prepare(m, opts)
+	var st Status
+	kind := solveCold
+	if opts.Warm != nil {
+		st, kind = s.warmRun(m, opts.Warm, ws)
+	} else {
+		st = s.run()
 	}
+	sol := ws.takeSolution(m, s, st)
+	sol.Warm = kind == solveWarm
+	if opts.KeepBasis && st == Optimal {
+		sol.Basis = ws.captureBasis(m, s)
+	}
+	ws.noteSolved(m)
 	var elapsed time.Duration
 	if opts.Now != nil {
 		elapsed = opts.Now().Sub(start)
 	}
-	recordSolve(opts, sol, elapsed, opts.Now != nil)
-	if st == Optimal || st == IterationLimit {
-		for i := 0; i < s.nStruct; i++ {
-			sol.X[i] = s.value(i)
-		}
-		sol.Objective = m.Objective(sol.X)
-		s.computeDuals(s.c)
-		copy(sol.Duals, s.y)
-		if m.maximize {
-			for r := range sol.Duals {
-				sol.Duals[r] = -sol.Duals[r]
-			}
-		}
-	}
+	recordSolve(opts, sol, elapsed, opts.Now != nil, kind)
 	return sol, nil
-}
-
-func newSolver(m *Model, opts Options) (*solver, error) {
-	rows := len(m.rows)
-	opts = opts.withDefaults(rows)
-	s := &solver{
-		m:       rows,
-		nStruct: m.NumVars(),
-		nSlack:  0,
-		tol:     opts.Tol,
-		opts:    opts,
-		maxIt:   opts.MaxIters,
-	}
-	for _, r := range m.rows {
-		if r.sense != EQ {
-			s.nSlack++
-		}
-	}
-	s.nTotal = s.nStruct + s.nSlack + rows // artificials allocated up front
-	s.cols = make([][]centry, s.nTotal)
-	s.c = make([]float64, s.nTotal)
-	s.lo = make([]float64, s.nTotal)
-	s.hi = make([]float64, s.nTotal)
-	s.b = make([]float64, rows)
-
-	sign := 1.0
-	if m.maximize {
-		sign = -1
-	}
-	for j := 0; j < s.nStruct; j++ {
-		s.c[j] = sign * m.obj[j]
-		s.lo[j], s.hi[j] = m.lo[j], m.hi[j]
-	}
-	// Structural columns.
-	for r, rw := range m.rows {
-		s.b[r] = rw.rhs
-		for _, t := range rw.terms {
-			s.cols[t.Var] = append(s.cols[t.Var], centry{row: r, coef: t.Coef})
-		}
-	}
-	// Slack columns: row + slack == rhs for LE (slack in [0, inf)),
-	// row - slack == rhs for GE.
-	slack := s.nStruct
-	for r, rw := range m.rows {
-		switch rw.sense {
-		case LE:
-			s.cols[slack] = []centry{{row: r, coef: 1}}
-		case GE:
-			s.cols[slack] = []centry{{row: r, coef: -1}}
-		case EQ:
-			continue
-		}
-		s.lo[slack], s.hi[slack] = 0, Inf
-		slack++
-	}
-	// Artificial columns get their signs fixed once the initial
-	// nonbasic point is known; allocate bounds now.
-	art := s.nStruct + s.nSlack
-	for r := 0; r < rows; r++ {
-		s.cols[art+r] = []centry{{row: r, coef: 1}} // sign patched later
-		s.lo[art+r], s.hi[art+r] = 0, 0             // opened during phase 1
-	}
-	s.stat = make([]vstat, s.nTotal)
-	s.basis = make([]int, rows)
-	s.binv = make([]float64, rows*rows)
-	s.xB = make([]float64, rows)
-	s.xN = make([]float64, s.nTotal)
-	s.y = make([]float64, rows)
-	s.w = make([]float64, rows)
-	s.artStart = s.nStruct + s.nSlack
-	return s, nil
-}
-
-// value returns the current value of column j.
-func (s *solver) value(j int) float64 {
-	if s.stat[j] == basic {
-		for r, bj := range s.basis {
-			if bj == j {
-				return s.xB[r]
-			}
-		}
-	}
-	return s.xN[j]
 }
 
 // run executes phase 1 then phase 2 and returns the final status.
@@ -287,8 +230,9 @@ func (s *solver) run() Status {
 		}
 	}
 	// Residual r = b - A x_N decides artificial signs; basis starts as
-	// the artificials with identity inverse.
-	resid := append([]float64(nil), s.b...)
+	// the artificials with a signed-diagonal inverse.
+	resid := s.resid[:s.m]
+	copy(resid, s.b)
 	for j := 0; j < s.nStruct+s.nSlack; j++ {
 		if !isZero(s.xN[j]) {
 			for _, e := range s.cols[j] {
@@ -296,31 +240,34 @@ func (s *solver) run() Status {
 			}
 		}
 	}
-	art := s.nStruct + s.nSlack
+	art := s.artStart
 	needPhase1 := false
-	phase1Cost := make([]float64, s.nTotal)
+	for i := range s.p1c {
+		s.p1c[i] = 0
+	}
+	s.f.resetDiag(s.m)
 	for r := 0; r < s.m; r++ {
 		j := art + r
+		// The column arena persists across solves, so the sign must be
+		// written both ways, not just flipped when negative.
 		if resid[r] < 0 {
 			s.cols[j][0].coef = -1
+			s.f.diag[r] = -1
+		} else {
+			s.cols[j][0].coef = 1
 		}
 		s.basis[r] = j
 		s.stat[j] = basic
 		s.xB[r] = math.Abs(resid[r])
 		s.hi[j] = Inf
-		phase1Cost[j] = 1
+		s.p1c[j] = 1
 		if s.xB[r] > s.tol {
 			needPhase1 = true
-		}
-		s.binv[r*s.m+r] = 1
-		if s.cols[j][0].coef < 0 {
-			// Keep binv the true inverse of the basis matrix.
-			s.binv[r*s.m+r] = -1
 		}
 	}
 
 	if needPhase1 {
-		st := s.iterate(phase1Cost, true)
+		st := s.iterate(s.p1c, true)
 		if st == IterationLimit {
 			return IterationLimit
 		}
@@ -348,19 +295,10 @@ func (s *solver) run() Status {
 
 // computeDuals sets s.y = cB^T B^-1 for the given cost vector.
 func (s *solver) computeDuals(cost []float64) {
-	for r := range s.y {
-		s.y[r] = 0
-	}
 	for r := 0; r < s.m; r++ {
-		cb := cost[s.basis[r]]
-		if isZero(cb) {
-			continue
-		}
-		row := s.binv[r*s.m : (r+1)*s.m]
-		for k := 0; k < s.m; k++ {
-			s.y[k] += cb * row[k]
-		}
+		s.y[r] = cost[s.basis[r]]
 	}
+	s.f.btran(s.y, s.scr)
 }
 
 // reducedCost returns c_j - y . A_j.
@@ -374,16 +312,7 @@ func (s *solver) reducedCost(cost []float64, j int) float64 {
 
 // ftran computes w = B^-1 A_j.
 func (s *solver) ftran(j int) {
-	for r := range s.w {
-		s.w[r] = 0
-	}
-	for _, e := range s.cols[j] {
-		col := e.row
-		coef := e.coef
-		for r := 0; r < s.m; r++ {
-			s.w[r] += coef * s.binv[r*s.m+col]
-		}
-	}
+	s.f.ftranCol(s.cols[j], s.w)
 }
 
 // iterate runs simplex pivots under the given cost vector until
@@ -396,9 +325,7 @@ func (s *solver) iterate(cost []float64, phase1 bool) Status {
 		if s.iters >= s.maxIt {
 			return IterationLimit
 		}
-		if s.pivots >= s.refactorEvery() {
-			s.refactor()
-		}
+		s.maybeRefactor()
 		s.computeDuals(cost)
 		useBland := s.opts.Pricing == Bland || stall >= stallLimit
 		enter, sigma := s.price(cost, useBland)
@@ -431,7 +358,13 @@ func (s *solver) iterate(cost []float64, phase1 bool) Status {
 		if t <= s.tol {
 			s.degenerate++
 		}
-		s.pivot(enter, sigma, t, leaveRow)
+		// Leaving variable rests at whichever bound it hit: the basic
+		// value was driven toward its lower bound when sigma*w > 0.
+		leaveStat := atUpper
+		if sigma*s.w[leaveRow] > 0 {
+			leaveStat = atLower
+		}
+		s.pivot(enter, sigma, t, leaveRow, leaveStat)
 	}
 }
 
@@ -540,8 +473,11 @@ func (s *solver) applyBoundFlip(enter int, sigma, t float64) {
 	}
 }
 
-// pivot swaps the entering column into the basis at leaveRow.
-func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
+// pivot swaps the entering column into the basis at leaveRow; the
+// leaving variable rests at leaveStat (primal and dual steps place it
+// on different sides, so the caller decides). Requires s.w to hold the
+// entering column in basis coordinates.
+func (s *solver) pivot(enter int, sigma, t float64, leaveRow int, leaveStat vstat) {
 	leave := s.basis[leaveRow]
 	// New value of the entering variable.
 	newVal := s.xN[enter] + sigma*t
@@ -551,8 +487,7 @@ func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
 			s.xB[r] -= sigma * t * s.w[r]
 		}
 	}
-	// Leaving variable rests at whichever bound it hit.
-	if sigma*s.w[leaveRow] > 0 {
+	if leaveStat == atLower {
 		s.stat[leave] = atLower
 		s.xN[leave] = s.lo[leave]
 	} else {
@@ -567,34 +502,13 @@ func (s *solver) pivot(enter int, sigma, t float64, leaveRow int) {
 	s.basis[leaveRow] = enter
 	s.stat[enter] = basic
 	s.xB[leaveRow] = newVal
-	s.pivots++
 	s.pivotsTotal++
-
-	// Rank-one update of the dense inverse: eliminate the entering
-	// column from all other rows.
-	pivotVal := s.w[leaveRow]
-	prow := s.binv[leaveRow*s.m : (leaveRow+1)*s.m]
-	inv := 1 / pivotVal
-	for k := range prow {
-		prow[k] *= inv
-	}
-	for r := 0; r < s.m; r++ {
-		if r == leaveRow {
-			continue
-		}
-		f := s.w[r]
-		if isZero(f) {
-			continue
-		}
-		row := s.binv[r*s.m : (r+1)*s.m]
-		for k := range row {
-			row[k] -= f * prow[k]
-		}
-	}
+	s.f.appendEta(s.w, leaveRow)
 }
 
-// refactorEvery is the pivot budget between explicit reinversions of
-// the basis; the O(m^3) rebuild is amortized against m^2 updates.
+// refactorEvery is the pivot budget between explicit refactorizations
+// of the basis; the O(m^3) rebuild is amortized against the eta file's
+// per-pivot cost.
 func (s *solver) refactorEvery() int {
 	if s.opts.RefactorEvery > 0 {
 		return s.opts.RefactorEvery
@@ -605,61 +519,34 @@ func (s *solver) refactorEvery() int {
 	return 1500
 }
 
-// refactor rebuilds the dense basis inverse from the current basis
-// columns with Gauss-Jordan elimination (partial pivoting) and then
-// recomputes the basic values from scratch, wiping accumulated
-// floating-point drift.
-func (s *solver) refactor() {
-	s.pivots = 0
-	m := s.m
-	// mat starts as B, binv as I; row operations carry both to I, B^-1.
-	mat := make([]float64, m*m)
-	for r := range s.binv {
-		s.binv[r] = 0
+// etaBudget bounds the eta file's off-pivot nonzeros: past this, the
+// per-iteration Ftran/Btran cost of replaying spikes exceeds what a
+// fresh dense factorization amortizes to. The bound is deliberately a
+// small multiple of one dense pass (m²/8): spikes are near-dense, so a
+// long eta file makes every iteration pay several dense-pass
+// equivalents — warm chains, which inherit the file across re-solves,
+// are especially sensitive (a 4096 floor here once made chained warm
+// iterations ~3x the cost of cold ones at m~70).
+func (s *solver) etaBudget() int {
+	b := s.m * s.m / 8
+	if b < 128 {
+		b = 128
 	}
-	for col, bj := range s.basis {
-		for _, e := range s.cols[bj] {
-			mat[e.row*m+col] = e.coef
-		}
-		s.binv[col*m+col] = 1
+	return b
+}
+
+// maybeRefactor rebuilds the factor when the drift budget or the eta
+// growth budget is exhausted. A singular basis keeps the stale factor
+// (and resets the counter so the rebuild is not retried every pivot).
+func (s *solver) maybeRefactor() {
+	f := s.f
+	if f.pivotsSince < s.refactorEvery() &&
+		!(f.pivotsSince >= 32 && f.nnz() > s.etaBudget()) {
+		return
 	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		p := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(mat[r*m+col]) > math.Abs(mat[p*m+col]) {
-				p = r
-			}
-		}
-		if isZero(mat[p*m+col]) {
-			// Singular basis: should not happen; keep going with the
-			// stale inverse rather than crash.
-			return
-		}
-		if p != col {
-			for k := 0; k < m; k++ {
-				mat[p*m+k], mat[col*m+k] = mat[col*m+k], mat[p*m+k]
-				s.binv[p*m+k], s.binv[col*m+k] = s.binv[col*m+k], s.binv[p*m+k]
-			}
-		}
-		inv := 1 / mat[col*m+col]
-		for k := 0; k < m; k++ {
-			mat[col*m+k] *= inv
-			s.binv[col*m+k] *= inv
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := mat[r*m+col]
-			if isZero(f) {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				mat[r*m+k] -= f * mat[col*m+k]
-				s.binv[r*m+k] -= f * s.binv[col*m+k]
-			}
-		}
+	if !f.refactorize(s.basis, s.cols, s.mat) {
+		f.pivotsSince = 0
+		return
 	}
 	s.recomputeBasics()
 }
@@ -667,7 +554,8 @@ func (s *solver) refactor() {
 // recomputeBasics sets xB = B^-1 (b - N x_N) from authoritative
 // nonbasic values.
 func (s *solver) recomputeBasics() {
-	resid := append([]float64(nil), s.b...)
+	resid := s.resid[:s.m]
+	copy(resid, s.b)
 	for j := 0; j < s.nTotal; j++ {
 		if s.stat[j] == basic || isZero(s.xN[j]) {
 			continue
@@ -676,12 +564,6 @@ func (s *solver) recomputeBasics() {
 			resid[e.row] -= e.coef * s.xN[j]
 		}
 	}
-	for r := 0; r < s.m; r++ {
-		v := 0.0
-		row := s.binv[r*s.m : (r+1)*s.m]
-		for k := 0; k < s.m; k++ {
-			v += row[k] * resid[k]
-		}
-		s.xB[r] = v
-	}
+	copy(s.xB[:s.m], resid)
+	s.f.ftranDense(s.xB[:s.m], s.scr)
 }

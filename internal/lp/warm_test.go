@@ -1,0 +1,468 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solveWarmChain cold-solves m once through ws capturing the basis,
+// then returns a re-solve closure that warm-starts from the latest
+// basis after the caller's in-place mutation.
+func startWarmChain(t *testing.T, m *Model, ws *Workspace) (*Solution, func() *Solution) {
+	t.Helper()
+	opts := Options{Workspace: ws, KeepBasis: true}
+	sol, err := m.Solve(opts)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	basis := sol.Basis
+	resolve := func() *Solution {
+		s, err := m.Solve(Options{Workspace: ws, KeepBasis: true, Warm: basis})
+		if err != nil {
+			t.Fatalf("warm solve: %v", err)
+		}
+		if s.Basis != nil {
+			basis = s.Basis
+		}
+		return s
+	}
+	return sol, resolve
+}
+
+func objClose(t *testing.T, trial int, warm, cold *Solution) {
+	t.Helper()
+	if warm.Status != cold.Status {
+		t.Fatalf("trial %d: warm status %v, cold status %v", trial, warm.Status, cold.Status)
+	}
+	if cold.Status != Optimal {
+		return
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+		t.Errorf("trial %d: warm objective %g, cold %g", trial, warm.Objective, cold.Objective)
+	}
+}
+
+// TestWarmRHSSweepCertified is the parametric hot path: one model, one
+// basis chain, a sweep of right-hand sides. Every warm result must
+// carry a full KKT certificate and match a from-scratch cold solve.
+func TestWarmRHSSweepCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		m := randomFeasibleModel(rng, 4+rng.Intn(8), 2+rng.Intn(8))
+		if trial%3 == 0 {
+			m.Maximize()
+		}
+		// A dedicated "budget" row to perturb, like the planners'.
+		ids := make([]Term, 0, m.NumVars())
+		for v := 0; v < m.NumVars(); v++ {
+			ids = append(ids, Term{Var: VarID(v), Coef: 1 + rng.Float64()})
+		}
+		budgetRow := m.MustConstr(ids, LE, 2+rng.Float64()*3)
+		ws := NewWorkspace()
+		_, resolve := startWarmChain(t, m, ws)
+		for step := 0; step < 8; step++ {
+			rhs := 0.5 + rng.Float64()*5
+			if err := m.SetRHS(budgetRow, rhs); err != nil {
+				t.Fatalf("SetRHS: %v", err)
+			}
+			warm := resolve()
+			cold, err := m.Solve(Options{})
+			if err != nil {
+				t.Fatalf("cold reference: %v", err)
+			}
+			objClose(t, trial, warm, cold)
+			if warm.Status == Optimal {
+				if err := CheckOptimal(m, warm, 1e-6); err != nil {
+					t.Errorf("trial %d step %d: warm certificate: %v", trial, step, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmIsActuallyWarm pins that a pure RHS re-solve takes the warm
+// path (Solution.Warm) and needs far fewer pivots than the cold solve
+// of the same instance.
+func TestWarmIsActuallyWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomFeasibleModel(rng, 12, 10)
+	terms := make([]Term, 0, m.NumVars())
+	for v := 0; v < m.NumVars(); v++ {
+		terms = append(terms, Term{Var: VarID(v), Coef: 1})
+	}
+	budgetRow := m.MustConstr(terms, LE, 6)
+	ws := NewWorkspace()
+	_, resolve := startWarmChain(t, m, ws)
+	for step := 1; step <= 6; step++ {
+		if err := m.SetRHS(budgetRow, 6-0.5*float64(step)); err != nil {
+			t.Fatalf("SetRHS: %v", err)
+		}
+		warm := resolve()
+		if warm.Status != Optimal {
+			t.Fatalf("step %d: status %v", step, warm.Status)
+		}
+		if !warm.Warm {
+			t.Fatalf("step %d: re-solve did not take the warm path", step)
+		}
+		cold, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Pivots > 0 && warm.Pivots > cold.Pivots {
+			t.Errorf("step %d: warm used %d pivots, cold only %d", step, warm.Pivots, cold.Pivots)
+		}
+	}
+}
+
+// TestWarmAfterBoundFlip covers the satellite edge case: a bound edit
+// that makes the cached basis primal-infeasible. The warm solve must
+// recover (dual pivots or fallback) and agree with a cold solve.
+func TestWarmAfterBoundFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		m := randomMixedModel(rng, 3+rng.Intn(8), 2+rng.Intn(6))
+		ws := NewWorkspace()
+		first, resolve := startWarmChain(t, m, ws)
+		if first.Status != Optimal {
+			continue
+		}
+		// Raise a lower bound to above a variable's current optimal
+		// value: its basic/resting value becomes infeasible.
+		v := VarID(rng.Intn(m.NumVars()))
+		lo, hi := m.Bounds(v)
+		newLo := math.Min(first.X[v]+0.25*(1+rng.Float64()), hi)
+		if newLo <= lo {
+			newLo = math.Min(lo+0.1, hi)
+		}
+		if err := m.SetVarBound(v, newLo, hi); err != nil {
+			t.Fatalf("SetVarBound: %v", err)
+		}
+		warm := resolve()
+		cold, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("cold reference: %v", err)
+		}
+		objClose(t, trial, warm, cold)
+		if warm.Status == Optimal {
+			if err := CheckOptimal(m, warm, 1e-6); err != nil {
+				t.Errorf("trial %d: warm certificate after bound flip: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestWarmAfterObjChange exercises the primal-feasible / dual-infeasible
+// warm case: the basis point is unchanged, only pricing moved.
+func TestWarmAfterObjChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		m := randomFeasibleModel(rng, 4+rng.Intn(8), 2+rng.Intn(8))
+		ws := NewWorkspace()
+		_, resolve := startWarmChain(t, m, ws)
+		v := VarID(rng.Intn(m.NumVars()))
+		if err := m.SetObjCoef(v, rng.NormFloat64()); err != nil {
+			t.Fatalf("SetObjCoef: %v", err)
+		}
+		warm := resolve()
+		cold, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("cold reference: %v", err)
+		}
+		objClose(t, trial, warm, cold)
+		if warm.Status == Optimal {
+			if err := CheckOptimal(m, warm, 1e-6); err != nil {
+				t.Errorf("trial %d: warm certificate after obj change: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestWarmStaleBasisFallsBack pins that structural edits invalidate the
+// basis and the solve silently degrades to a correct cold run.
+func TestWarmStaleBasisFallsBack(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar(0, 4, -1, "x")
+	m.MustConstr([]Term{{x, 1}}, LE, 3)
+	ws := NewWorkspace()
+	sol, err := m.Solve(Options{Workspace: ws, KeepBasis: true})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold: %v / %v", err, sol.Status)
+	}
+	basis := sol.Basis
+	// Structural edit: the captured basis no longer describes m.
+	y := m.MustVar(0, 4, -2, "y")
+	m.MustConstr([]Term{{x, 1}, {y, 1}}, LE, 5)
+	warm, err := m.Solve(Options{Workspace: ws, Warm: basis})
+	if err != nil {
+		t.Fatalf("warm-after-edit: %v", err)
+	}
+	if warm.Warm {
+		t.Error("stale basis was reported as a warm solve")
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("status %v", warm.Status)
+	}
+	want := -1*3.0 - 2*2.0 // y fills to its bound... check against cold
+	cold, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloat(warm.Objective, cold.Objective) && math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Errorf("warm-fallback objective %g, cold %g (sanity want about %g)", warm.Objective, cold.Objective, want)
+	}
+}
+
+// TestWarmAcrossWorkspaces pins that a Basis can seed a solve through a
+// *different* workspace (forcing a refactorization of the snapshot).
+func TestWarmAcrossWorkspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		m := randomFeasibleModel(rng, 6, 8)
+		terms := []Term{{0, 1}, {1, 1}, {2, 1}}
+		row := m.MustConstr(terms, LE, 4)
+		ws1 := NewWorkspace()
+		sol, err := m.Solve(Options{Workspace: ws1, KeepBasis: true})
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("cold: %v / %v", err, sol.Status)
+		}
+		if err := m.SetRHS(row, 2); err != nil {
+			t.Fatal(err)
+		}
+		warm, err := m.Solve(Options{Workspace: NewWorkspace(), Warm: sol.Basis})
+		if err != nil {
+			t.Fatalf("warm via fresh workspace: %v", err)
+		}
+		cold, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objClose(t, trial, warm, cold)
+	}
+}
+
+// TestWarmIterationLimit pins the satellite behavior: a warm solve
+// that exhausts MaxIters reports IterationLimit (it does not burn a
+// hidden cold restart), so callers can fall back deliberately.
+func TestWarmIterationLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := randomFeasibleModel(rng, 14, 14)
+	terms := make([]Term, 0, m.NumVars())
+	for v := 0; v < m.NumVars(); v++ {
+		terms = append(terms, Term{Var: VarID(v), Coef: 1})
+	}
+	row := m.MustConstr(terms, LE, 8)
+	ws := NewWorkspace()
+	sol, err := m.Solve(Options{Workspace: ws, KeepBasis: true})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold: %v / %v", err, sol.Status)
+	}
+	if err := m.SetRHS(row, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m.Solve(Options{Workspace: ws, Warm: sol.Basis, MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status == Optimal && warm.Iterations > 1 {
+		t.Fatalf("MaxIters=1 not honored: %d iterations", warm.Iterations)
+	}
+	// With a sane budget the same chain succeeds.
+	full, err := m.Solve(Options{Workspace: ws, Warm: sol.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != Optimal {
+		t.Fatalf("recovered solve status %v", full.Status)
+	}
+}
+
+// TestWarmSteadyStateZeroAlloc is the tentpole's allocation pin: once
+// the chain is warm, a mutate→warm-resolve cycle through a Workspace
+// must not allocate at all in the solver core.
+func TestWarmSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	m := randomFeasibleModel(rng, 10, 12)
+	terms := make([]Term, 0, m.NumVars())
+	for v := 0; v < m.NumVars(); v++ {
+		terms = append(terms, Term{Var: VarID(v), Coef: 1})
+	}
+	row := m.MustConstr(terms, LE, 5)
+	ws := NewWorkspace()
+	sol, err := m.Solve(Options{Workspace: ws, KeepBasis: true})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold: %v / %v", err, sol.Status)
+	}
+	basis := sol.Basis
+	rhs := []float64{4.5, 4.0, 3.5, 3.0, 2.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	step := 0
+	// Warm the chain (first warm solve may still grow buffers).
+	for i := 0; i < 3; i++ {
+		if err := m.SetRHS(row, rhs[step%len(rhs)]); err != nil {
+			t.Fatal(err)
+		}
+		step++
+		s, err := m.Solve(Options{Workspace: ws, KeepBasis: true, Warm: basis})
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("warmup: %v / %v", err, s.Status)
+		}
+		basis = s.Basis
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.SetRHS(row, rhs[step%len(rhs)]); err != nil {
+			t.Fatal(err)
+		}
+		step++
+		s, err := m.Solve(Options{Workspace: ws, KeepBasis: true, Warm: basis})
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("steady state: %v / %v", err, s.Status)
+		}
+		basis = s.Basis
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state warm re-solve allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMutatorValidation covers the in-place mutators' error paths,
+// including SetRHS against the -1 sentinel MustConstr returns for a
+// dropped (trivially true) row.
+func TestMutatorValidation(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar(0, 1, 1, "x")
+	kept := m.MustConstr([]Term{{x, 1}}, LE, 1)
+	dropped := m.MustConstr([]Term{{x, 1}, {x, -1}}, LE, 1)
+	if dropped != -1 {
+		t.Fatalf("cancelled row index %d, want -1", dropped)
+	}
+	if kept != 0 {
+		t.Fatalf("kept row index %d, want 0", kept)
+	}
+	if err := m.SetRHS(dropped, 2); err == nil {
+		t.Error("SetRHS accepted the dropped-row sentinel")
+	}
+	if err := m.SetRHS(5, 2); err == nil {
+		t.Error("SetRHS accepted an out-of-range row")
+	}
+	if err := m.SetRHS(kept, math.NaN()); err == nil {
+		t.Error("SetRHS accepted NaN")
+	}
+	if err := m.SetRHS(kept, 0.5); err != nil {
+		t.Errorf("SetRHS rejected a valid update: %v", err)
+	}
+	if !sameFloat(m.RHS(kept), 0.5) {
+		t.Errorf("RHS %g after SetRHS, want 0.5", m.RHS(kept))
+	}
+	if err := m.SetObjCoef(VarID(9), 1); err == nil {
+		t.Error("SetObjCoef accepted an unknown variable")
+	}
+	if err := m.SetObjCoef(x, math.Inf(1)); err == nil {
+		t.Error("SetObjCoef accepted +Inf")
+	}
+	if err := m.SetVarBound(x, 2, 1); err == nil {
+		t.Error("SetVarBound accepted lo > hi")
+	}
+	if err := m.SetVarBound(VarID(-1), 0, 1); err == nil {
+		t.Error("SetVarBound accepted a negative variable")
+	}
+	v0 := m.StructVersion()
+	if err := m.SetVarBound(x, 0, 2); err != nil {
+		t.Errorf("SetVarBound rejected a valid update: %v", err)
+	}
+	if m.StructVersion() != v0 {
+		t.Error("in-place mutator changed StructVersion")
+	}
+	m.MustVar(0, 1, 1, "y")
+	if m.StructVersion() == v0 {
+		t.Error("AddVar did not change StructVersion")
+	}
+}
+
+// TestSetRHSPresolveEliminatedRow: a row presolve would eliminate as
+// redundant still accepts SetRHS on the original model, and the update
+// takes effect when it becomes binding — through both SolveWithPresolve
+// and a direct warm chain.
+func TestSetRHSPresolveEliminatedRow(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar(0, 1, -1, "x") // maximize x via minimizing -x
+	y := m.MustVar(0, 1, -1, "y")
+	// Redundant at first: x + y <= 10 can never bind with x,y <= 1, so
+	// presolve drops it from the reduced model.
+	row := m.MustConstr([]Term{{x, 1}, {y, 1}}, LE, 10)
+	sol, err := SolveWithPresolve(m, Options{})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("presolve solve: %v / %v", err, sol.Status)
+	}
+	if math.Abs(sol.Objective-(-2)) > 1e-8 {
+		t.Fatalf("objective %g, want -2", sol.Objective)
+	}
+	// Tighten the previously-eliminated row until it binds.
+	if err := m.SetRHS(row, 0.5); err != nil {
+		t.Fatalf("SetRHS on presolve-eliminated row: %v", err)
+	}
+	sol2, err := SolveWithPresolve(m, Options{})
+	if err != nil || sol2.Status != Optimal {
+		t.Fatalf("re-solve: %v / %v", err, sol2.Status)
+	}
+	if math.Abs(sol2.Objective-(-0.5)) > 1e-8 {
+		t.Errorf("objective %g after tightening, want -0.5", sol2.Objective)
+	}
+	// Same sweep through the warm path.
+	ws := NewWorkspace()
+	cold, err := m.Solve(Options{Workspace: ws, KeepBasis: true})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("warm-chain cold start: %v / %v", err, cold.Status)
+	}
+	if err := m.SetRHS(row, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m.Solve(Options{Workspace: ws, Warm: cold.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm re-solve: %v / %v", err, warm.Status)
+	}
+	if math.Abs(warm.Objective-(-1.25)) > 1e-8 {
+		t.Errorf("warm objective %g, want -1.25", warm.Objective)
+	}
+}
+
+// TestWarmMixedMutations hammers the chain with interleaved RHS, bound,
+// and objective edits — including the both-infeasible fallback path —
+// checking every step against a cold reference.
+func TestWarmMixedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 25; trial++ {
+		m := randomMixedModel(rng, 4+rng.Intn(6), 3+rng.Intn(6))
+		ws := NewWorkspace()
+		first, resolve := startWarmChain(t, m, ws)
+		if first.Status != Optimal {
+			continue
+		}
+		for step := 0; step < 6; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				i := rng.Intn(m.NumConstrs())
+				if err := m.SetRHS(i, m.RHS(i)+rng.NormFloat64()*0.5); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				v := VarID(rng.Intn(m.NumVars()))
+				if err := m.SetObjCoef(v, rng.NormFloat64()); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				v := VarID(rng.Intn(m.NumVars()))
+				_, hi := m.Bounds(v)
+				newLo := rng.Float64() * hi * 0.5
+				if err := m.SetVarBound(v, newLo, hi); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm := resolve()
+			cold, err := m.Solve(Options{})
+			if err != nil {
+				t.Fatalf("cold reference: %v", err)
+			}
+			objClose(t, trial, warm, cold)
+		}
+	}
+}

@@ -55,6 +55,10 @@ type Set struct {
 	ones         [][]int // ones[j]: node indices contributing to sample j's answer
 	isOne        [][]bool
 	colSums      []int
+	// gen counts content mutations. A sliding window keeps Len constant
+	// while the samples change, so consumers caching derived state (the
+	// parametric LP planners) key on Gen, not Len.
+	gen uint64
 }
 
 // NewSet creates an empty sample set for an n-node network, tracking
@@ -113,8 +117,14 @@ func (s *Set) Add(values []float64) error {
 	s.samples = append(s.samples, v)
 	s.ones = append(s.ones, top)
 	s.isOne = append(s.isOne, mask)
+	s.gen++
 	return nil
 }
+
+// Gen returns the mutation generation: it changes whenever the window
+// content changes (Add, including evictions). Cache derived state
+// against Gen — Len alone misses sliding-window turnover.
+func (s *Set) Gen() uint64 { return s.gen }
 
 // AddAll adds every epoch in order.
 func (s *Set) AddAll(epochs [][]float64) error {
