@@ -31,4 +31,4 @@ lint:
 	go run ./cmd/lint
 
 bench:
-	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry|SpanEmit|LabeledHandles' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/
+	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry|SpanEmit|LabeledHandles|Manifest' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/ ./internal/ledger/

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-fig all|3|4|5|7|8|9|samplesize|installcost|spatial|lossymedium|naivetradeoff] [-csv DIR] [-quick] [-plot]
-//	            [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR]
+//	            [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR] [-manifest FILE]
 //
 // -quick shrinks every experiment to a smoke-test scale (seconds
 // instead of minutes).
@@ -18,7 +18,11 @@
 // -listen serves the live registry (/metrics in Prometheus text
 // format, /snapshot.json) while the sweep runs — the main use case for
 // watching long sweeps; -pprof serves net/http/pprof (value with ":")
-// or writes cpu.prof/heap.prof into a directory.
+// or writes cpu.prof/heap.prof into a directory; -manifest writes the
+// run ledger ("-" for stdout) — one JSON document with the run's
+// flags, environment, final metrics, per-figure wall time, and (when
+// -trace names a file) the trace-derived aggregates — the artifact
+// `regress check` gates on.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"prospector/internal/experiments"
+	"prospector/internal/ledger"
 	"prospector/internal/obs"
 )
 
@@ -42,18 +47,29 @@ func main() {
 	traceOut := flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
 	listen := flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 	pprofArg := flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
+	manifest := flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
 	flag.Parse()
+	startUnix := time.Now().Unix()
 
 	ocli, err := obs.StartCLI(*metrics, *traceOut, *pprofArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer func() {
+	// Close exactly once: the manifest wants the tracer flushed before
+	// it parses the trace file, but the deferred close must still cover
+	// early exits.
+	obsClosed := false
+	closeObs := func() {
+		if obsClosed {
+			return
+		}
+		obsClosed = true
 		if cerr := ocli.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, cerr)
 		}
-	}()
+	}
+	defer closeObs()
 	if *listen != "" {
 		bound, err := ocli.Serve(*listen)
 		if err != nil {
@@ -73,7 +89,9 @@ func main() {
 		"3": func() (*experiments.Result, error) {
 			cfg := experiments.DefaultFigure3Config()
 			if *quick {
-				cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 30, 6, 8, 5, 1
+				// Shared with the CI regress gate and the manifest
+				// determinism tests, so all three run the same workload.
+				cfg = experiments.QuickFigure3Config()
 			}
 			return experiments.Figure3(cfg)
 		},
@@ -178,6 +196,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	wallSeconds := map[string]float64{}
 	for i, id := range selected {
 		start := time.Now()
 		before := reg.Snapshot()
@@ -202,7 +221,8 @@ func main() {
 			fmt.Println(res.Plot(72, 20))
 		}
 		fmt.Println(experiments.Breakdown(before, reg.Snapshot()))
-		fmt.Printf("(%s took %.1fs)\n\n", res.ID, time.Since(start).Seconds())
+		wallSeconds[res.ID] = time.Since(start).Seconds()
+		fmt.Printf("(%s took %.1fs)\n\n", res.ID, wallSeconds[res.ID])
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, res.ID+".csv")
 			f, err := os.Create(path)
@@ -220,6 +240,32 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	if *manifest != "" {
+		snap := reg.Snapshot()
+		env := ledger.HostEnvironment(startUnix)
+		env.WallSeconds = wallSeconds
+		m := ledger.New("experiments", map[string]string{
+			"fig":   *fig,
+			"quick": fmt.Sprint(*quick),
+			"trace": *traceOut,
+		}, snap, env)
+		// The tracer must flush before the trace file is parsed back.
+		closeObs()
+		if *traceOut != "" && *traceOut != "-" {
+			if err := m.AttachTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := ledger.WriteFile(*manifest, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *manifest != "-" {
+			fmt.Printf("wrote %s\n", *manifest)
 		}
 	}
 }

@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	lpsolve [-mps] [-dump-mps out.mps] [file]
+//	lpsolve [-mps] [-dump-mps out.mps] [-manifest FILE] [file]
+//
+// -manifest writes the run ledger (solver metrics: lp.* counters,
+// pivot and timing histograms with derived quantiles) at exit.
 //
 // JSON input format:
 //
@@ -34,8 +37,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
+	"prospector/internal/ledger"
 	"prospector/internal/lp"
+	"prospector/internal/obs"
 )
 
 type inputVar struct {
@@ -76,10 +82,31 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	mps := flag.Bool("mps", false, "read MPS instead of JSON")
 	dumpMPS := flag.String("dump-mps", "", "also write the model as MPS to this path")
+	manifest := flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
 	flag.Parse()
+	startUnix := time.Now().Unix()
+	startWall := time.Now()
+	// The solver itself never reads clocks; the CLI injects one so
+	// lp.solve_seconds gets real data (the manifest quarantines it).
+	opts := lp.Options{}
+	if *manifest != "" {
+		opts.Obs = obs.NewRegistry()
+		opts.Now = time.Now
+		defer func() {
+			if err != nil {
+				return
+			}
+			env := ledger.HostEnvironment(startUnix)
+			env.WallSeconds = map[string]float64{"run": time.Since(startWall).Seconds()}
+			m := ledger.New("lpsolve", map[string]string{
+				"mps": fmt.Sprint(*mps), "file": flag.Arg(0),
+			}, opts.Obs.Snapshot(), env)
+			err = ledger.WriteFile(*manifest, m)
+		}()
+	}
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -98,7 +125,7 @@ func run() error {
 		for j := 0; j < m.NumVars(); j++ {
 			names[m.Name(lp.VarID(j))] = lp.VarID(j)
 		}
-		return solveAndPrint(m, names, *dumpMPS)
+		return solveAndPrint(m, names, *dumpMPS, opts)
 	}
 	var in input
 	dec := json.NewDecoder(r)
@@ -159,10 +186,10 @@ func run() error {
 			return fmt.Errorf("constraint %d: %w", i, err)
 		}
 	}
-	return solveAndPrint(m, ids, *dumpMPS)
+	return solveAndPrint(m, ids, *dumpMPS, opts)
 }
 
-func solveAndPrint(m *lp.Model, ids map[string]lp.VarID, dumpMPS string) error {
+func solveAndPrint(m *lp.Model, ids map[string]lp.VarID, dumpMPS string, opts lp.Options) error {
 	if dumpMPS != "" {
 		f, err := os.Create(dumpMPS)
 		if err != nil {
@@ -176,7 +203,7 @@ func solveAndPrint(m *lp.Model, ids map[string]lp.VarID, dumpMPS string) error {
 			return err
 		}
 	}
-	sol, err := m.Solve(lp.Options{})
+	sol, err := m.Solve(opts)
 	if err != nil {
 		return err
 	}

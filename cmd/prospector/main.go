@@ -9,7 +9,7 @@
 //	prospector [-nodes N] [-k K] [-samples S] [-budget-frac F]
 //	           [-planner greedy|lp-lf|lp+lf|proof|exact|naive] [-seed SEED] [-epochs E]
 //	           [-describe] [-dot FILE] [-sim] [-loss P]
-//	           [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR]
+//	           [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR] [-manifest FILE]
 //
 // -sim executes through the discrete-event mote simulator (reporting
 // latency and per-node energy) instead of the analytic executor;
@@ -22,7 +22,9 @@
 // -listen serves the live registry at ADDR (/metrics in Prometheus
 // text format, /snapshot.json) while the run executes; -pprof either
 // serves net/http/pprof (value with a ":") or writes cpu.prof/heap.prof
-// into a directory.
+// into a directory; -manifest writes the run ledger ("-" for stdout) —
+// flags, environment, final metrics, and trace-derived aggregates when
+// -trace names a file — after the run completes successfully.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"prospector/internal/core"
 	"prospector/internal/energy"
 	"prospector/internal/exec"
+	"prospector/internal/ledger"
 	"prospector/internal/lp"
 	"prospector/internal/network"
 	"prospector/internal/obs"
@@ -52,7 +55,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		nodes      = flag.Int("nodes", 60, "network size including the root")
 		k          = flag.Int("k", 10, "top-k rank bound")
@@ -69,13 +72,50 @@ func run() error {
 		traceOut   = flag.String("trace", "", "stream JSON-lines trace events to this file ('-' for stdout)")
 		listen     = flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 		pprofArg   = flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
+		manifest   = flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
 	)
 	flag.Parse()
+	startUnix := time.Now().Unix()
+	startWall := time.Now()
 
 	ocli, err := obs.StartCLI(*metrics, *traceOut, *pprofArg)
 	if err != nil {
 		return err
 	}
+	// A manifest without metrics would be an empty ledger; give the run
+	// a registry even when -metrics is off.
+	reg := ocli.Registry()
+	if reg == nil && *manifest != "" {
+		reg = obs.NewRegistry()
+	}
+	// Registered before the Close defer so it runs after it (LIFO): the
+	// manifest parses the trace file, which Close flushes.
+	defer func() {
+		if err != nil || *manifest == "" {
+			return
+		}
+		env := ledger.HostEnvironment(startUnix)
+		env.WallSeconds = map[string]float64{"run": time.Since(startWall).Seconds()}
+		m := ledger.New("prospector", map[string]string{
+			"planner": *planner, "nodes": fmt.Sprint(*nodes), "k": fmt.Sprint(*k),
+			"samples": fmt.Sprint(*nSamples), "budget-frac": fmt.Sprint(*budgetFrac),
+			"seed": fmt.Sprint(*seed), "epochs": fmt.Sprint(*epochs),
+			"sim": fmt.Sprint(*useSim), "loss": fmt.Sprint(*lossProb),
+		}, reg.Snapshot(), env)
+		if *traceOut != "" && *traceOut != "-" {
+			if aerr := m.AttachTraceFile(*traceOut); aerr != nil {
+				err = aerr
+				return
+			}
+		}
+		if werr := ledger.WriteFile(*manifest, m); werr != nil {
+			err = werr
+			return
+		}
+		if *manifest != "-" {
+			fmt.Printf("wrote %s\n", *manifest)
+		}
+	}()
 	defer func() {
 		if cerr := ocli.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "prospector:", cerr)
@@ -119,9 +159,9 @@ func run() error {
 	costs := plan.NewCosts(net, model)
 	// The LP solver never reads the wall clock itself (determinism
 	// analyzer); the CLI injects one so lp.solve_seconds gets real data.
-	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: ocli.Registry(),
+	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: reg,
 		Trace: ocli.Tracer(), Span: root, LP: lp.Options{Now: time.Now}}
-	env := exec.Env{Net: net, Costs: costs, Obs: ocli.Registry(), Trace: ocli.Tracer(), Span: root}
+	env := exec.Env{Net: net, Costs: costs, Obs: reg, Trace: ocli.Tracer(), Span: root}
 
 	naivePlan, err := core.NaiveKPlan(net, *k)
 	if err != nil {
@@ -176,7 +216,7 @@ func run() error {
 		// like any other filtering plan (the budget does not apply).
 		fmt.Printf("NAIVE-%d plan: %v\n", *k, naivePlan)
 		return finish(naivePlan, env, net, truth, *k, *describe, *dotFile,
-			*useSim, *lossProb, rng, ocli, root)
+			*useSim, *lossProb, rng, reg, ocli, root)
 	default:
 		var pl core.Planner
 		switch *planner {
@@ -198,7 +238,7 @@ func run() error {
 		}
 		fmt.Printf("%s plan: %v\n", pl.Name(), p)
 		return finish(p, env, net, truth, *k, *describe, *dotFile,
-			*useSim, *lossProb, rng, ocli, root)
+			*useSim, *lossProb, rng, reg, ocli, root)
 	}
 }
 
@@ -207,7 +247,7 @@ func run() error {
 // or the analytic executor.
 func finish(p *plan.Plan, env exec.Env, net *network.Network, truth [][]float64,
 	k int, describe bool, dotFile string, useSim bool, loss float64,
-	rng *rand.Rand, ocli *obs.CLI, root *obs.Span) error {
+	rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span) error {
 	if describe {
 		fmt.Print(p.Describe(net))
 	}
@@ -218,7 +258,7 @@ func finish(p *plan.Plan, env exec.Env, net *network.Network, truth [][]float64,
 		fmt.Printf("wrote %s\n", dotFile)
 	}
 	if useSim {
-		return simReport(net, p, truth, k, loss, rng, ocli, root)
+		return simReport(net, p, truth, k, loss, rng, reg, ocli, root)
 	}
 	return report(env, p, truth, k)
 }
@@ -237,12 +277,12 @@ func writeDOT(net *network.Network, p *plan.Plan, path string) error {
 
 // simReport executes the plan through the discrete-event simulator,
 // reporting latency, retransmissions, and the hottest radios.
-func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, ocli *obs.CLI, root *obs.Span) error {
+func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span) error {
 	if p.Kind == plan.Selection {
 		return fmt.Errorf("-sim supports filtering/proof plans (use -planner lp+lf or proof)")
 	}
 	cfg := sim.DefaultConfig(net)
-	cfg.Obs = ocli.Registry()
+	cfg.Obs = reg
 	cfg.Trace = ocli.Tracer()
 	cfg.Span = root
 	if loss > 0 {

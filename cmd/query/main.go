@@ -9,7 +9,8 @@
 //
 // The network and workload are synthetic (seeded Gaussian field); use
 // -nodes / -seed to vary them. Each query plans against the observation
-// window and executes on a fresh epoch.
+// window and executes on a fresh epoch. -manifest writes the session's
+// run ledger (engine + planner metrics) at exit for `regress check`.
 package main
 
 import (
@@ -19,10 +20,13 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"prospector/internal/energy"
 	"prospector/internal/exec"
+	"prospector/internal/ledger"
 	"prospector/internal/network"
+	"prospector/internal/obs"
 	"prospector/internal/query"
 	"prospector/internal/workload"
 )
@@ -34,14 +38,17 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		nodes   = flag.Int("nodes", 40, "network size")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		warmup  = flag.Int("warmup", 15, "observation epochs before querying")
-		oneShot = flag.String("q", "", "run a single query and exit")
+		nodes    = flag.Int("nodes", 40, "network size")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		warmup   = flag.Int("warmup", 15, "observation epochs before querying")
+		oneShot  = flag.String("q", "", "run a single query and exit")
+		manifest = flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
 	)
 	flag.Parse()
+	startUnix := time.Now().Unix()
+	startWall := time.Now()
 
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := network.Build(network.DefaultBuildConfig(*nodes), rng)
@@ -55,6 +62,23 @@ func run() error {
 	eng, err := query.NewEngine(net, energy.DefaultModel(), 25)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *manifest != "" {
+		reg = obs.NewRegistry()
+		eng.SetObs(reg, nil)
+		defer func() {
+			if err != nil {
+				return
+			}
+			env := ledger.HostEnvironment(startUnix)
+			env.WallSeconds = map[string]float64{"run": time.Since(startWall).Seconds()}
+			m := ledger.New("query", map[string]string{
+				"nodes": fmt.Sprint(*nodes), "seed": fmt.Sprint(*seed),
+				"warmup": fmt.Sprint(*warmup), "q": *oneShot,
+			}, reg.Snapshot(), env)
+			err = ledger.WriteFile(*manifest, m)
+		}()
 	}
 	for e := 0; e < *warmup; e++ {
 		if err := eng.Observe(src.Next()); err != nil {

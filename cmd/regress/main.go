@@ -1,0 +1,124 @@
+// Command regress is the baseline regression gate over run manifests
+// (the artifacts cmd/experiments and friends write with -manifest).
+//
+// Usage:
+//
+//	regress record -baseline B.json manifest.json    refresh B's expected values from a known-good run
+//	regress check  -baseline B.json [-exit-zero] manifest.json   evaluate every rule; report violations
+//	regress diff   [-exit-zero] a.json b.json        series-by-series manifest comparison
+//
+// check and diff exit 0 when clean, 1 on any violation or difference,
+// and 2 on usage or load errors; -exit-zero keeps the report but
+// forces a 0 exit (for informational CI steps). record rewrites the
+// baseline file in place, preserving rule kinds, tolerances, and
+// notes — only the recorded expectations move.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prospector/internal/ledger"
+	"prospector/internal/regress"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regress:", err)
+	}
+	os.Exit(code)
+}
+
+// run executes one subcommand and returns the process exit code: 0
+// clean, 1 violations or differences, 2 usage or load errors.
+func run(args []string) (int, error) {
+	if len(args) < 1 {
+		return 2, fmt.Errorf("usage: regress <record|check|diff> ...")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "record":
+		fs := flag.NewFlagSet("regress record", flag.ContinueOnError)
+		basePath := fs.String("baseline", "", "baseline file to refresh (required)")
+		if err := fs.Parse(rest); err != nil {
+			return 2, nil // FlagSet already printed the error
+		}
+		if *basePath == "" || fs.NArg() != 1 {
+			return 2, fmt.Errorf("usage: regress record -baseline B.json manifest.json")
+		}
+		base, m, err := loadPair(*basePath, fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		if err := regress.Record(base, m); err != nil {
+			return 2, err
+		}
+		if err := base.WriteFile(*basePath); err != nil {
+			return 2, err
+		}
+		fmt.Printf("regress: recorded %d rule(s) into %s\n", len(base.Rules), *basePath)
+		return 0, nil
+	case "check":
+		fs := flag.NewFlagSet("regress check", flag.ContinueOnError)
+		basePath := fs.String("baseline", "", "baseline file to check against (required)")
+		exitZero := fs.Bool("exit-zero", false, "always exit 0, even on violations")
+		if err := fs.Parse(rest); err != nil {
+			return 2, nil // FlagSet already printed the error
+		}
+		if *basePath == "" || fs.NArg() != 1 {
+			return 2, fmt.Errorf("usage: regress check -baseline B.json [-exit-zero] manifest.json")
+		}
+		base, m, err := loadPair(*basePath, fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		rep := regress.Check(base, m)
+		fmt.Print(rep.Render())
+		if !rep.OK() && !*exitZero {
+			return 1, nil
+		}
+		return 0, nil
+	case "diff":
+		fs := flag.NewFlagSet("regress diff", flag.ContinueOnError)
+		exitZero := fs.Bool("exit-zero", false, "always exit 0, even when the manifests differ")
+		if err := fs.Parse(rest); err != nil {
+			return 2, nil // FlagSet already printed the error
+		}
+		if fs.NArg() != 2 {
+			return 2, fmt.Errorf("usage: regress diff [-exit-zero] a.json b.json")
+		}
+		a, err := ledger.ReadFile(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		b, err := ledger.ReadFile(fs.Arg(1))
+		if err != nil {
+			return 2, err
+		}
+		fmt.Printf("A = %s\nB = %s\n", fs.Arg(0), fs.Arg(1))
+		d := regress.DiffManifests(a, b)
+		fmt.Print(d.Render())
+		if d.HasDifferences() && !*exitZero {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 2, fmt.Errorf("unknown subcommand %q (want record, check, or diff)", cmd)
+	}
+}
+
+// loadPair reads a baseline and a manifest together, the shared prelude
+// of record and check.
+func loadPair(basePath, manifestPath string) (*regress.Baseline, *ledger.Manifest, error) {
+	base, err := regress.ReadFile(basePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := ledger.ReadFile(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, m, nil
+}

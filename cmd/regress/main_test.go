@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prospector/internal/ledger"
+	"prospector/internal/obs"
+	"prospector/internal/regress"
+)
+
+// writeManifest stores a manifest whose gauges hold the given series.
+func writeManifest(t *testing.T, path string, values map[string]float64) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	snap := reg.Snapshot()
+	for k, v := range values {
+		snap.Gauges[k] = v
+	}
+	m := ledger.New("test", nil, snap, ledger.Environment{})
+	if err := ledger.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeBaseline(t *testing.T, path string, b *regress.Baseline) {
+	t.Helper()
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitCodes pins the CLI contract across record, check, and diff:
+// 0 clean, 1 violations or differences, 2 usage and load errors.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	drifted := filepath.Join(dir, "drifted.json")
+	sameAsGood := filepath.Join(dir, "same.json")
+	writeManifest(t, good, map[string]float64{"energy": 100})
+	writeManifest(t, sameAsGood, map[string]float64{"energy": 100})
+	writeManifest(t, drifted, map[string]float64{"energy": 120})
+
+	base := filepath.Join(dir, "base.json")
+	writeBaseline(t, base, &regress.Baseline{
+		Name:  "gate",
+		Rules: []regress.Rule{{Series: "energy", Kind: "rel<=", Value: 100, Tolerance: 0.05}},
+	})
+	malformed := filepath.Join(dir, "malformed.json")
+	if err := os.WriteFile(malformed, []byte(`{"name":"x","rules":[{"series":"s","kind":"bogus"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		args    []string
+		code    int
+		wantErr bool
+	}{
+		{"check pass", []string{"check", "-baseline", base, good}, 0, false},
+		{"check violation", []string{"check", "-baseline", base, drifted}, 1, false},
+		{"check violation exit-zero", []string{"check", "-baseline", base, "-exit-zero", drifted}, 0, false},
+		{"check malformed baseline", []string{"check", "-baseline", malformed, good}, 2, true},
+		{"check missing manifest", []string{"check", "-baseline", base, filepath.Join(dir, "nope.json")}, 2, true},
+		{"check no baseline flag", []string{"check", good}, 2, true},
+		{"diff identical", []string{"diff", good, sameAsGood}, 0, false},
+		{"diff different", []string{"diff", good, drifted}, 1, false},
+		{"diff different exit-zero", []string{"diff", "-exit-zero", good, drifted}, 0, false},
+		{"diff missing operand", []string{"diff", good}, 2, true},
+		{"unknown subcommand", []string{"bogus"}, 2, true},
+		{"no args", nil, 2, true},
+	}
+	for _, c := range cases {
+		code, err := run(c.args)
+		if code != c.code || (err != nil) != c.wantErr {
+			t.Errorf("%s: run(%v) = %d, %v; want %d, err=%v", c.name, c.args, code, err, c.code, c.wantErr)
+		}
+	}
+}
+
+// TestRecordRoundTrip drives record through the CLI: after recording
+// from the drifted manifest, check against it passes.
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	drifted := filepath.Join(dir, "drifted.json")
+	writeManifest(t, drifted, map[string]float64{"energy": 120})
+	base := filepath.Join(dir, "base.json")
+	writeBaseline(t, base, &regress.Baseline{
+		Name:  "gate",
+		Rules: []regress.Rule{{Series: "energy", Kind: "rel<=", Value: 100, Tolerance: 0.05}},
+	})
+
+	if code, err := run([]string{"record", "-baseline", base, drifted}); code != 0 || err != nil {
+		t.Fatalf("record = %d, %v", code, err)
+	}
+	if code, err := run([]string{"check", "-baseline", base, drifted}); code != 0 || err != nil {
+		t.Fatalf("check after record = %d, %v", code, err)
+	}
+	b, err := regress.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rules[0].Value != 120 {
+		t.Errorf("recorded value = %g, want 120", b.Rules[0].Value)
+	}
+	// Recording a series the manifest lacks is a load-level error.
+	writeBaseline(t, base, &regress.Baseline{
+		Name:  "gate",
+		Rules: []regress.Rule{{Series: "ghost", Kind: "exact"}},
+	})
+	if code, err := run([]string{"record", "-baseline", base, drifted}); code != 2 || err == nil {
+		t.Errorf("record of missing series = %d, %v; want 2 and an error", code, err)
+	}
+}

@@ -7,13 +7,19 @@
 //	tracetool tree      trace.jsonl         indented span tree
 //	tracetool critpath  trace.jsonl         longest latency chain per round
 //	tracetool attribute trace.jsonl         per-node energy / message shares
-//	tracetool diff      a.jsonl b.jsonl     per-phase deltas, A = baseline
+//	tracetool diff [-exit-zero] a.jsonl b.jsonl   per-phase deltas, A = baseline
 //
 // All output is deterministic: the same trace bytes produce the same
 // report bytes.
+//
+// Exit codes: 0 when the report is clean (for diff: the traces agree),
+// 1 when diff finds any difference, 2 on usage or load errors.
+// -exit-zero makes diff informational: differences still print but the
+// exit code stays 0.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -21,25 +27,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracetool:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+// run executes one subcommand and returns the process exit code: 0
+// clean, 1 differences found (diff), 2 usage or load errors.
+func run(args []string) (int, error) {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: tracetool <summary|tree|critpath|attribute|diff> <trace.jsonl> [trace2.jsonl]")
+		return 2, fmt.Errorf("usage: tracetool <summary|tree|critpath|attribute|diff> <trace.jsonl> [trace2.jsonl]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "summary", "tree", "critpath", "attribute":
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: tracetool %s <trace.jsonl>", cmd)
+			return 2, fmt.Errorf("usage: tracetool %s <trace.jsonl>", cmd)
 		}
 		t, err := load(rest[0])
 		if err != nil {
-			return err
+			return 2, err
 		}
 		switch cmd {
 		case "summary":
@@ -51,24 +60,33 @@ func run(args []string) error {
 		case "attribute":
 			fmt.Print(traceanalysis.Attribute(t).Render())
 		}
-		return nil
+		return 0, nil
 	case "diff":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: tracetool diff <a.jsonl> <b.jsonl>")
+		fs := flag.NewFlagSet("tracetool diff", flag.ContinueOnError)
+		exitZero := fs.Bool("exit-zero", false, "always exit 0, even when the traces differ")
+		if err := fs.Parse(rest); err != nil {
+			return 2, nil // FlagSet already printed the error
 		}
-		a, err := load(rest[0])
+		if fs.NArg() != 2 {
+			return 2, fmt.Errorf("usage: tracetool diff [-exit-zero] <a.jsonl> <b.jsonl>")
+		}
+		a, err := load(fs.Arg(0))
 		if err != nil {
-			return err
+			return 2, err
 		}
-		b, err := load(rest[1])
+		b, err := load(fs.Arg(1))
 		if err != nil {
-			return err
+			return 2, err
 		}
-		fmt.Printf("A = %s\nB = %s\n", rest[0], rest[1])
-		fmt.Print(traceanalysis.Diff(traceanalysis.Summarize(a), traceanalysis.Summarize(b)).Render())
-		return nil
+		fmt.Printf("A = %s\nB = %s\n", fs.Arg(0), fs.Arg(1))
+		d := traceanalysis.Diff(traceanalysis.Summarize(a), traceanalysis.Summarize(b))
+		fmt.Print(d.Render())
+		if d.HasDifferences() && !*exitZero {
+			return 1, nil
+		}
+		return 0, nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want summary, tree, critpath, attribute, or diff)", cmd)
+		return 2, fmt.Errorf("unknown subcommand %q (want summary, tree, critpath, attribute, or diff)", cmd)
 	}
 }
 

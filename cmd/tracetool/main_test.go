@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prospector/internal/obs"
+)
+
+// writeTrace emits a tiny trace with n top-level "epoch" spans.
+func writeTrace(t *testing.T, path string, n int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(f)
+	for i := 0; i < n; i++ {
+		s := tr.StartSpan(nil, "epoch", float64(i), obs.F("energy_mj", 2.5))
+		s.End(float64(i) + 0.5)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffExitCodes pins the gate semantics: identical traces exit 0,
+// differing traces exit 1, -exit-zero suppresses the failure, and load
+// or usage problems exit 2.
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	same := filepath.Join(dir, "same.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, a, 2)
+	writeTrace(t, same, 2)
+	writeTrace(t, b, 3)
+
+	cases := []struct {
+		name    string
+		args    []string
+		code    int
+		wantErr bool
+	}{
+		{"identical", []string{"diff", a, same}, 0, false},
+		{"different", []string{"diff", a, b}, 1, false},
+		{"different exit-zero", []string{"diff", "-exit-zero", a, b}, 0, false},
+		{"missing file", []string{"diff", a, filepath.Join(dir, "nope.jsonl")}, 2, true},
+		{"missing operand", []string{"diff", a}, 2, true},
+		{"unknown subcommand", []string{"explode", a}, 2, true},
+		{"no args", nil, 2, true},
+		{"summary ok", []string{"summary", a}, 0, false},
+	}
+	for _, c := range cases {
+		code, err := run(c.args)
+		if code != c.code || (err != nil) != c.wantErr {
+			t.Errorf("%s: run(%v) = %d, %v; want %d, err=%v", c.name, c.args, code, err, c.code, c.wantErr)
+		}
+	}
+}

@@ -16,7 +16,10 @@ var deterministicPkgs = []string{
 	"/internal/core",
 	"/internal/lp",
 	"/internal/traceanalysis",
+	"/internal/ledger",
+	"/internal/regress",
 	"/cmd/tracetool",
+	"/cmd/regress",
 }
 
 // bannedCalls maps package path -> function name -> the reason it

@@ -13,6 +13,9 @@ var floatcmpScope = map[string][]string{
 	"/internal/lp":            {"isZero", "sameFloat"},
 	"/internal/stats":         {"exactly"},
 	"/internal/traceanalysis": {},
+	"/internal/ledger":        {},
+	"/internal/regress":       {"exactly"},
+	"/cmd/regress":            {},
 }
 
 func newFloatcmpCheck() *Check {

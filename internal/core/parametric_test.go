@@ -149,6 +149,13 @@ func TestWarmChainIsActuallyWarm(t *testing.T) {
 	if want := int64(len(budgets) - 1); warms != want {
 		t.Errorf("warm re-solves = %d, want %d", warms, want)
 	}
+	// The derived warm-hit rate must agree with the raw counters: with
+	// no fallbacks, warm / (warm + cold) of this sweep.
+	rate := reg.Gauge("lp.warm_hit_rate").Value()
+	want := float64(warms) / float64(warms+colds)
+	if diff := rate - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("lp.warm_hit_rate = %g, want %g", rate, want)
+	}
 }
 
 // TestParametricRebuildOnSampleChange pins the cache key: mutating the

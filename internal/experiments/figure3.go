@@ -38,6 +38,16 @@ func DefaultFigure3Config() Figure3Config {
 	}
 }
 
+// QuickFigure3Config is the smoke-test scale shared by `experiments
+// -quick`, the CI regress gate, and the manifest-determinism tests.
+// One trial matters: runTrials runs trials concurrently, so aggregate
+// order (and hence float summation) is only reproducible with Trials=1.
+func QuickFigure3Config() Figure3Config {
+	cfg := DefaultFigure3Config()
+	cfg.Nodes, cfg.K, cfg.Samples, cfg.Eval, cfg.Trials = 30, 6, 8, 5, 1
+	return cfg
+}
+
 // Figure3 regenerates the paper's Figure 3: energy cost against
 // accuracy for ORACLE, LP+LF, LP-LF, GREEDY, and NAIVE-k on
 // independent-Gaussian data. Expected shape: NAIVE-k far right (most

@@ -1,0 +1,205 @@
+package ledger_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"prospector/internal/experiments"
+	"prospector/internal/ledger"
+	"prospector/internal/obs"
+	"prospector/internal/traceanalysis"
+)
+
+// quickFigure3Manifest runs the shared smoke-scale Figure 3 workload
+// with a fresh registry and an in-memory trace, and assembles the
+// manifest exactly as cmd/experiments -manifest does.
+func quickFigure3Manifest(t testing.TB) *ledger.Manifest {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	experiments.SetObs(reg, tr)
+	defer experiments.SetObs(nil, nil)
+	span := tr.StartSpan(nil, "experiment", 0, obs.F("fig", "3"))
+	experiments.SetSpan(span)
+	_, err := experiments.Figure3(experiments.QuickFigure3Config())
+	experiments.SetSpan(nil)
+	span.End(1)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush trace: %v", err)
+	}
+	trace, err := traceanalysis.Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	env := ledger.HostEnvironment(12345)
+	env.WallSeconds = map[string]float64{"figure3": 1.0}
+	m := ledger.New("experiments", map[string]string{"fig": "3", "quick": "true"}, reg.Snapshot(), env)
+	m.Trace = ledger.SummarizeTrace(trace)
+	return m
+}
+
+// TestManifestDeterminism is the ledger's core guarantee: two same-seed
+// runs produce byte-identical manifests outside the Environment block.
+func TestManifestDeterminism(t *testing.T) {
+	a := quickFigure3Manifest(t)
+	b := quickFigure3Manifest(t)
+	ab, err := a.DeterministicBytes()
+	if err != nil {
+		t.Fatalf("DeterministicBytes(a): %v", err)
+	}
+	bb, err := b.DeterministicBytes()
+	if err != nil {
+		t.Fatalf("DeterministicBytes(b): %v", err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Errorf("same-seed manifests differ outside Environment:\nA: %.2000s\nB: %.2000s", ab, bb)
+	}
+}
+
+// TestManifestQuarantinesWallClock pins the relocation: the wall-clock
+// histogram and its derived quantile gauges must leave Metrics for
+// Environment.WallClockMetrics, and everything else must stay.
+func TestManifestQuarantinesWallClock(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("lp.solves").Add(3)
+	reg.Gauge("lp.warm_hit_rate").Set(0.5)
+	reg.Histogram("lp.solve_seconds", []float64{0.01, 0.1}).Observe(0.005)
+	reg.Histogram("lp.warm_pivots", []float64{1, 10}).Observe(4)
+	m := ledger.New("test", nil, reg.Snapshot(), ledger.Environment{})
+
+	if _, ok := m.Metrics.Histograms["lp.solve_seconds"]; ok {
+		t.Errorf("lp.solve_seconds still in Metrics")
+	}
+	for k := range m.Metrics.Gauges {
+		if strings.HasPrefix(k, "lp.solve_seconds.") {
+			t.Errorf("derived wall-clock gauge %s still in Metrics", k)
+		}
+	}
+	wall := m.Environment.WallClockMetrics
+	if wall == nil {
+		t.Fatalf("no WallClockMetrics block")
+	}
+	if _, ok := wall.Histograms["lp.solve_seconds"]; !ok {
+		t.Errorf("lp.solve_seconds not relocated to Environment")
+	}
+	if _, ok := wall.Gauges["lp.solve_seconds.p50"]; !ok {
+		t.Errorf("lp.solve_seconds.p50 not relocated to Environment")
+	}
+	// The deterministic series must be untouched.
+	if m.Metrics.Counters["lp.solves"] != 3 {
+		t.Errorf("lp.solves = %d, want 3", m.Metrics.Counters["lp.solves"])
+	}
+	if _, ok := m.Metrics.Histograms["lp.warm_pivots"]; !ok {
+		t.Errorf("lp.warm_pivots missing from Metrics")
+	}
+	if _, ok := m.Metrics.Gauges["lp.warm_pivots.p50"]; !ok {
+		t.Errorf("lp.warm_pivots.p50 missing from Metrics")
+	}
+	// DeterministicBytes must not see the environment block at all.
+	db, err := m.DeterministicBytes()
+	if err != nil {
+		t.Fatalf("DeterministicBytes: %v", err)
+	}
+	if bytes.Contains(db, []byte("lp.solve_seconds")) {
+		t.Errorf("DeterministicBytes still contains wall-clock series")
+	}
+}
+
+// TestManifestRoundTrip writes and re-reads a manifest, and rejects a
+// document with the wrong schema.
+func TestManifestRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("exec.messages").Add(7)
+	m := ledger.New("test", map[string]string{"k": "5"}, reg.Snapshot(), ledger.HostEnvironment(99))
+
+	path := t.TempDir() + "/m.json"
+	if err := ledger.WriteFile(path, m); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ledger.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if back.Run.Command != "test" || back.Run.Args["k"] != "5" {
+		t.Errorf("run block = %+v", back.Run)
+	}
+	if got, ok := back.Series("exec.messages"); !ok || got != 7 {
+		t.Errorf("exec.messages = %v, %v; want 7, true", got, ok)
+	}
+	if back.Environment.StartUnix != 99 {
+		t.Errorf("StartUnix = %d, want 99", back.Environment.StartUnix)
+	}
+
+	bad := path + ".bad"
+	if err := os.WriteFile(bad, []byte(`{"schema":"something/else/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.ReadFile(bad); err == nil {
+		t.Errorf("ReadFile accepted wrong schema")
+	}
+}
+
+// TestSeriesResolution covers every branch of the series namespace.
+func TestSeriesResolution(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("exec.messages").Add(10)
+	reg.Gauge("lp.warm_hit_rate").Set(0.75)
+	h := reg.Histogram("lp.warm_pivots", []float64{1, 10})
+	h.Observe(2)
+	h.Observe(4)
+	m := ledger.New("test", nil, reg.Snapshot(), ledger.Environment{})
+	m.Trace = &ledger.TraceSummary{
+		Records: 100, Spans: 40, Rounds: 5, MaxHops: 3, MaxLatency: 1.5,
+		RequestMJ: 2.25, RequestMessages: 9,
+		Phases: []ledger.PhaseAgg{{Name: "exec.epoch", Spans: 5, Duration: 10, EnergyMJ: 42.5, Messages: 30, Values: 60}},
+		Nodes:  []ledger.NodeAgg{{Node: 7, EnergyMJ: 3.5, Messages: 12}},
+	}
+
+	cases := []struct {
+		name string
+		want float64
+		ok   bool
+	}{
+		{"exec.messages", 10, true},
+		{"lp.warm_hit_rate", 0.75, true},
+		{"lp.warm_pivots.count", 2, true},
+		{"lp.warm_pivots.sum", 6, true},
+		{"lp.warm_pivots.mean", 3, true},
+		{"trace.records", 100, true},
+		{"trace.spans", 40, true},
+		{"trace.rounds", 5, true},
+		{"trace.max_hops", 3, true},
+		{"trace.max_latency", 1.5, true},
+		{"trace.request_mj", 2.25, true},
+		{"trace.request_messages", 9, true},
+		{"trace.phase.exec.epoch.spans", 5, true},
+		{"trace.phase.exec.epoch.duration", 10, true},
+		{"trace.phase.exec.epoch.energy_mj", 42.5, true},
+		{"trace.phase.exec.epoch.messages", 30, true},
+		{"trace.phase.exec.epoch.values", 60, true},
+		{"trace.node.7.energy_mj", 3.5, true},
+		{"trace.node.7.messages", 12, true},
+		{"no.such.series", 0, false},
+		{"trace.phase.missing.energy_mj", 0, false},
+		{"trace.node.99.energy_mj", 0, false},
+		{"trace.node.notanumber.energy_mj", 0, false},
+		{"lp.warm_pivots.p101", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := m.Series(c.name)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Series(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+
+	// Derived quantile gauges resolve through the plain gauge path.
+	if got, ok := m.Series("lp.warm_pivots.p50"); !ok || got <= 0 {
+		t.Errorf("lp.warm_pivots.p50 = %v, %v; want positive, true", got, ok)
+	}
+}

@@ -1,0 +1,138 @@
+package ledger
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Series resolves a dotted series reference against the manifest — the
+// namespace baseline rules are written in:
+//
+//	<counter>                    metrics counter, as float64
+//	<gauge>                      metrics gauge (includes derived
+//	                             quantiles like lp.warm_pivots.p99 and
+//	                             lp.warm_hit_rate)
+//	<histogram>.count/.sum/.mean histogram accessors
+//	trace.records / trace.spans / trace.rounds
+//	trace.max_hops / trace.max_latency
+//	trace.request_mj / trace.request_messages
+//	trace.phase.<name>.<attr>    attr: spans, duration, energy_mj,
+//	                             messages, values (phase names keep
+//	                             their dots: trace.phase.exec.epoch.energy_mj)
+//	trace.node.<id>.<attr>       attr: energy_mj, messages
+//
+// The boolean reports whether the reference resolved. Counters shadow
+// gauges shadow histograms in the unlikely event of a name collision.
+func (m *Manifest) Series(name string) (float64, bool) {
+	if strings.HasPrefix(name, "trace.") {
+		return m.traceSeries(strings.TrimPrefix(name, "trace."))
+	}
+	if m.Metrics == nil {
+		return 0, false
+	}
+	if v, ok := m.Metrics.Counters[name]; ok {
+		return float64(v), true
+	}
+	if v, ok := m.Metrics.Gauges[name]; ok {
+		return v, true
+	}
+	if base, attr, ok := splitLastDot(name); ok {
+		if h, have := m.Metrics.Histograms[base]; have {
+			switch attr {
+			case "count":
+				return float64(h.Count), true
+			case "sum":
+				return h.Sum, true
+			case "mean":
+				if h.Count == 0 {
+					return 0, true
+				}
+				return h.Sum / float64(h.Count), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// traceSeries resolves the trace.* namespace (name arrives with the
+// prefix stripped).
+func (m *Manifest) traceSeries(name string) (float64, bool) {
+	t := m.Trace
+	if t == nil {
+		return 0, false
+	}
+	switch name {
+	case "records":
+		return float64(t.Records), true
+	case "spans":
+		return float64(t.Spans), true
+	case "rounds":
+		return float64(t.Rounds), true
+	case "max_hops":
+		return float64(t.MaxHops), true
+	case "max_latency":
+		return t.MaxLatency, true
+	case "request_mj":
+		return t.RequestMJ, true
+	case "request_messages":
+		return float64(t.RequestMessages), true
+	}
+	if rest, ok := strings.CutPrefix(name, "phase."); ok {
+		phase, attr, split := splitLastDot(rest)
+		if !split {
+			return 0, false
+		}
+		for _, p := range t.Phases {
+			if p.Name != phase {
+				continue
+			}
+			switch attr {
+			case "spans":
+				return float64(p.Spans), true
+			case "duration":
+				return p.Duration, true
+			case "energy_mj":
+				return p.EnergyMJ, true
+			case "messages":
+				return float64(p.Messages), true
+			case "values":
+				return float64(p.Values), true
+			}
+			return 0, false
+		}
+		return 0, false
+	}
+	if rest, ok := strings.CutPrefix(name, "node."); ok {
+		idStr, attr, split := splitLastDot(rest)
+		if !split {
+			return 0, false
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return 0, false
+		}
+		for _, n := range t.Nodes {
+			if n.Node != id {
+				continue
+			}
+			switch attr {
+			case "energy_mj":
+				return n.EnergyMJ, true
+			case "messages":
+				return float64(n.Messages), true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// splitLastDot splits "a.b.c" into ("a.b", "c"); ok is false when
+// there is no dot.
+func splitLastDot(s string) (head, tail string, ok bool) {
+	i := strings.LastIndexByte(s, '.')
+	if i < 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}

@@ -1,0 +1,95 @@
+package ledger
+
+import (
+	"os"
+
+	"prospector/internal/traceanalysis"
+)
+
+// TraceSummary is the trace-derived block of a manifest: the per-phase
+// rollup, the bitwise-exact per-node energy attribution, and
+// critical-path aggregates. All of it replays from the trace's
+// deterministic virtual clocks, so it participates in manifest
+// determinism (unlike wall time).
+type TraceSummary struct {
+	Records int        `json:"records"`
+	Spans   int        `json:"spans"`
+	Phases  []PhaseAgg `json:"phases,omitempty"`
+	Nodes   []NodeAgg  `json:"nodes,omitempty"`
+	// Rounds is the number of collection rounds with a reconstructed
+	// critical path; MaxHops / MaxLatency aggregate over them.
+	Rounds     int     `json:"rounds"`
+	MaxHops    int     `json:"max_hops,omitempty"`
+	MaxLatency float64 `json:"max_latency,omitempty"`
+	// RequestMJ / RequestMessages are mop-up and naive-pull traffic,
+	// kept off per-node rows exactly as the attribution replay does.
+	RequestMJ       float64 `json:"request_mj,omitempty"`
+	RequestMessages int64   `json:"request_messages,omitempty"`
+}
+
+// PhaseAgg is one phase's totals (the tracetool summary row).
+type PhaseAgg struct {
+	Name     string  `json:"name"`
+	Spans    int     `json:"spans"`
+	Duration float64 `json:"duration"`
+	EnergyMJ float64 `json:"energy_mj"`
+	Messages int64   `json:"messages,omitempty"`
+	Values   int64   `json:"values,omitempty"`
+}
+
+// NodeAgg is one node's share of the run (the tracetool attribute row).
+type NodeAgg struct {
+	Node     int     `json:"node"`
+	EnergyMJ float64 `json:"energy_mj"`
+	Messages int64   `json:"messages,omitempty"`
+}
+
+// SummarizeTrace reduces a parsed trace to the manifest's aggregate
+// block, reusing the tracetool analyses (per-phase summary, per-node
+// energy attribution, critical paths).
+func SummarizeTrace(t *traceanalysis.Trace) *TraceSummary {
+	sum := traceanalysis.Summarize(t)
+	ts := &TraceSummary{Records: sum.Records, Spans: sum.Spans}
+	for _, p := range sum.Phases {
+		ts.Phases = append(ts.Phases, PhaseAgg{
+			Name:     p.Name,
+			Spans:    p.Spans,
+			Duration: p.Duration,
+			EnergyMJ: p.EnergyMJ,
+			Messages: p.Messages,
+			Values:   p.Values,
+		})
+	}
+	attr := traceanalysis.Attribute(t)
+	for _, n := range attr.Nodes {
+		ts.Nodes = append(ts.Nodes, NodeAgg{Node: n.Node, EnergyMJ: n.EnergyMJ, Messages: n.Messages})
+	}
+	ts.RequestMJ = attr.RequestMJ
+	ts.RequestMessages = attr.Requests
+	for _, p := range traceanalysis.CritPaths(t) {
+		ts.Rounds++
+		if len(p.Hops) > ts.MaxHops {
+			ts.MaxHops = len(p.Hops)
+		}
+		if p.Latency > ts.MaxLatency {
+			ts.MaxLatency = p.Latency
+		}
+	}
+	return ts
+}
+
+// AttachTraceFile parses the JSON-lines trace at path and attaches its
+// summary to the manifest. Call after the tracer has been flushed.
+func (m *Manifest) AttachTraceFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }() // read-only; close errors carry no signal
+	t, err := traceanalysis.Parse(f)
+	if err != nil {
+		return err
+	}
+	m.Trace = SummarizeTrace(t)
+	return nil
+}

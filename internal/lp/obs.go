@@ -19,6 +19,10 @@ import (
 //	lp.warm_resolves           counter, solves served from a cached Basis
 //	lp.warm_fallbacks          counter, warm attempts restarted cold
 //	lp.warm_pivots             histogram, recovery pivots per warm re-solve
+//	lp.warm_hit_rate           gauge, warm_resolves / (warm_resolves +
+//	                           cold_solves + warm_fallbacks), kept
+//	                           current per solve so end-of-run snapshots
+//	                           and the live exposition agree
 //	lp.presolve.runs           counter, one per SolveWithPresolve call
 //	lp.presolve.rows_removed   counter, constraint rows eliminated
 //	lp.presolve.vars_fixed     counter, variables pinned by reductions
@@ -54,15 +58,26 @@ func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool,
 		r.Counter("lp.pivots").Add(int64(sol.Pivots))
 		r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
 		r.Counter("lp.bound_flips").Add(int64(sol.BoundFlips))
+		warms := r.Counter("lp.warm_resolves")
+		colds := r.Counter("lp.cold_solves")
+		fallbacks := r.Counter("lp.warm_fallbacks")
 		switch kind {
 		case solveWarm:
-			r.Counter("lp.warm_resolves").Inc()
+			warms.Inc()
 			r.Histogram("lp.warm_pivots", warmPivotsBounds).Observe(float64(sol.Pivots))
 		case solveWarmFallback:
-			r.Counter("lp.cold_solves").Inc()
-			r.Counter("lp.warm_fallbacks").Inc()
+			colds.Inc()
+			fallbacks.Inc()
 		default:
-			r.Counter("lp.cold_solves").Inc()
+			colds.Inc()
+		}
+		// Derived warm-hit rate, re-published per solve instead of by an
+		// end-of-run hook: the final value is what a run's last snapshot
+		// sees, and intermediate values feed the live exposition. A
+		// fallback counts against the rate twice (once as a cold solve,
+		// once as a failed warm attempt), penalizing chains that thrash.
+		if denom := warms.Value() + colds.Value() + fallbacks.Value(); denom > 0 {
+			r.Gauge("lp.warm_hit_rate").Set(float64(warms.Value()) / float64(denom))
 		}
 		if timed {
 			r.Histogram("lp.solve_seconds", solveSecondsBounds).Observe(elapsed.Seconds())

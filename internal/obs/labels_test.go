@@ -125,6 +125,13 @@ func TestWritePrometheus(t *testing.T) {
 		`solve_s_bucket{status="optimal",le="+Inf"} 3`,
 		`solve_s_sum{status="optimal"} 5.55`,
 		`solve_s_count{status="optimal"} 3`,
+		// Derived quantile gauges keep the histogram's label block.
+		`# TYPE solve_s_p50 gauge`,
+		`solve_s_p50{status="optimal"} 0.55`,
+		`# TYPE solve_s_p95 gauge`,
+		`solve_s_p95{status="optimal"} 1`,
+		`# TYPE solve_s_p99 gauge`,
+		`solve_s_p99{status="optimal"} 1`,
 	}, "\n") + "\n"
 	if buf.String() != want {
 		t.Errorf("prometheus exposition:\n%swant:\n%s", buf.String(), want)

@@ -145,6 +145,12 @@ func TestSnapshotAndText(t *testing.T) {
 		`c.hist{le="+Inf"} 3`,
 		`c.hist.sum 55.5`,
 		`c.hist.count 3`,
+		// Derived quantile gauges: rank p50 = 1.5 interpolates halfway
+		// through the (1, 10] bucket; p95/p99 land in the overflow
+		// bucket and clamp to the highest finite bound.
+		`c.hist.p50 5.5`,
+		`c.hist.p95 10`,
+		`c.hist.p99 10`,
 	}, "\n") + "\n"
 	if buf.String() != want {
 		t.Errorf("text exposition:\n%s\nwant:\n%s", buf.String(), want)

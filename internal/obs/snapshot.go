@@ -25,8 +25,9 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot freezes the registry's current state. On a nil registry it
-// returns an empty snapshot.
+// Snapshot freezes the registry's current state, including derived
+// p50/p95/p99 quantile gauges for every non-empty histogram (see
+// addDerivedQuantiles). On a nil registry it returns an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return emptySnapshot()
@@ -61,7 +62,85 @@ func (r *Registry) Snapshot() *Snapshot {
 			NaNCount: h.NaNCount(),
 		}
 	}
+	s.addDerivedQuantiles()
 	return s
+}
+
+// quantileProbes are the derived quantiles published for every
+// non-empty histogram at snapshot time.
+var quantileProbes = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.50},
+	{"p95", 0.95},
+	{"p99", 0.99},
+}
+
+// addDerivedQuantiles adds one gauge per probe and non-empty histogram,
+// named `<hist>.p50{labels}` (p95, p99 likewise), so baseline rules and
+// dashboards can reference latency quantiles without re-deriving them
+// from raw buckets. The gauges flow into every exposition that consumes
+// a snapshot: WriteText, WriteJSON (/snapshot.json), WritePrometheus.
+func (s *Snapshot) addDerivedQuantiles() {
+	for k, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		name, labels := splitSeries(k)
+		for _, p := range quantileProbes {
+			s.Gauges[name+"."+p.suffix+labels] = h.Quantile(p.q)
+		}
+	}
+}
+
+// Quantile estimates the q-quantile from the bucket counts, assuming
+// observations spread uniformly inside each bucket (the same model
+// Prometheus' histogram_quantile uses): the target rank is located in
+// the cumulative counts and interpolated linearly between the covering
+// bucket's edges. A rank landing in the overflow bucket clamps to the
+// highest finite bound. Degenerate shapes fall back conservatively:
+// an empty histogram reports 0, and one with no finite buckets reports
+// the mean (the only location signal it has). q is clamped to [0, 1].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if len(h.Bounds) == 0 {
+		return h.Sum / float64(h.Count)
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, bc := range h.Counts[:len(h.Bounds)] {
+		prev := cum
+		cum += bc
+		if bc == 0 || float64(cum) < rank {
+			continue
+		}
+		hi := h.Bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		} else if hi <= 0 {
+			// No defensible lower edge below a non-positive first bound.
+			return hi
+		}
+		pos := (rank - float64(prev)) / float64(bc)
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > 1 {
+			pos = 1
+		}
+		return lo + (hi-lo)*pos
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // WriteText emits the registry expvar-style: one sorted "name value"

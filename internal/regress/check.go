@@ -1,0 +1,144 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prospector/internal/ledger"
+)
+
+// Violation is one rule the manifest failed.
+type Violation struct {
+	Series  string  `json:"series"`
+	Kind    string  `json:"kind"`
+	Got     float64 `json:"got"`
+	Want    string  `json:"want"` // human-readable bound description
+	Missing bool    `json:"missing,omitempty"`
+}
+
+// Report is the outcome of checking one manifest against one baseline.
+type Report struct {
+	Baseline   string      `json:"baseline"`
+	Checked    int         `json:"checked"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether every rule held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// exactly is the one approved float equality in this package: the
+// "exact" rule kind is defined as bit-for-bit agreement and documented
+// for integer-valued series only.
+func exactly(a, b float64) bool { return a == b }
+
+// Check evaluates every rule of the baseline against the manifest.
+func Check(b *Baseline, m *ledger.Manifest) *Report {
+	rep := &Report{Baseline: b.Name}
+	for _, rule := range b.Rules {
+		rep.Checked++
+		got, ok := m.Series(rule.Series)
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{
+				Series: rule.Series, Kind: rule.Kind, Missing: true,
+				Want: describeRule(rule),
+			})
+			continue
+		}
+		if v, bad := judge(rule, got); bad {
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	return rep
+}
+
+// judge applies one rule to an observed value.
+func judge(rule Rule, got float64) (Violation, bool) {
+	bad := false
+	switch rule.Kind {
+	case "exact":
+		bad = !exactly(got, rule.Value)
+	case "abs<=":
+		bad = math.Abs(got-rule.Value) > rule.Tolerance
+	case "rel<=":
+		bad = math.Abs(got-rule.Value) > rule.Tolerance*math.Abs(rule.Value)
+	case "quantile-band":
+		bad = got < *rule.Min || got > *rule.Max
+	}
+	// NaN compares false everywhere, which would let a poisoned series
+	// slide through abs/rel/band rules; fail it explicitly.
+	if math.IsNaN(got) {
+		bad = true
+	}
+	if !bad {
+		return Violation{}, false
+	}
+	return Violation{Series: rule.Series, Kind: rule.Kind, Got: got, Want: describeRule(rule)}, true
+}
+
+// describeRule renders a rule's acceptance region for diffs and
+// violation messages.
+func describeRule(r Rule) string {
+	switch r.Kind {
+	case "exact":
+		return fmt.Sprintf("== %g", r.Value)
+	case "abs<=":
+		return fmt.Sprintf("within ±%g of %g", r.Tolerance, r.Value)
+	case "rel<=":
+		return fmt.Sprintf("within ±%g%% of %g", 100*r.Tolerance, r.Value)
+	case "quantile-band":
+		if r.Min == nil || r.Max == nil {
+			return "in unrecorded band"
+		}
+		return fmt.Sprintf("in [%g, %g]", *r.Min, *r.Max)
+	}
+	return r.Kind
+}
+
+// Render formats the report in the tracetool-diff style: one line per
+// violated series naming the rule that failed, or a single all-clear
+// line.
+func (r *Report) Render() string {
+	var b strings.Builder
+	if r.OK() {
+		fmt.Fprintf(&b, "regress: %s: %d rule(s) checked, all within tolerance\n", r.Baseline, r.Checked)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "regress: %s: %d of %d rule(s) violated\n", r.Baseline, len(r.Violations), r.Checked)
+	fmt.Fprintf(&b, "%-36s %-14s %14s  %s\n", "series", "rule", "got", "want")
+	for _, v := range r.Violations {
+		got := fmt.Sprintf("%.6g", v.Got)
+		if v.Missing {
+			got = "(missing)"
+		}
+		fmt.Fprintf(&b, "%-36s %-14s %14s  %s\n", v.Series, v.Kind, got, v.Want)
+	}
+	return b.String()
+}
+
+// Record refreshes the baseline's expectations from a known-good
+// manifest: exact/abs<=/rel<= rules take the observed value; a
+// quantile-band rule re-centers its band to observed ± tolerance.
+// Kinds, tolerances, and notes — the reviewed, intentional parts —
+// are untouched. A series the manifest cannot resolve is an error:
+// recording it would commit a rule that can never pass.
+func Record(b *Baseline, m *ledger.Manifest) error {
+	for i := range b.Rules {
+		rule := &b.Rules[i]
+		got, ok := m.Series(rule.Series)
+		if !ok {
+			return fmt.Errorf("regress: record %s: series %s not in manifest", b.Name, rule.Series)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			return fmt.Errorf("regress: record %s: series %s is %g", b.Name, rule.Series, got)
+		}
+		if rule.Kind == "quantile-band" {
+			lo, hi := got-rule.Tolerance, got+rule.Tolerance
+			rule.Min, rule.Max = &lo, &hi
+			rule.Value = 0
+		} else {
+			rule.Value = got
+		}
+	}
+	return nil
+}

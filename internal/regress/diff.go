@@ -1,0 +1,114 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"prospector/internal/ledger"
+)
+
+// SeriesDelta is one series' A/B comparison between two manifests.
+type SeriesDelta struct {
+	Series   string
+	A, B     float64
+	InA, InB bool
+}
+
+// Delta returns B-A.
+func (d SeriesDelta) Delta() float64 { return d.B - d.A }
+
+// Same reports whether the series is present on both sides with
+// identical values (the exact-agreement notion `regress diff` gates
+// on).
+func (d SeriesDelta) Same() bool {
+	return d.InA && d.InB && exactly(d.A, d.B)
+}
+
+// ManifestDiff is the series-by-series comparison `regress diff`
+// prints, over the union of both manifests' counters, gauges, and
+// histogram count/sum accessors.
+type ManifestDiff struct {
+	Deltas []SeriesDelta // sorted by series name
+}
+
+// HasDifferences reports whether any series is one-sided or differs.
+func (d *ManifestDiff) HasDifferences() bool {
+	for _, sd := range d.Deltas {
+		if !sd.Same() {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffManifests compares two manifests series by series. The A side is
+// the baseline: positive deltas mean B measured more.
+func DiffManifests(a, b *ledger.Manifest) *ManifestDiff {
+	names := map[string]bool{}
+	collect := func(m *ledger.Manifest) {
+		if m.Metrics == nil {
+			return
+		}
+		for k := range m.Metrics.Counters {
+			names[k] = true
+		}
+		for k := range m.Metrics.Gauges {
+			names[k] = true
+		}
+		for k := range m.Metrics.Histograms {
+			names[k+".count"] = true
+			names[k+".sum"] = true
+		}
+	}
+	collect(a)
+	collect(b)
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	d := &ManifestDiff{}
+	for _, n := range ordered {
+		sd := SeriesDelta{Series: n}
+		sd.A, sd.InA = a.Series(n)
+		sd.B, sd.InB = b.Series(n)
+		d.Deltas = append(d.Deltas, sd)
+	}
+	return d
+}
+
+// Render formats the diff in the tracetool-diff style: only differing
+// series print (a full metrics dump would bury the signal under
+// per-node gauges), followed by an identical-series count.
+func (d *ManifestDiff) Render() string {
+	var b strings.Builder
+	same := 0
+	fmt.Fprintf(&b, "%-38s %14s %14s %14s %9s\n", "series", "A", "B", "delta", "delta %")
+	for _, sd := range d.Deltas {
+		if sd.Same() {
+			same++
+			continue
+		}
+		name := sd.Series
+		if !sd.InA {
+			name += " (B only)"
+		} else if !sd.InB {
+			name += " (A only)"
+		}
+		fmt.Fprintf(&b, "%-38s %14.6g %14.6g %+14.6g %s\n",
+			name, sd.A, sd.B, sd.Delta(), pctString(sd.A, sd.Delta()))
+	}
+	fmt.Fprintf(&b, "%d series identical, %d differ\n", same, len(d.Deltas)-same)
+	return b.String()
+}
+
+// pctString renders delta/base as a percentage, or "-" when the base
+// is too small for the ratio to mean anything.
+func pctString(base, delta float64) string {
+	if math.Abs(base) < 1e-12 {
+		return "        -"
+	}
+	return fmt.Sprintf("%+8.1f%%", 100*delta/base)
+}

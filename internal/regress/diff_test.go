@@ -1,0 +1,44 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffManifests(t *testing.T) {
+	a := manifestWith(map[string]float64{"same": 5, "moved": 10, "a.only": 1})
+	b := manifestWith(map[string]float64{"same": 5, "moved": 12, "b.only": 2})
+	d := DiffManifests(a, b)
+	if !d.HasDifferences() {
+		t.Fatalf("HasDifferences = false for differing manifests")
+	}
+	out := d.Render()
+	for _, want := range []string{"moved", "a.only (A only)", "b.only (B only)", "1 series identical, 3 differ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "same ") {
+		t.Errorf("render lists the identical series:\n%s", out)
+	}
+
+	if d := DiffManifests(a, a); d.HasDifferences() {
+		t.Errorf("a manifest differs from itself")
+	}
+}
+
+// TestDiffSeesHistogramsAndCounters: the union namespace covers more
+// than gauges.
+func TestDiffSeesHistogramsAndCounters(t *testing.T) {
+	a := manifestWith(nil)
+	b := manifestWith(nil)
+	a.Metrics.Counters["msgs"] = 10
+	b.Metrics.Counters["msgs"] = 11
+	d := DiffManifests(a, b)
+	if !d.HasDifferences() {
+		t.Fatalf("counter delta not seen")
+	}
+	if !strings.Contains(d.Render(), "msgs") {
+		t.Errorf("render missing the counter series:\n%s", d.Render())
+	}
+}

@@ -1,0 +1,93 @@
+package regress
+
+import (
+	"bytes"
+	"testing"
+
+	"prospector/internal/experiments"
+	"prospector/internal/ledger"
+	"prospector/internal/obs"
+	"prospector/internal/traceanalysis"
+)
+
+const committedBaseline = "../../results/baselines/figure3.json"
+
+// quickFigure3Manifest reproduces the cmd/experiments -fig 3 -quick
+// -manifest pipeline in-process: same config, same metrics, same
+// trace-derived aggregates.
+func quickFigure3Manifest(t testing.TB) *ledger.Manifest {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	experiments.SetObs(reg, tr)
+	defer experiments.SetObs(nil, nil)
+	span := tr.StartSpan(nil, "experiment", 0, obs.F("fig", "3"))
+	experiments.SetSpan(span)
+	_, err := experiments.Figure3(experiments.QuickFigure3Config())
+	experiments.SetSpan(nil)
+	span.End(1)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush trace: %v", err)
+	}
+	trace, err := traceanalysis.Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	m := ledger.New("experiments", map[string]string{"fig": "3", "quick": "true"}, reg.Snapshot(), ledger.Environment{})
+	m.Trace = ledger.SummarizeTrace(trace)
+	return m
+}
+
+// TestGateAgainstCommittedBaseline is the acceptance gate demonstrated
+// in-process: a fresh quick Figure 3 run passes the committed baseline,
+// and the same run with a +20% per-message energy fault injected fails
+// with a diff naming the violated series and rule.
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	base, err := ReadFile(committedBaseline)
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	m := quickFigure3Manifest(t)
+
+	rep := Check(base, m)
+	if !rep.OK() {
+		t.Fatalf("fresh run violates the committed baseline:\n%s", rep.Render())
+	}
+
+	// Inject the fault: +20% on every energy account, as if the radio
+	// cost model inflated per-message energy. Both the metric gauges and
+	// the trace attribution would shift together in a real run.
+	faulty := quickFigure3Manifest(t)
+	for _, g := range []string{"exec.energy_mj.collection", "exec.energy_mj.trigger"} {
+		faulty.Metrics.Gauges[g] *= 1.2
+	}
+	for i := range faulty.Trace.Phases {
+		faulty.Trace.Phases[i].EnergyMJ *= 1.2
+	}
+	rep = Check(base, faulty)
+	if rep.OK() {
+		t.Fatalf("+20%% energy fault passed the gate")
+	}
+	wantViolated := map[string]string{
+		"exec.energy_mj.collection":        "rel<=",
+		"exec.energy_mj.trigger":           "rel<=",
+		"trace.phase.exec.epoch.energy_mj": "rel<=",
+	}
+	got := map[string]string{}
+	for _, v := range rep.Violations {
+		got[v.Series] = v.Kind
+	}
+	for series, kind := range wantViolated {
+		if got[series] != kind {
+			t.Errorf("violation for %s: kind %q, want %q\nreport:\n%s", series, got[series], kind, rep.Render())
+		}
+	}
+	// The untouched traffic series must not be dragged into the report.
+	if _, hit := got["exec.messages"]; hit {
+		t.Errorf("exec.messages violated without a fault:\n%s", rep.Render())
+	}
+}

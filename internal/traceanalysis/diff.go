@@ -2,6 +2,7 @@ package traceanalysis
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -35,6 +36,35 @@ type EventDelta struct {
 type DiffResult struct {
 	Phases []PhaseDelta // union of both traces' phases, sorted by name
 	Events []EventDelta
+}
+
+// HasDifferences reports whether the two traces disagree anywhere the
+// diff can see: a phase or event family present on only one side, or
+// any nonzero delta in energy, messages, duration, span count, value
+// count, or event count. Float deltas are tested via math.Abs(d) > 0,
+// which is exactly "not identical" without a direct float equality.
+func (d *DiffResult) HasDifferences() bool {
+	for _, pd := range d.Phases {
+		if !pd.InA || !pd.InB {
+			return true
+		}
+		if math.Abs(pd.DeltaEnergy()) > 0 || math.Abs(pd.DeltaDuration()) > 0 {
+			return true
+		}
+		if pd.DeltaMessages() != 0 || pd.B.Spans != pd.A.Spans ||
+			pd.B.Open != pd.A.Open || pd.B.Values != pd.A.Values {
+			return true
+		}
+	}
+	for _, ed := range d.Events {
+		if !ed.InA || !ed.InB {
+			return true
+		}
+		if ed.B.Count != ed.A.Count || math.Abs(ed.B.EnergyMJ-ed.A.EnergyMJ) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Diff compares two summaries phase by phase. The A side is the
