@@ -26,9 +26,12 @@ race:
 	go test -race ./...
 
 # Project analyzer suite (internal/analysis): determinism, obsnilsafe,
-# floatcmp, errchecklite, suppress. Also enforced by lint_test.go.
+# floatcmp, errchecklite, unitcheck, planfreeze, budgetflow, confine,
+# lockcheck, goleak, suppress. `go run ./cmd/lint -list` describes
+# each; also enforced by lint_test.go inside `go test ./...`.
 lint:
 	go run ./cmd/lint
 
 bench:
 	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry|SpanEmit|LabeledHandles|Manifest' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/ ./internal/ledger/
+	go test -run xxx -bench 'BenchmarkConfine|BenchmarkLockcheck' -benchtime 0.3s .

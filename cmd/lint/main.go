@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"prospector/internal/analysis"
@@ -36,7 +37,11 @@ func main() {
 
 	suite := analysis.Suite()
 	if *list {
-		for _, c := range suite {
+		// Sorted by name with the registry's one-line doc, so the
+		// listing doubles as the quick-reference the README table links.
+		sorted := append([]*analysis.Check(nil), suite...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, c := range sorted {
 			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
 		}
 		return

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// confine: goroutine-escape analysis for types declared
+// single-goroutine. The stateful planner/solver types (core.paramLP
+// and the parametric planners, lp.Workspace, lp.Basis, obs.Span) carry
+// warm-start caches that are correct only when every access happens on
+// the goroutine that built them; the concurrent plan-serving tier being
+// layered on top must hand whole planners between workers, never share
+// one. A type opts in with //confine:goroutine in its doc comment, and
+// the check flags every site where a value of a confined type becomes
+// reachable from a second goroutine:
+//
+//  1. captured by (or passed to) the function a `go` statement starts;
+//  2. sent on a channel;
+//  3. stored in a package-level variable, or through one.
+//
+// Escapes are tracked interprocedurally: a function that leaks one of
+// its own parameters marks that parameter slot as leaking, leak masks
+// propagate over the call graph to a fixed point (exactly like
+// planfreeze's mutator masks), and a call passing a confined value
+// into a leaking slot is flagged at the call site.
+//
+// A sanctioned hand-off — a pool Put, a publish under a documented
+// external happens-before edge — is annotated in place:
+//
+//	//confine:transfer <reason>
+//
+// on or directly above the escape site. Transferred sites are silent
+// and do not poison the enclosing function's leak mask. Known
+// limitations, on purpose: a confined value stored into a local struct
+// that later escapes is not chased (annotate the struct type instead),
+// and reads of package-level confined values are not flagged (the
+// store is the hand-off point).
+
+// confineWorld is the shared interprocedural state: the confined type
+// set, the per-function leak masks, and the precomputed findings.
+type confineWorld struct {
+	confined map[*types.TypeName]bool
+	leakers  map[*types.Func][]bool
+	findings map[*Package][]worldFinding
+}
+
+// worldFinding is one precomputed diagnostic-to-be.
+type worldFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// confinedName resolves t (through pointers) to a confined type,
+// returning its display name, or ok=false.
+func (cw *confineWorld) confinedName(t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if !cw.confined[tn] {
+		return "", false
+	}
+	if tn.Pkg() == nil {
+		return tn.Name(), true
+	}
+	return tn.Pkg().Name() + "." + tn.Name(), true
+}
+
+// rootIdent returns the root identifier of a selector/index/deref/
+// address chain (x for &x.f[i].g), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	e = unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = unparen(x.X)
+		case *ast.IndexExpr:
+			e = unparen(x.X)
+		case *ast.StarExpr:
+			e = unparen(x.X)
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = unparen(x.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// isPackageLevel reports whether obj is a package-scope variable.
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg != nil && pkg.Scope() == v.Parent()
+}
+
+// buildConfineWorld scans every function for escape sites, seeds and
+// propagates the leak masks, and records the findings.
+func buildConfineWorld(prog *Program) *confineWorld {
+	cw := &confineWorld{
+		confined: make(map[*types.TypeName]bool),
+		leakers:  make(map[*types.Func][]bool),
+		findings: make(map[*Package][]worldFinding),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, tn := range confinedTypes(pkg) {
+			cw.confined[tn] = true
+		}
+	}
+	cg := prog.CallGraph()
+
+	slotCache := make(map[*types.Func]map[types.Object]int)
+	mask := func(fn *types.Func) []bool {
+		if m, ok := cw.leakers[fn]; ok {
+			return m
+		}
+		fd := cg.Decl(fn)
+		pkg := cg.DeclPkg(fn)
+		if fd == nil || pkg == nil {
+			return nil
+		}
+		slots, n := paramSlots(pkg, fd)
+		slotCache[fn] = slots
+		m := make([]bool, n)
+		cw.leakers[fn] = m
+		return m
+	}
+
+	// Pass 1: leaf escape sites, leak-mask seeds, directive hygiene.
+	type transferMap = map[string]map[int]transferSite
+	transfersOf := make(map[*Package]transferMap, len(prog.Pkgs))
+	for _, pkg := range prog.Pkgs {
+		transfers, _ := collectTransfers(pkg)
+		transfersOf[pkg] = transfers
+	}
+	transferred := func(pkg *Package, pos token.Pos) bool {
+		p := pkg.Fset.Position(pos)
+		byLine := transfersOf[pkg][p.Filename]
+		if byLine == nil {
+			return false
+		}
+		_, onLine := byLine[p.Line]
+		_, above := byLine[p.Line-1]
+		return onLine || above
+	}
+
+	for _, pkg := range prog.Pkgs {
+		// Reason-less transfer directives are findings themselves: an
+		// unjustified hand-off is exactly what the check exists to stop.
+		for _, f := range pkg.Files {
+			for _, cgrp := range f.Comments {
+				for _, c := range cgrp.List {
+					rest, ok := cutDirective(c.Text, confineTransferDirective)
+					if ok && rest == "" {
+						cw.findings[pkg] = append(cw.findings[pkg], worldFinding{
+							pos: c.Pos(),
+							msg: "confine:transfer directive needs a reason: \"//confine:transfer <reason>\"",
+						})
+					}
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				var m []bool
+				if fn != nil {
+					m = mask(fn)
+				}
+				// escape records one leaf site: a finding unless the
+				// site is a sanctioned transfer, and a leak-mask seed
+				// when the escaping value is one of fd's parameters.
+				escape := func(pos token.Pos, value ast.Expr, name, how string) {
+					if transferred(pkg, pos) {
+						return
+					}
+					cw.findings[pkg] = append(cw.findings[pkg], worldFinding{
+						pos: pos,
+						msg: "confined " + name + " " + how + "; annotate the hand-off with //confine:transfer or keep it on its owning goroutine",
+					})
+					if root := rootIdent(value); root != nil && fn != nil {
+						if obj := pkg.Info.Uses[root]; obj != nil {
+							if slot, ok := slotCache[fn][obj]; ok {
+								m[slot] = true
+							}
+						}
+					}
+				}
+				confineScanBody(pkg, cw, fd.Body, escape)
+			}
+		}
+	}
+
+	// Pass 2: propagate leak masks over the call graph — a caller
+	// passing its own parameter into a leaking slot leaks it too.
+	for changed := true; changed; {
+		changed = false
+		for _, site := range cg.Sites {
+			calleeMask := cw.leakers[site.Callee]
+			if len(calleeMask) == 0 {
+				continue
+			}
+			callerMask := mask(site.Caller)
+			if callerMask == nil {
+				continue
+			}
+			callerSlots := slotCache[site.Caller]
+			for slot, leaks := range calleeMask {
+				if !leaks {
+					continue
+				}
+				arg := argAtSlot(site.Pkg, site.Call, site.Callee, slot)
+				if arg == nil {
+					continue
+				}
+				id, ok := unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := site.Pkg.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if cs, ok := callerSlots[obj]; ok && !callerMask[cs] {
+					callerMask[cs] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: call sites passing a confined value into a leaking slot.
+	for _, site := range cg.Sites {
+		m := cw.leakers[site.Callee]
+		for slot, leaks := range m {
+			if !leaks {
+				continue
+			}
+			arg := argAtSlot(site.Pkg, site.Call, site.Callee, slot)
+			if arg == nil {
+				continue
+			}
+			t := site.Pkg.Info.TypeOf(arg)
+			if t == nil {
+				continue
+			}
+			name, ok := cw.confinedName(t)
+			if !ok {
+				continue
+			}
+			if transferred(site.Pkg, arg.Pos()) {
+				continue
+			}
+			cw.findings[site.Pkg] = append(cw.findings[site.Pkg], worldFinding{
+				pos: arg.Pos(),
+				msg: "call to " + site.Callee.Name() + " leaks confined " + name + " to another goroutine",
+			})
+		}
+	}
+	return cw
+}
+
+// confineScanBody walks one function body for leaf escape sites,
+// calling escape(pos, value, typeName, how) for each.
+func confineScanBody(pkg *Package, cw *confineWorld, body ast.Node, escape func(token.Pos, ast.Expr, string, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			confineScanGo(pkg, cw, n, escape)
+		case *ast.SendStmt:
+			if t := pkg.Info.TypeOf(n.Value); t != nil {
+				if name, ok := cw.confinedName(t); ok {
+					escape(n.Value.Pos(), n.Value, name, "sent on a channel")
+				}
+			}
+		case *ast.AssignStmt:
+			oneToOne := len(n.Lhs) == len(n.Rhs)
+			for i, lhs := range n.Lhs {
+				root := rootIdent(lhs)
+				if root == nil {
+					continue
+				}
+				obj := pkg.Info.Uses[root]
+				if obj == nil {
+					obj = pkg.Info.Defs[root]
+				}
+				if obj == nil || !isPackageLevel(obj) {
+					continue
+				}
+				// The stored value's type decides: for 1:1 assigns the
+				// RHS (so `global = nil` stays legal), the LHS slot
+				// type for tuple assigns.
+				var t types.Type
+				var value ast.Expr
+				if oneToOne {
+					value = n.Rhs[i]
+					t = pkg.Info.TypeOf(value)
+					if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+						continue
+					}
+				} else {
+					value = lhs
+					t = pkg.Info.TypeOf(lhs)
+				}
+				if t == nil {
+					continue
+				}
+				if name, ok := cw.confinedName(t); ok {
+					escape(lhs.Pos(), value, name, "stored in package-level variable "+root.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// confineScanGo flags confined values handed to a new goroutine: the
+// receiver and arguments of the started call, and — for a function
+// literal — every confined free variable the literal captures.
+func confineScanGo(pkg *Package, cw *confineWorld, g *ast.GoStmt, escape func(token.Pos, ast.Expr, string, string)) {
+	call := g.Call
+	checkExpr := func(e ast.Expr, how string) {
+		if e == nil {
+			return
+		}
+		if t := pkg.Info.TypeOf(e); t != nil {
+			if name, ok := cw.confinedName(t); ok {
+				escape(e.Pos(), e, name, how)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		checkExpr(arg, "passed to a goroutine")
+	}
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		seen := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || seen[obj] {
+				return true
+			}
+			if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				return true // the literal's own locals and parameters
+			}
+			t := pkg.Info.TypeOf(id)
+			if t == nil {
+				return true
+			}
+			if name, ok := cw.confinedName(t); ok {
+				seen[obj] = true
+				escape(id.Pos(), id, name, "captured by a goroutine")
+			}
+			return true
+		})
+		return
+	}
+	checkExpr(receiverExpr(pkg.Info, call), "passed to a goroutine")
+}
+
+// newConfineCheck builds the confine analyzer.
+func newConfineCheck() *Check {
+	return &Check{
+		Name: "confine",
+		Doc:  "types marked //confine:goroutine never become reachable from a second goroutine without a //confine:transfer hand-off",
+		Run: func(pass *Pass) {
+			cw := pass.Prog.confineWorld()
+			for _, f := range cw.findings[pass.Pkg] {
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		},
+	}
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Directive grammar for the concurrency-safety checks (confine,
+// lockcheck). All three are doc/line comments, mirroring //lint:ignore:
+//
+//	//confine:goroutine
+//	    In the doc comment of a type declaration: values of the type
+//	    are confined to the goroutine that constructs them. The confine
+//	    check flags every site where such a value becomes reachable
+//	    from a second goroutine.
+//
+//	//confine:transfer <reason>
+//	    On (or directly above) an escape site: this hand-off is a
+//	    sanctioned ownership transfer — a pool Put, a publish under a
+//	    documented external happens-before edge. The site is not
+//	    reported and does not mark the enclosing function as a leaker.
+//	    A transfer without a reason is itself a confine finding.
+//
+//	//guarded-by:<name>
+//	    In the doc or line comment of a struct field: the field may
+//	    only be accessed while the sibling lock field <name> is held
+//	    (reads need the lock in any mode, writes need it exclusively).
+//	    On a package-level var, <name> names a package-level
+//	    sync.Mutex/RWMutex in the same package.
+
+const (
+	confineGoroutineDirective = "//confine:goroutine"
+	confineTransferDirective  = "//confine:transfer"
+	guardedByDirective        = "//guarded-by:"
+)
+
+// cutDirective splits a comment into the directive's argument text:
+// ok reports whether text is the directive (alone or followed by
+// whitespace), rest is the trimmed argument.
+func cutDirective(text, directive string) (rest string, ok bool) {
+	rest, ok = strings.CutPrefix(text, directive)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // an unrelated comment such as //confine:transferred
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// transferSite is one parsed //confine:transfer directive.
+type transferSite struct {
+	file   string
+	line   int
+	reason string
+}
+
+// collectTransfers maps file -> line -> directive for every
+// //confine:transfer in the package. Reason-less directives are
+// returned separately so the confine check can flag them.
+func collectTransfers(pkg *Package) (map[string]map[int]transferSite, []transferSite) {
+	transfers := make(map[string]map[int]transferSite)
+	var bare []transferSite
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutDirective(c.Text, confineTransferDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ts := transferSite{file: pos.Filename, line: pos.Line, reason: rest}
+				if ts.reason == "" {
+					bare = append(bare, ts)
+					continue
+				}
+				byLine := transfers[ts.file]
+				if byLine == nil {
+					byLine = make(map[int]transferSite)
+					transfers[ts.file] = byLine
+				}
+				byLine[ts.line] = ts
+			}
+		}
+	}
+	return transfers, bare
+}
+
+// commentHasDirective reports whether any line of the comment groups
+// is exactly the directive (optionally followed by whitespace).
+func commentHasDirective(directive string, groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") ||
+				strings.HasPrefix(c.Text, directive+"\t") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveArg extracts the <name> of a //guarded-by:<name> line from
+// the comment groups, or "" when absent. Prose after the name is
+// ignored, so a directive can double as an ordinary field comment.
+func directiveArg(prefix string, groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, prefix); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// confinedTypes scans the package's type declarations for
+// //confine:goroutine directives, returning the marked type names.
+func confinedTypes(pkg *Package) []*types.TypeName {
+	var out []*types.TypeName
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !commentHasDirective(confineGoroutineDirective, gd.Doc, ts.Doc, ts.Comment) {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out = append(out, tn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardedField is one //guarded-by: annotation: obj is the guarded
+// field or package-level var, lockName the guarding lock. For struct
+// fields the lock is the sibling field of that name; for package vars
+// it is the package-level var of that name.
+type guardedField struct {
+	obj      types.Object
+	lockName string
+	isField  bool
+}
+
+// collectGuarded scans the package for //guarded-by: annotations on
+// struct fields and package-level vars.
+func collectGuarded(pkg *Package) []guardedField {
+	var out []guardedField
+	addField := func(field *ast.Field) {
+		name := directiveArg(guardedByDirective, field.Doc, field.Comment)
+		if name == "" {
+			return
+		}
+		for _, id := range field.Names {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out = append(out, guardedField{obj: obj, lockName: name, isField: true})
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						addField(field)
+					}
+				case *ast.ValueSpec:
+					// gd.Doc only speaks for a lone spec; in a var
+					// block each spec carries its own annotation.
+					groups := []*ast.CommentGroup{spec.Doc, spec.Comment}
+					if len(gd.Specs) == 1 {
+						groups = append(groups, gd.Doc)
+					}
+					name := directiveArg(guardedByDirective, groups...)
+					if name == "" {
+						continue
+					}
+					for _, id := range spec.Names {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							out = append(out, guardedField{obj: obj, lockName: name})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

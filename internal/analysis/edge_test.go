@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// The fixture/internal/edge package collects the call-graph and CFG
+// shapes the concurrency checks lean on: method expressions under go,
+// method values, defers with closures, channel-direction conversions.
+// These tests pin the substrate behavior directly; the golden test
+// separately proves the package is finding-free.
+
+func edgePkg(t *testing.T) *Package {
+	t.Helper()
+	fixtures(t)
+	pkg := fixtureProgram().Package("fixture/internal/edge")
+	if pkg == nil {
+		t.Fatal("fixture/internal/edge did not load")
+	}
+	return pkg
+}
+
+// edgeDecl finds a declared function by name in the edge package.
+func edgeDecl(t *testing.T, pkg *Package, name string) (*ast.FuncDecl, *types.Func) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				return fd, fn
+			}
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, pkg.Path)
+	return nil, nil
+}
+
+// TestCallGraphMethodExpression proves `go (*Runner).Run(r)` resolves
+// to a call-graph edge Launch -> Run, the shape goleak uses to find the
+// goroutine body behind a method-expression go statement.
+func TestCallGraphMethodExpression(t *testing.T) {
+	pkg := edgePkg(t)
+	cg := fixtureProgram().CallGraph()
+	_, run := edgeDecl(t, pkg, "Run")
+	if run == nil {
+		t.Fatal("no types.Func for Run")
+	}
+	found := false
+	for _, site := range cg.CallsTo(run) {
+		if site.Caller != nil && site.Caller.Name() == "Launch" {
+			found = true
+			if cg.Decl(run) == nil || cg.DeclPkg(run) != pkg {
+				t.Errorf("Decl/DeclPkg of Run not resolved to the edge package")
+			}
+		}
+	}
+	if !found {
+		t.Error("method-expression call (*Runner).Run(r) produced no Launch -> Run edge")
+	}
+}
+
+// TestCallGraphMethodValueIsDynamic proves a method value handed around
+// as a func() (stop := r.Stop) does not fabricate a call edge: only the
+// direct close-over-channel call inside Stop itself appears.
+func TestCallGraphMethodValueIsDynamic(t *testing.T) {
+	pkg := edgePkg(t)
+	cg := fixtureProgram().CallGraph()
+	_, stop := edgeDecl(t, pkg, "Stop")
+	if stop == nil {
+		t.Fatal("no types.Func for Stop")
+	}
+	for _, site := range cg.CallsTo(stop) {
+		t.Errorf("unexpected call edge to Stop from %v: method values are dynamic", site.Caller)
+	}
+}
+
+// TestCFGDeferClosure proves a defer wrapping a closure stays a
+// straight-line node (one block mention) and does not disturb the
+// loop's back edge — the shape lockcheck's defer reasoning walks.
+func TestCFGDeferClosure(t *testing.T) {
+	pkg := edgePkg(t)
+	fd, _ := edgeDecl(t, pkg, "Deferred")
+	cfg := buildCFG(fd.Body)
+	deferBlocks := 0
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlocks++
+			}
+		}
+	}
+	if deferBlocks != 1 {
+		t.Errorf("defer with closure appears in %d block nodes, want 1", deferBlocks)
+	}
+	// The range loop must produce a cycle: some block reachable from
+	// entry has a successor with a lower index (the back edge).
+	hasBackEdge := false
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s.Index <= blk.Index && s != cfg.Exit {
+				hasBackEdge = true
+			}
+		}
+	}
+	if !hasBackEdge {
+		t.Error("range loop produced no back edge in the CFG")
+	}
+	if len(cfg.Exit.Preds) == 0 {
+		t.Error("exit block unreachable")
+	}
+}
+
+// TestChannelDirectionConversion proves the loader and type info keep
+// directional conversions intact: Directions' locals have chan<- int /
+// <-chan int types rooted at the same bidirectional parameter.
+func TestChannelDirectionConversion(t *testing.T) {
+	pkg := edgePkg(t)
+	fd, _ := edgeDecl(t, pkg, "Directions")
+	dirs := map[types.ChanDir]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if ch, ok := obj.Type().Underlying().(*types.Chan); ok {
+			dirs[ch.Dir()] = true
+		}
+		return true
+	})
+	if !dirs[types.SendOnly] || !dirs[types.RecvOnly] {
+		t.Errorf("direction conversions lost: saw %v, want both SendOnly and RecvOnly", dirs)
+	}
+}
+
+// TestGoleakMethodExpressionAccepted pins the end-to-end behavior: the
+// goroutine started through the method expression terminates via the
+// done-channel receive in Run's body, so goleak stays quiet on the
+// whole edge package.
+func TestGoleakMethodExpressionAccepted(t *testing.T) {
+	pkg := edgePkg(t)
+	var diags []Diagnostic
+	check := newGoleakCheck()
+	pass := &Pass{Check: check, Pkg: pkg, Prog: fixtureProgram(),
+		report: func(d Diagnostic) { diags = append(diags, d) }}
+	check.Run(pass)
+	for _, d := range diags {
+		t.Errorf("unexpected goleak finding in edge package: %s", d)
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -211,6 +212,34 @@ func isSourceFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
+// buildConstraintsSatisfied evaluates the //go:build line of a parsed
+// file (if any) against the default build configuration: GOOS, GOARCH,
+// and go1.x release tags are true, custom tags (prospector_debug and
+// friends) are false. Files excluded by their constraints — debug-only
+// assertion shims, platform twins — would otherwise double-declare
+// symbols and fail the type-check.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed: let the compiler complain, not lint
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
+}
+
 // parsedPkg is one parsed-but-not-yet-type-checked package.
 type parsedPkg struct {
 	path  string
@@ -306,6 +335,9 @@ func (ld *loader) parseDir(path, dir string) (*parsedPkg, error) {
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if !buildConstraintsSatisfied(f) {
+			continue
 		}
 		files = append(files, f)
 	}

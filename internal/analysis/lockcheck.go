@@ -1,0 +1,874 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockcheck: CFG-based lock discipline for sync.Mutex/RWMutex.
+//
+//  1. Balance — every lock acquired on a path is released on every
+//     exit from the function. `defer mu.Unlock()` (directly or via a
+//     deferred closure) releases on all exits including panics, which
+//     is how the check reasons about panic paths: a deferred release
+//     covers them, an inline one does not, but only a genuinely
+//     missing release on a normal path is reported. Releasing a lock
+//     that cannot be held, acquiring one that is already held
+//     (self-deadlock), and mixing Lock/RUnlock modes are findings too.
+//
+//  2. Guarded fields — a struct field or package-level var annotated
+//     //guarded-by:<name> may only be read with the named lock held in
+//     any mode and written with it held exclusively. The discipline is
+//     interprocedural one call level deep: a function that accesses a
+//     guarded field through its receiver/parameter (or a package var)
+//     without locking is legal exactly when every call site holds the
+//     lock — each call site that does not is flagged (the emitLocked
+//     idiom: callers lock, the helper touches the fields). Helpers
+//     buried more than one call level below the acquisition need
+//     restructuring or a //lint:ignore with justification.
+//
+//  3. Copies — no lock-bearing struct crosses a call boundary by
+//     value: a parameter or receiver whose type (transitively)
+//     contains a sync.Mutex, RWMutex, WaitGroup, Once, or Cond that is
+//     not behind a pointer is a finding.
+//
+// Locks are identified syntactically by their access path (t.mu,
+// s.inner.mu, a package-level obsMu) rooted at a variable; locks
+// reached through calls or index expressions are not modeled.
+// sync.Once, TryLock, and embedded-mutex method promotion through a
+// different path spelling are out of scope by design.
+
+type lockMode int
+
+const (
+	lockExcl   lockMode = iota // Lock/Unlock
+	lockShared                 // RLock/RUnlock
+)
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+// lockKey names one lock: the root variable plus the dotted field path
+// to the mutex ("" when the root is the mutex itself).
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+func (k lockKey) String() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// lockAcq is the state of one held lock on a path.
+type lockAcq struct {
+	mode     lockMode
+	pos      token.Pos // acquisition site
+	deferred bool      // a deferred release covers every exit
+}
+
+type lockState map[lockKey]lockAcq
+
+func copyLockState(s lockState) lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func lockStatesEqual(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// lockPath resolves an expression to a lock key: a chain of selectors
+// over a root identifier, through pointers. ok=false for anything else
+// (calls, index expressions).
+func lockPath(info *types.Info, e ast.Expr) (lockKey, bool) {
+	var parts []string
+	e = unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return lockKey{}, false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return lockKey{root: obj, path: strings.Join(parts, ".")}, true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = unparen(x.X)
+		case *ast.StarExpr:
+			e = unparen(x.X)
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+// joinLockPath appends a lock field to a base path.
+func joinLockPath(base, lock string) string {
+	if base == "" {
+		return lock
+	}
+	return base + "." + lock
+}
+
+// syncType reports whether t (through pointers) is the named sync
+// type.
+func syncType(t types.Type, names ...string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// lockCall classifies a call as a mutex acquire/release, returning the
+// lock key, the operation, and the mode.
+func lockCall(info *types.Info, call *ast.CallExpr) (lockKey, lockOp, lockMode) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, opNone, lockExcl
+	}
+	var op lockOp
+	var mode lockMode
+	switch sel.Sel.Name {
+	case "Lock":
+		op, mode = opAcquire, lockExcl
+	case "Unlock":
+		op, mode = opRelease, lockExcl
+	case "RLock":
+		op, mode = opAcquire, lockShared
+	case "RUnlock":
+		op, mode = opRelease, lockShared
+	default:
+		return lockKey{}, opNone, lockExcl
+	}
+	recvT := info.TypeOf(sel.X)
+	if recvT == nil || !syncType(recvT, "Mutex", "RWMutex") {
+		return lockKey{}, opNone, lockExcl
+	}
+	key, ok := lockPath(info, sel.X)
+	if !ok {
+		return lockKey{}, opNone, lockExcl
+	}
+	return key, op, mode
+}
+
+// containsLock reports whether t transitively embeds a sync lock type
+// by value, naming the first one found.
+func containsLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if syncType(t, "Mutex", "RWMutex", "WaitGroup", "Once", "Cond") {
+		named := t
+		for {
+			p, ok := named.(*types.Pointer)
+			if !ok {
+				break
+			}
+			named = p.Elem()
+		}
+		return "sync." + named.(*types.Named).Obj().Name(), true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if _, ok := ft.(*types.Pointer); ok {
+				continue
+			}
+			if name, ok := containsLock(ft, seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// guardInfo is the resolved //guarded-by: annotation of one field or
+// package var.
+type guardInfo struct {
+	lockName string
+	lockObj  types.Object // package-level lock var (nil for fields)
+	isField  bool
+}
+
+// guardReq is one guarded access a function performs without holding
+// the lock itself, to be justified by its call sites.
+type guardReq struct {
+	fn        *types.Func
+	pkg       *Package
+	pos       token.Pos
+	fieldName string
+	isWrite   bool
+	slot      int     // >= 0: root is receiver/param slot; -1: package-level
+	path      string  // lock path relative to the slot's root
+	globalKey lockKey // the absolute key when slot == -1
+	lockDesc  string
+}
+
+// lockWorld is the precomputed module-wide lockcheck result.
+type lockWorld struct {
+	findings map[*Package][]worldFinding
+}
+
+// lockUnit is one analyzed function body (declaration or literal).
+type lockUnit struct {
+	pkg  *Package
+	fn   *types.Func // enclosing declared function (also for literals)
+	body *ast.BlockStmt
+	recv *ast.FieldList // declaration receiver, nil for literals
+	ftyp *ast.FuncType
+	lit  bool
+}
+
+func buildLockWorld(prog *Program) *lockWorld {
+	lw := &lockWorld{findings: make(map[*Package][]worldFinding)}
+	report := func(pkg *Package, pos token.Pos, msg string) {
+		lw.findings[pkg] = append(lw.findings[pkg], worldFinding{pos: pos, msg: msg})
+	}
+
+	// Guard annotations, with hygiene: the named lock must exist.
+	guards := make(map[types.Object]guardInfo)
+	for _, pkg := range prog.Pkgs {
+		for _, gf := range collectGuarded(pkg) {
+			gi := guardInfo{lockName: gf.lockName, isField: gf.isField}
+			if gf.isField {
+				// The lock must be a sibling field of the same struct.
+				structT, ok := gf.obj.(*types.Var)
+				if !ok {
+					continue
+				}
+				found := false
+				if owner, ok := fieldOwner(pkg, structT); ok {
+					for i := 0; i < owner.NumFields(); i++ {
+						f := owner.Field(i)
+						if f.Name() == gf.lockName && syncType(f.Type(), "Mutex", "RWMutex") {
+							found = true
+							break
+						}
+					}
+				}
+				if !found {
+					report(pkg, gf.obj.Pos(), "guarded-by:"+gf.lockName+" names no sibling sync.Mutex/RWMutex field")
+					continue
+				}
+			} else {
+				lockObj := pkg.Types.Scope().Lookup(gf.lockName)
+				if lockObj == nil || !syncType(lockObj.Type(), "Mutex", "RWMutex") {
+					report(pkg, gf.obj.Pos(), "guarded-by:"+gf.lockName+" names no package-level sync.Mutex/RWMutex")
+					continue
+				}
+				gi.lockObj = lockObj
+			}
+			guards[gf.obj] = gi
+		}
+	}
+
+	// Analyze every function body; collect per-call lock states and
+	// caller-dependent guarded requirements.
+	var reqs []guardReq
+	callStates := make(map[*ast.CallExpr]lockState)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				lockCheckCopies(pkg, fd, report)
+				units := collectLockUnits(pkg, fn, fd)
+				for _, u := range units {
+					ua := &lockAnalysis{
+						unit:       u,
+						guards:     guards,
+						callStates: callStates,
+						report:     func(pos token.Pos, msg string) { report(u.pkg, pos, msg) },
+						addReq:     func(r guardReq) { reqs = append(reqs, r) },
+					}
+					ua.run()
+				}
+			}
+		}
+	}
+
+	// Interprocedural pass: every call site of a function with
+	// unprotected guarded accesses must hold the lock.
+	cg := prog.CallGraph()
+	for _, req := range reqs {
+		sites := cg.CallsTo(req.fn)
+		if len(sites) == 0 {
+			verb := "read"
+			if req.isWrite {
+				verb = "written"
+			}
+			report(req.pkg, req.pos, "field "+req.fieldName+" (guarded by "+req.lockDesc+") "+verb+" without the lock held, and no caller holds it")
+			continue
+		}
+		for _, site := range sites {
+			key := req.globalKey
+			ok := req.slot < 0
+			if req.slot >= 0 {
+				arg := argAtSlot(site.Pkg, site.Call, req.fn, req.slot)
+				if arg != nil {
+					if base, pok := lockPath(site.Pkg.Info, arg); pok {
+						key = lockKey{root: base.root, path: joinLockPath(base.path, req.path)}
+						ok = true
+					}
+				}
+			}
+			held := false
+			if ok {
+				if acq, has := callStates[site.Call][key]; has {
+					held = acq.mode == lockExcl || !req.isWrite
+				}
+			}
+			if !held {
+				verb := "reads"
+				if req.isWrite {
+					verb = "writes"
+				}
+				need := ""
+				if req.isWrite {
+					need = " exclusively"
+				}
+				report(site.Pkg, site.Call.Pos(), "call to "+req.fn.Name()+" "+verb+" "+req.fieldName+" (guarded by "+req.lockDesc+") without holding the lock"+need)
+			}
+		}
+	}
+	return lw
+}
+
+// fieldOwner resolves the struct type a field variable belongs to.
+func fieldOwner(pkg *Package, field *types.Var) (*types.Struct, bool) {
+	// Walk the package's declared types looking for the field; fields
+	// are rare enough that a linear scan is fine.
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return st, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// lockCheckCopies flags lock-bearing receivers and parameters passed
+// by value.
+func lockCheckCopies(pkg *Package, fd *ast.FuncDecl, report func(*Package, token.Pos, string)) {
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pkg.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, ok := t.(*types.Pointer); ok {
+				continue
+			}
+			if name, ok := containsLock(t, make(map[types.Type]bool)); ok {
+				report(pkg, f.Type.Pos(), what+" copies lock-bearing "+name+" by value; pass a pointer")
+			}
+		}
+	}
+	checkFields(fd.Recv, "receiver")
+	checkFields(fd.Type.Params, "parameter")
+}
+
+// collectLockUnits returns the declaration body plus every function
+// literal inside it as separate analysis units — except literals that
+// are the immediate call of a `defer` statement, whose releases are
+// modeled as part of the enclosing function's defer reasoning.
+func collectLockUnits(pkg *Package, fn *types.Func, fd *ast.FuncDecl) []lockUnit {
+	units := []lockUnit{{pkg: pkg, fn: fn, body: fd.Body, recv: fd.Recv, ftyp: fd.Type}}
+	deferred := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || deferred[lit] {
+			return true
+		}
+		units = append(units, lockUnit{pkg: pkg, fn: fn, body: lit.Body, ftyp: lit.Type, lit: true})
+		return true
+	})
+	return units
+}
+
+// lockAnalysis runs the two lock dataflows over one function body and
+// reports its findings.
+type lockAnalysis struct {
+	unit       lockUnit
+	guards     map[types.Object]guardInfo
+	callStates map[*ast.CallExpr]lockState
+	report     func(token.Pos, string)
+	addReq     func(guardReq)
+
+	cfg *CFG
+	// deferAnywhere forgives exit-leaks for keys with a deferred
+	// release registered anywhere in the unit (the rare defer-before-
+	// lock shape still releases at runtime).
+	deferAnywhere map[lockKey]bool
+
+	slots map[types.Object]int // receiver/param objects -> slot
+}
+
+func (ua *lockAnalysis) run() {
+	u := ua.unit
+	ua.cfg = buildCFG(u.body)
+	ua.deferAnywhere = make(map[lockKey]bool)
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != u.body.Pos() {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			for _, key := range deferReleases(u.pkg.Info, ds) {
+				ua.deferAnywhere[key] = true
+			}
+		}
+		return true
+	})
+	if !u.lit {
+		ua.slots = make(map[types.Object]int)
+		n := 0
+		addFields := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if obj := u.pkg.Info.Defs[name]; obj != nil {
+						ua.slots[obj] = n
+					}
+					n++
+				}
+				if len(f.Names) == 0 {
+					n++
+				}
+			}
+		}
+		addFields(u.recv)
+		addFields(u.ftyp.Params)
+	}
+
+	nb := len(ua.cfg.Blocks)
+	inMay := make([]lockState, nb)
+	inMust := make([]lockState, nb)
+	outMay := make([]lockState, nb)
+	outMust := make([]lockState, nb)
+	inMay[0] = lockState{}
+	inMust[0] = lockState{}
+
+	// Fixed point over both analyses together: the transfer function is
+	// shared, only the merge differs (union for may, intersection for
+	// must).
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range ua.cfg.Blocks {
+			i := blk.Index
+			if i != 0 {
+				inMay[i] = mergeMay(blk, outMay)
+				inMust[i] = mergeMust(blk, outMust)
+			}
+			if inMust[i] == nil {
+				continue // unreachable so far
+			}
+			may, must := copyLockState(inMay[i]), copyLockState(inMust[i])
+			ua.scanBlock(blk, may, must, false)
+			if !lockStatesEqual(may, outMay[i]) || outMust[i] == nil || !lockStatesEqual(must, outMust[i]) {
+				outMay[i], outMust[i] = may, must
+				changed = true
+			}
+		}
+	}
+
+	// Reporting sweep: deterministic single pass in block order.
+	for _, blk := range ua.cfg.Blocks {
+		i := blk.Index
+		if inMust[i] == nil {
+			continue // unreachable code reports nothing
+		}
+		ua.scanBlock(blk, copyLockState(inMay[i]), copyLockState(inMust[i]), true)
+	}
+
+	// Exit balance: a lock held on any path into Exit without a
+	// deferred release leaks.
+	if exitMay := mergeMay(ua.cfg.Exit, outMay); exitMay != nil {
+		keys := make([]lockKey, 0, len(exitMay))
+		for k := range exitMay {
+			keys = append(keys, k)
+		}
+		// Deterministic order: by acquisition position.
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				if exitMay[keys[j]].pos < exitMay[keys[i]].pos {
+					keys[i], keys[j] = keys[j], keys[i]
+				}
+			}
+		}
+		for _, k := range keys {
+			acq := exitMay[k]
+			if acq.deferred || ua.deferAnywhere[k] {
+				continue
+			}
+			ua.report(acq.pos, "lock "+k.String()+" acquired here is not released on every path out of the function")
+		}
+	}
+}
+
+func mergeMay(blk *Block, outs []lockState) lockState {
+	var in lockState
+	for _, p := range blk.Preds {
+		o := outs[p.Index]
+		if o == nil {
+			continue
+		}
+		if in == nil {
+			in = copyLockState(o)
+			continue
+		}
+		for k, v := range o {
+			if cur, ok := in[k]; ok {
+				// Keep the earliest acquisition; un-deferred wins so a
+				// leaky path is never forgiven by a deferred twin.
+				v.deferred = v.deferred && cur.deferred
+				if cur.pos < v.pos {
+					v.pos = cur.pos
+				}
+				in[k] = v
+			} else {
+				in[k] = v
+			}
+		}
+	}
+	if in == nil && len(blk.Preds) > 0 {
+		return nil
+	}
+	if in == nil {
+		in = lockState{}
+	}
+	return in
+}
+
+func mergeMust(blk *Block, outs []lockState) lockState {
+	var in lockState
+	seen := false
+	for _, p := range blk.Preds {
+		o := outs[p.Index]
+		if o == nil {
+			continue // unknown predecessor: must-analysis skips it
+		}
+		if !seen {
+			in = copyLockState(o)
+			seen = true
+			continue
+		}
+		for k, v := range in {
+			ov, ok := o[k]
+			if !ok {
+				delete(in, k)
+				continue
+			}
+			if ov.mode != v.mode {
+				// Held in both, in different modes: the shared level is
+				// all that is guaranteed.
+				v.mode = lockShared
+			}
+			v.deferred = v.deferred && ov.deferred
+			if ov.pos < v.pos {
+				v.pos = ov.pos
+			}
+			in[k] = v
+		}
+	}
+	if !seen {
+		return nil
+	}
+	return in
+}
+
+// deferReleases lists the lock keys a defer statement releases: a
+// direct `defer mu.Unlock()` or the top-level releases of a deferred
+// closure.
+func deferReleases(info *types.Info, ds *ast.DeferStmt) []lockKey {
+	var keys []lockKey
+	if key, op, _ := lockCall(info, ds.Call); op == opRelease {
+		keys = append(keys, key)
+		return keys
+	}
+	lit, ok := unparen(ds.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, op, _ := lockCall(info, call); op == opRelease {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// scanBlock applies the block's nodes to the two states in evaluation
+// order; when report is true it also emits findings and records call
+// states and guarded requirements.
+func (ua *lockAnalysis) scanBlock(blk *Block, may, must lockState, report bool) {
+	for _, node := range blk.Nodes {
+		ua.scanNode(node, may, must, report)
+	}
+}
+
+func (ua *lockAnalysis) scanNode(node ast.Node, may, must lockState, report bool) {
+	info := ua.unit.pkg.Info
+
+	// Write targets of this node: the expressions written *through*.
+	writes := make(map[ast.Expr]bool)
+	noteWrites := func(lhs ast.Expr) {
+		writes[unparen(lhs)] = true
+		for _, pre := range prefixChain(lhs) {
+			writes[pre] = true
+		}
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			noteWrites(lhs)
+		}
+	case *ast.IncDecStmt:
+		noteWrites(n.X)
+	}
+
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.GoStmt:
+			return false // runs concurrently; its literal is a unit
+		case *ast.DeferStmt:
+			for _, key := range deferReleases(info, n) {
+				if acq, ok := may[key]; ok {
+					acq.deferred = true
+					may[key] = acq
+				}
+				if acq, ok := must[key]; ok {
+					acq.deferred = true
+					must[key] = acq
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				writes[unparen(n.X)] = true
+				for _, pre := range prefixChain(n.X) {
+					writes[pre] = true
+				}
+			}
+		case *ast.CallExpr:
+			if key, op, mode := lockCall(info, n); op != opNone {
+				ua.applyLockOp(n, key, op, mode, may, must, report)
+				return false // don't treat mu.Lock() as a guarded access of mu
+			}
+			if report {
+				ua.callStates[n] = copyLockState(must)
+			}
+		case *ast.SelectorExpr:
+			if report {
+				ua.checkGuarded(n, writes[n], must)
+			}
+		case *ast.Ident:
+			if report {
+				ua.checkGuardedVar(n, writes[n], must)
+			}
+		}
+		return true
+	})
+}
+
+func (ua *lockAnalysis) applyLockOp(call *ast.CallExpr, key lockKey, op lockOp, mode lockMode, may, must lockState, report bool) {
+	switch op {
+	case opAcquire:
+		if acq, held := must[key]; held && report {
+			_ = acq
+			ua.report(call.Pos(), "lock "+key.String()+" acquired while already held (self-deadlock)")
+		}
+		acq := lockAcq{mode: mode, pos: call.Pos()}
+		may[key] = acq
+		must[key] = acq
+	case opRelease:
+		if _, held := may[key]; !held {
+			if report {
+				ua.report(call.Pos(), "lock "+key.String()+" released but cannot be held on this path")
+			}
+		} else if acq, held := must[key]; held && acq.mode != mode && report {
+			ua.report(call.Pos(), "lock "+key.String()+" released in the wrong mode (Lock pairs with Unlock, RLock with RUnlock)")
+		}
+		delete(may, key)
+		delete(must, key)
+	}
+}
+
+// checkGuarded handles field accesses x.f where f carries a
+// //guarded-by: annotation.
+func (ua *lockAnalysis) checkGuarded(sel *ast.SelectorExpr, isWrite bool, must lockState) {
+	info := ua.unit.pkg.Info
+	var obj types.Object
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		obj = s.Obj()
+	} else if o, ok := info.Uses[sel.Sel]; ok {
+		obj = o
+	}
+	if obj == nil {
+		return
+	}
+	gi, guarded := ua.guards[obj]
+	if !guarded || !gi.isField {
+		return
+	}
+	base, ok := lockPath(info, sel.X)
+	if !ok {
+		return // unexpressible path: out of scope by design
+	}
+	key := lockKey{root: base.root, path: joinLockPath(base.path, gi.lockName)}
+	ua.requireHeld(key, obj.Name(), sel.Pos(), isWrite, must, base)
+}
+
+// checkGuardedVar handles bare uses of guarded package-level vars.
+func (ua *lockAnalysis) checkGuardedVar(id *ast.Ident, isWrite bool, must lockState) {
+	obj := ua.unit.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	gi, guarded := ua.guards[obj]
+	if !guarded || gi.isField || gi.lockObj == nil {
+		return
+	}
+	key := lockKey{root: gi.lockObj}
+	ua.requireHeld(key, obj.Name(), id.Pos(), isWrite, must, lockKey{root: obj})
+}
+
+// requireHeld reports or defers (to the call-site pass) a guarded
+// access without the needed lock.
+func (ua *lockAnalysis) requireHeld(key lockKey, fieldName string, pos token.Pos, isWrite bool, must lockState, base lockKey) {
+	if acq, held := must[key]; held {
+		if isWrite && acq.mode != lockExcl {
+			ua.report(pos, "write to "+fieldName+" (guarded by "+key.String()+") requires the exclusive lock, but only the read lock is held")
+		}
+		return
+	}
+	// Not held here. A receiver/parameter-rooted (or package-level)
+	// access may be justified by every caller holding the lock.
+	if slot, ok := ua.slots[key.root]; ok && ua.unit.fn != nil && !ua.unit.lit {
+		ua.addReq(guardReq{
+			fn:        ua.unit.fn,
+			pkg:       ua.unit.pkg,
+			pos:       pos,
+			fieldName: fieldName,
+			isWrite:   isWrite,
+			slot:      slot,
+			path:      key.path,
+			lockDesc:  key.String(),
+		})
+		return
+	}
+	if key.root != nil && isPackageLevel(key.root) && ua.unit.fn != nil && !ua.unit.lit {
+		ua.addReq(guardReq{
+			fn:        ua.unit.fn,
+			pkg:       ua.unit.pkg,
+			pos:       pos,
+			fieldName: fieldName,
+			isWrite:   isWrite,
+			slot:      -1,
+			globalKey: key,
+			lockDesc:  key.String(),
+		})
+		return
+	}
+	verb := "read"
+	if isWrite {
+		verb = "written"
+	}
+	ua.report(pos, "field "+fieldName+" (guarded by "+key.String()+") "+verb+" without the lock held")
+}
+
+// newLockcheckCheck builds the lockcheck analyzer.
+func newLockcheckCheck() *Check {
+	return &Check{
+		Name: "lockcheck",
+		Doc:  "mutexes are released on every path, //guarded-by: fields are accessed under their lock, and no lock-bearing struct is copied by value",
+		Run: func(pass *Pass) {
+			lw := pass.Prog.lockWorld()
+			for _, f := range lw.findings[pass.Pkg] {
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		},
+	}
+}

@@ -24,6 +24,12 @@ type Program struct {
 
 	frozenOnce sync.Once
 	frozen     *frozenWorld
+
+	confineOnce sync.Once
+	confine     *confineWorld
+
+	lockOnce sync.Once
+	lock     *lockWorld
 }
 
 // NewProgram wraps the loaded packages. pkgs should be LoadDir output
@@ -57,6 +63,20 @@ func (prog *Program) unitWorld() *unitWorld {
 func (prog *Program) frozenWorld() *frozenWorld {
 	prog.frozenOnce.Do(func() { prog.frozen = buildFrozenWorld(prog) })
 	return prog.frozen
+}
+
+// confineWorld returns the goroutine-confinement state, building it on
+// first use.
+func (prog *Program) confineWorld() *confineWorld {
+	prog.confineOnce.Do(func() { prog.confine = buildConfineWorld(prog) })
+	return prog.confine
+}
+
+// lockWorld returns the lock-discipline state, building it on first
+// use.
+func (prog *Program) lockWorld() *lockWorld {
+	prog.lockOnce.Do(func() { prog.lock = buildLockWorld(prog) })
+	return prog.lock
 }
 
 // pathHasSuffix reports whether the import path ends in suffix at a

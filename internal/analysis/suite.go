@@ -6,12 +6,14 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 )
 
 // Suite returns the project's full analyzer suite: the per-package
 // checks (determinism, obsnilsafe, floatcmp, errchecklite), the
-// dataflow checks (unitcheck, planfreeze, budgetflow), plus the
+// dataflow checks (unitcheck, planfreeze, budgetflow), the
+// concurrency-safety checks (confine, lockcheck, goleak), plus the
 // suppress audit (which knows the other checks' names so it can flag
 // typos in directives).
 func Suite() []*Check {
@@ -23,6 +25,9 @@ func Suite() []*Check {
 		newUnitCheck(),
 		newPlanfreezeCheck(),
 		newBudgetflowCheck(),
+		newConfineCheck(),
+		newLockcheckCheck(),
+		newGoleakCheck(),
 	}
 	names := make([]string, len(checks))
 	for i, c := range checks {
@@ -44,7 +49,12 @@ func SelectChecks(checks []*Check, names []string) ([]*Check, error) {
 	for _, n := range names {
 		c, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown check %q", n)
+			known := make([]string, len(checks))
+			for i, kc := range checks {
+				known[i] = kc.Name
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("analysis: unknown check %q (known: %s)", n, strings.Join(known, ", "))
 		}
 		out = append(out, c)
 	}

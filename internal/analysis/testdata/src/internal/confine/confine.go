@@ -1,0 +1,76 @@
+// Package confine exercises the goroutine-confinement analysis:
+// Planner is declared single-goroutine, and the fixture walks it
+// through every escape shape plus the sanctioned hand-offs.
+package confine
+
+// Planner is the fixture twin of the stateful warm-start planners: its
+// caches are only coherent on the goroutine that built them.
+//
+//confine:goroutine
+type Planner struct {
+	cache []int
+}
+
+// New builds a planner owned by the calling goroutine.
+func New() *Planner { return &Planner{} }
+
+// Plan reads and mutates the warm cache.
+func (p *Planner) Plan(budget int) int {
+	p.cache = append(p.cache, budget)
+	return len(p.cache)
+}
+
+// shared is the package-level escape hatch the check must flag.
+var shared *Planner
+
+// Publish stores a planner where any goroutine can reach it.
+func Publish(p *Planner) {
+	shared = p // want confine "stored in package-level variable shared"
+}
+
+// Indirect leaks through a helper: the call graph propagates Publish's
+// leak mask to this call site.
+func Indirect(p *Planner) {
+	Publish(p) // want confine "call to Publish leaks confined confine.Planner"
+}
+
+// Handoff sends the planner to a worker over a channel.
+func Handoff(p *Planner, ch chan *Planner) {
+	ch <- p // want confine "sent on a channel"
+}
+
+// Spawn captures the planner in a goroutine closure. The done receive
+// keeps goleak quiet; the capture is still an escape.
+func Spawn(p *Planner, done chan struct{}) {
+	go func() {
+		_ = p.Plan(1) // want confine "captured by a goroutine"
+		<-done
+	}()
+}
+
+// pool is the sanctioned parking slot.
+var pool *Planner
+
+// Put transfers ownership to the pool; the annotation documents the
+// external happens-before edge, so confine stays quiet here and Put's
+// callers are not poisoned.
+func Put(p *Planner) {
+	//confine:transfer pool hand-off; the caller stops using p and the next Get owner begins after it
+	pool = p
+}
+
+// Recycle proves a transfer-annotated helper is callable: no call-site
+// finding here.
+func Recycle(p *Planner) {
+	Put(p)
+}
+
+// legacy is a publish the team chose to live with for now.
+var legacy *Planner
+
+// KeepLegacy suppresses the finding instead of transferring: the
+// directive must cover a real raw diagnostic.
+func KeepLegacy(p *Planner) {
+	//lint:ignore confine grandfathered single-process publish; removed when the planner pool lands
+	legacy = p
+}

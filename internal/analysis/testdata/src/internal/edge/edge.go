@@ -1,0 +1,49 @@
+// Package edge collects the call-graph and CFG shapes the concurrency
+// checks lean on, all of them clean: method values, defer with a
+// closure over a named result, go on a method expression, and
+// channel-direction conversions.
+package edge
+
+// Runner owns a done channel and blocks until it closes.
+type Runner struct {
+	done chan struct{}
+	n    int
+}
+
+// NewRunner builds a runner.
+func NewRunner() *Runner { return &Runner{done: make(chan struct{})} }
+
+// Run blocks until Stop.
+func (r *Runner) Run() {
+	<-r.done
+	r.n++
+}
+
+// Stop releases Run.
+func (r *Runner) Stop() { close(r.done) }
+
+// Launch starts Run through a method expression and hands back the
+// stopper as a method value.
+func Launch(r *Runner) func() {
+	go (*Runner).Run(r)
+	stop := r.Stop
+	return stop
+}
+
+// Deferred doubles a named result in a deferred closure.
+func Deferred(xs []int) (sum int) {
+	defer func() {
+		sum *= 2
+	}()
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Directions narrows a bidirectional channel both ways.
+func Directions(ch chan int) (chan<- int, <-chan int) {
+	var in chan<- int = ch
+	var out <-chan int = ch
+	return in, out
+}

@@ -1,0 +1,100 @@
+// Package leak exercises the goroutine-leak analysis: fire-and-forget
+// shapes are flagged, every accepted termination signal has a clean
+// twin.
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire starts a goroutine nothing can stop.
+func Fire() {
+	go func() { // want goleak "no termination signal"
+		for {
+		}
+	}()
+}
+
+// spin is a named fire-and-forget target.
+func spin() {
+	for {
+	}
+}
+
+// FireNamed leaks through a named function: the callee's body is
+// resolved and scanned.
+func FireNamed() {
+	go spin() // want goleak "no termination signal"
+}
+
+// Unjoined Adds and Dones but never Waits.
+func Unjoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want goleak "no termination signal"
+			defer wg.Done()
+		}()
+	}
+}
+
+// WithContext is fine: cancellation is visible in the body.
+func WithContext(ctx context.Context, out chan<- int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case out <- 1:
+		}
+	}()
+}
+
+// Joined is fine: the WaitGroup is waited in this function.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Ranged is fine: the worker drains a channel and hands the sum back
+// over a done channel the caller receives from.
+func Ranged(ch chan int) int {
+	res := make(chan int)
+	go func() {
+		s := 0
+		for v := range ch {
+			s += v
+		}
+		res <- s
+	}()
+	return <-res
+}
+
+// ArgWait is fine: the WaitGroup parameter of the named worker maps
+// back to the variable this function waits on.
+func ArgWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go step(&wg)
+	wg.Wait()
+}
+
+func step(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// Grandfathered is a documented long-lived pump a demo binary accepts;
+// the suppression must cover a real raw diagnostic.
+func Grandfathered(ch chan int) {
+	//lint:ignore goleak metronome pump for a demo binary; dies with the process by design
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

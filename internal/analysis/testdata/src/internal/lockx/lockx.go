@@ -1,0 +1,114 @@
+// Package lockx exercises the lock-discipline analysis: release on
+// every path, guarded fields under their lock (directly and through
+// the emitLocked call-site idiom), and lock-bearing copies.
+package lockx
+
+import "sync"
+
+// Table is a guarded counter with a locked-helper split.
+type Table struct {
+	mu sync.RWMutex
+	n  int //guarded-by:mu
+}
+
+// Add locks around the helper: the sanctioned call shape.
+func (t *Table) Add(d int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addLocked(d)
+}
+
+// addLocked touches n without locking; every caller must hold t.mu.
+func (t *Table) addLocked(d int) {
+	t.n += d
+}
+
+// AddUnlocked forgets the lock: flagged at this call site, not inside
+// the helper.
+func (t *Table) AddUnlocked(d int) {
+	t.addLocked(d) // want lockcheck "call to addLocked writes n"
+}
+
+// Peek reads n bare with no caller to blame.
+func (t *Table) Peek() int {
+	return t.n // want lockcheck "no caller holds it"
+}
+
+// Bump takes only the read lock for a write.
+func (t *Table) Bump() {
+	t.mu.RLock()
+	t.n++ // want lockcheck "requires the exclusive lock"
+	t.mu.RUnlock()
+}
+
+// Forget releases on the happy path only; the early return leaks.
+func (t *Table) Forget(d int) {
+	t.mu.Lock() // want lockcheck "not released on every path"
+	if d < 0 {
+		return
+	}
+	t.n += d
+	t.mu.Unlock()
+}
+
+// Stray releases a lock this path never took.
+func (t *Table) Stray() {
+	t.mu.Unlock() // want lockcheck "cannot be held"
+}
+
+// Twice self-deadlocks.
+func (t *Table) Twice() {
+	t.mu.Lock()
+	t.mu.Lock() // want lockcheck "already held"
+	t.n++
+	t.mu.Unlock()
+}
+
+// Scoped releases through a deferred closure: covered on every path,
+// panics included, so nothing fires.
+func (t *Table) Scoped(d int) {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	if d == 0 {
+		return
+	}
+	t.n += d
+}
+
+// handoff acquires for a paired release elsewhere; the suppression
+// documents the contract.
+func (t *Table) handoff() {
+	//lint:ignore lockcheck acquired for the caller; the paired release is the caller's contract
+	t.mu.Lock()
+}
+
+// Box carries a mutex by value.
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Freeze copies Box — and its mutex — into the parameter.
+func Freeze(b Box) int { // want lockcheck "copies lock-bearing sync.Mutex"
+	return b.v
+}
+
+// Package-level twin of the guarded-field discipline.
+var (
+	tabMu sync.Mutex
+	total int //guarded-by:tabMu
+)
+
+// AddTotal takes the package lock properly.
+func AddTotal(d int) {
+	tabMu.Lock()
+	total += d
+	tabMu.Unlock()
+}
+
+// ReadTotal skips the lock entirely.
+func ReadTotal() int {
+	return total // want lockcheck "guarded by tabMu"
+}

@@ -30,6 +30,8 @@ import (
 // moving more than k values across one edge.
 // LPFilter caches its LP across Plan calls (see paramLP) and is
 // therefore not safe for concurrent use; build one per goroutine.
+//
+//confine:goroutine
 type LPFilter struct {
 	cfg   Config
 	param paramLP

@@ -30,6 +30,8 @@ import (
 // solutions coincide.
 // LPNoFilter caches its LP across Plan calls (see paramLP) and is
 // therefore not safe for concurrent use; build one per goroutine.
+//
+//confine:goroutine
 type LPNoFilter struct {
 	cfg   Config
 	param paramLP

@@ -1,0 +1,48 @@
+//go:build prospector_debug
+
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// owner is the dynamic twin of the static confine contract: under the
+// prospector_debug build tag a planner records the goroutine that
+// first touches its LP cache and panics on any call from another one.
+// Release builds compile this to nothing (owner_release.go).
+type owner struct {
+	gid int64
+}
+
+// goroutineID parses the current goroutine's id out of the stack
+// header ("goroutine 17 [running]:"). Slow, which is fine: it only
+// exists under the debug tag.
+func goroutineID() int64 {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	s := strings.TrimPrefix(string(buf), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseInt(s[:i], 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
+}
+
+// assert claims ownership on first use and panics on a cross-goroutine
+// call.
+func (o *owner) assert(what string) {
+	g := goroutineID()
+	if o.gid == 0 {
+		o.gid = g
+		return
+	}
+	if o.gid != g {
+		panic(fmt.Sprintf(
+			"core: %s used from goroutine %d but owned by goroutine %d; planners are //confine:goroutine — build one per goroutine or hand it off explicitly",
+			what, g, o.gid))
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !prospector_debug
+
+package core
+
+// owner is a no-op in release builds; the prospector_debug tag swaps
+// in the asserting version (owner_debug.go) that records the owning
+// goroutine and panics on cross-goroutine planner use.
+type owner struct{}
+
+// assert is free in release builds: no goroutine id, no branch.
+func (o *owner) assert(string) {}

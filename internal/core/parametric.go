@@ -33,6 +33,8 @@ const tieEps = 1e-5
 // any observed mutation rebuilds the program. A paramLP (and therefore
 // any planner holding one) is not safe for concurrent use; experiment
 // trials each build their own planners.
+//
+//confine:goroutine
 type paramLP struct {
 	model *lp.Model
 	// budgetRow is the retained index of the cost row, or -1 when the
@@ -47,11 +49,15 @@ type paramLP struct {
 	gen   uint64
 	built bool
 	empty bool // no candidates: Plan short-circuits without a model
+	// own enforces the //confine:goroutine contract dynamically under
+	// the prospector_debug build tag; zero-cost otherwise.
+	own owner
 }
 
 // fresh reports whether the cached program still describes cfg's
 // sample window.
 func (c *paramLP) fresh(cfg Config) bool {
+	c.own.assert("parametric planner")
 	return c.built && c.gen == cfg.Samples.Gen()
 }
 
@@ -87,6 +93,7 @@ func (c *paramLP) installEmpty(cfg Config) {
 // path on the same mutated model, which also re-arms the next call to
 // start a fresh chain.
 func (c *paramLP) solve(cfg Config, budget float64) (*lp.Solution, error) {
+	c.own.assert("parametric planner")
 	if c.budgetRow >= 0 {
 		if err := c.model.SetRHS(c.budgetRow, budget-c.fixed); err != nil {
 			return nil, err

@@ -8,6 +8,8 @@ import "math"
 // (SetRHS, SetObjCoef, SetVarBound) preserve it, AddVar/AddConstr
 // invalidate it (a stale Basis silently degrades to a cold solve, it
 // never corrupts a result).
+//
+//confine:goroutine
 type Basis struct {
 	model         *Model
 	structVersion uint64

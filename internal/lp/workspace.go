@@ -16,6 +16,8 @@ package lp
 // same model — even after in-place RHS/objective/bound mutations —
 // skips canonicalization entirely, while any structural edit or a
 // different model triggers a rebuild.
+//
+//confine:goroutine
 type Workspace struct {
 	s solver
 	f factor

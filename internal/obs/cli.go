@@ -25,6 +25,7 @@ type CLI struct {
 	cpuFile     *os.File
 	pprofDir    string
 	stopServe   func() error
+	stopPprof   func() error
 }
 
 // StartCLI interprets the three standard observability flags:
@@ -35,9 +36,9 @@ type CLI struct {
 //	         value names a file receiving them as the run progresses.
 //	pprofArg: "" disables; a value containing ":" (e.g. ":6060" or
 //	         "localhost:6060") serves net/http/pprof at that address
-//	         for the lifetime of the process; any other value names a
-//	         directory receiving cpu.prof (covering the run) and
-//	         heap.prof (written at Close).
+//	         until Close; any other value names a directory receiving
+//	         cpu.prof (covering the run) and heap.prof (written at
+//	         Close).
 //
 // Callers must Close the returned CLI (typically deferred) to flush
 // metrics and profiles.
@@ -71,10 +72,14 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 	}
 	if pprofArg != "" {
 		if strings.Contains(pprofArg, ":") {
+			// A stoppable server rather than http.ListenAndServe: the
+			// goroutine ends when Close shuts the endpoint down with the
+			// rest of the CLI.
+			srv := &http.Server{Addr: pprofArg}
+			c.stopPprof = srv.Close
 			go func() {
-				// The server runs until the process exits; an unusable
-				// address only costs the profiling endpoint.
-				_ = http.ListenAndServe(pprofArg, nil)
+				// An unusable address only costs the profiling endpoint.
+				_ = srv.ListenAndServe()
 			}()
 		} else {
 			if err := os.MkdirAll(pprofArg, 0o755); err != nil {
@@ -165,6 +170,10 @@ func (c *CLI) Close() error {
 	if c.stopServe != nil {
 		keep(c.stopServe())
 		c.stopServe = nil
+	}
+	if c.stopPprof != nil {
+		keep(c.stopPprof())
+		c.stopPprof = nil
 	}
 	if c.traceFile != nil {
 		keep(c.traceFile.Close())

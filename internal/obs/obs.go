@@ -23,9 +23,9 @@ import (
 // its lookup methods return nil handles whose updates are no-ops.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   //guarded-by:mu
+	gauges   map[string]*Gauge     //guarded-by:mu
+	hists    map[string]*Histogram //guarded-by:mu
 }
 
 // NewRegistry returns an empty registry.

@@ -26,7 +26,10 @@ package obs
 type SpanID int64
 
 // Span is an in-progress traced interval. Create one with
-// Tracer.StartSpan or Span.Child; finish it with End.
+// Tracer.StartSpan or Span.Child; finish it with End. A Span handle is
+// a single-goroutine object (the tracer behind it is what's shared).
+//
+//confine:goroutine
 type Span struct {
 	t      *Tracer
 	id     SpanID

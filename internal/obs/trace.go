@@ -19,11 +19,11 @@ import (
 // mutex, so seq numbers are strictly increasing across goroutines.
 type Tracer struct {
 	mu  sync.Mutex
-	w   io.Writer
-	bw  *bufio.Writer // non-nil iff NewBufferedTracer; w aliases it
-	seq int64
-	err error
-	buf []byte
+	w   io.Writer     //guarded-by:mu
+	bw  *bufio.Writer //guarded-by:mu — non-nil iff NewBufferedTracer; w aliases it
+	seq int64         //guarded-by:mu
+	err error         //guarded-by:mu
+	buf []byte        //guarded-by:mu
 }
 
 // NewTracer wraps a writer. The caller owns closing/flushing the

@@ -5,6 +5,7 @@
 package prospector
 
 import (
+	"strings"
 	"testing"
 
 	"prospector/internal/analysis"
@@ -97,5 +98,64 @@ func BenchmarkLintRepo(b *testing.B) {
 				analysis.RunWorkers(pkgs, analysis.Suite(), bm.workers)
 			}
 		})
+	}
+}
+
+// benchmarkOneCheck times a single check end to end over the
+// pre-loaded repository. Each iteration goes through RunWorkers with a
+// fresh Program, so the cost includes rebuilding the check's
+// interprocedural world (call graph included) — the price one
+// incremental lint run actually pays.
+func benchmarkOneCheck(b *testing.B, name string) {
+	pkgs, err := analysis.LoadDir(".")
+	if err != nil {
+		b.Fatalf("loading repository: %v", err)
+	}
+	checks, err := analysis.SelectChecks(analysis.Suite(), []string{name})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.RunWorkers(pkgs, checks, 0)
+	}
+}
+
+// BenchmarkConfine measures the goroutine-confinement analysis:
+// directive scan, escape-site walk, and the leak-mask fixpoint.
+func BenchmarkConfine(b *testing.B) { benchmarkOneCheck(b, "confine") }
+
+// BenchmarkLockcheck measures the lock-discipline analysis: the
+// per-function may/must dataflows plus the guarded-by call-site pass.
+func BenchmarkLockcheck(b *testing.B) { benchmarkOneCheck(b, "lockcheck") }
+
+// TestConcurrencyChecksRerunDeterministic pins byte determinism of the
+// three concurrency checks specifically: two independent runs (fresh
+// interprocedural worlds each time) at different worker counts must
+// render the identical diagnostic stream.
+func TestConcurrencyChecksRerunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole repository; skipped with -short")
+	}
+	pkgs, err := analysis.LoadDir(".")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	checks, err := analysis.SelectChecks(analysis.Suite(), []string{"confine", "lockcheck", "goleak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		var buf strings.Builder
+		if err := analysis.WriteText(&buf, analysis.RunWorkers(pkgs, checks, workers)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render(1)
+	for run, workers := range []int{8, 1, 0} {
+		if got := render(workers); got != first {
+			t.Errorf("re-run %d (workers=%d) diverged:\n--- first\n%s\n--- got\n%s", run, workers, first, got)
+		}
 	}
 }
