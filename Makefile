@@ -2,7 +2,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race bench lint
+.PHONY: check fmt vet build test race bench lint alloc
 
 check: fmt vet build race lint
 
@@ -27,11 +27,16 @@ race:
 
 # Project analyzer suite (internal/analysis): determinism, obsnilsafe,
 # floatcmp, errchecklite, unitcheck, planfreeze, budgetflow, confine,
-# lockcheck, goleak, suppress. `go run ./cmd/lint -list` describes
-# each; also enforced by lint_test.go inside `go test ./...`.
+# lockcheck, goleak, alloccheck, suppress. `go run ./cmd/lint -list`
+# describes each; also enforced by lint_test.go inside `go test ./...`.
 lint:
 	go run ./cmd/lint
 
+# Runtime half of the //alloc:none contracts: every AllocsPerRun test
+# pairing a static zero-alloc claim with measured behavior.
+alloc:
+	go test -run 'AllocFree|ZeroAlloc' -count=1 -v ./internal/obs/ ./internal/lp/ ./internal/sim/ ./internal/exec/ ./internal/core/
+
 bench:
 	go test -run xxx -bench 'ObsOverhead|SolveObs|ObsRegistry|SpanEmit|LabeledHandles|Manifest' -benchtime 0.3s ./internal/exec/ ./internal/lp/ ./internal/obs/ ./internal/ledger/
-	go test -run xxx -bench 'BenchmarkConfine|BenchmarkLockcheck' -benchtime 0.3s .
+	go test -run xxx -bench 'BenchmarkConfine|BenchmarkLockcheck|BenchmarkAlloccheck' -benchtime 0.3s .

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	lint [-C dir] [-checks determinism,floatcmp,...] [-json] [-list]
-//	     [-baseline findings.json] [-write-baseline findings.json]
+//	     [-timing] [-baseline findings.json] [-write-baseline findings.json]
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
 // loading or usage error. Findings can be silenced in source with
@@ -14,11 +14,18 @@
 // adopted incrementally: -write-baseline captures the current findings
 // (and exits 0), -baseline reports and fails only on findings beyond
 // the recorded set.
+//
+// -timing prints each check's accumulated wall time to stderr, slowest
+// first, so a check that regresses the suite's latency is visible
+// without a profiler. Lazily built shared state (call graph, the
+// interprocedural worlds) is attributed to whichever check touches it
+// first.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -27,13 +34,22 @@ import (
 )
 
 func main() {
-	root := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
-	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
-	list := flag.Bool("list", false, "list the available checks and exit")
-	baselinePath := flag.String("baseline", "", "tolerate the findings recorded in this JSON file; fail only on new ones")
-	writeBaseline := flag.String("write-baseline", "", "record the current findings to this JSON file and exit 0")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	timing := fs.Bool("timing", false, "print per-check wall time to stderr, slowest first")
+	baselinePath := fs.String("baseline", "", "tolerate the findings recorded in this JSON file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings to this JSON file and exit 0")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	suite := analysis.Suite()
 	if *list {
@@ -42,13 +58,13 @@ func main() {
 		sorted := append([]*analysis.Check(nil), suite...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 		for _, c := range sorted {
-			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
 		}
-		return
+		return 0
 	}
 	if *baselinePath != "" && *writeBaseline != "" {
-		fmt.Fprintln(os.Stderr, "lint: -baseline and -write-baseline are mutually exclusive")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "lint: -baseline and -write-baseline are mutually exclusive")
+		return 2
 	}
 	var names []string
 	if *checksFlag != "" {
@@ -56,58 +72,64 @@ func main() {
 	}
 	checks, err := analysis.SelectChecks(suite, names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	pkgs, err := analysis.LoadDir(*root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	diags := analysis.Run(pkgs, checks)
+	diags, timings := analysis.RunWorkersTimed(pkgs, checks, 0)
+	if *timing {
+		for _, ct := range timings {
+			fmt.Fprintf(stderr, "lint: timing %-14s %12v\n", ct.Name, ct.Elapsed)
+		}
+	}
 
 	if *writeBaseline != "" {
 		f, err := os.Create(*writeBaseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		err = analysis.WriteBaseline(f, analysis.NewBaseline(*root, diags))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Printf("lint: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
-		return
+		fmt.Fprintf(stdout, "lint: recorded %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
 	}
 	if *baselinePath != "" {
 		f, err := os.Open(*baselinePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		base, err := analysis.ReadBaseline(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		diags = base.Filter(*root, diags)
 	}
 
 	if *jsonOut {
-		err = analysis.WriteJSON(os.Stdout, diags)
+		err = analysis.WriteJSON(stdout, diags)
 	} else {
-		err = analysis.WriteText(os.Stdout, diags)
+		err = analysis.WriteText(stdout, diags)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

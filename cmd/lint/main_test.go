@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTinyModule lays down a one-file module with nothing to report.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tiny\n\ngo 1.22\n")
+	write("tiny.go", `package tiny
+
+// Add returns a+b.
+func Add(a, b int) int { return a + b }
+`)
+	return dir
+}
+
+// TestTimingFlag pins the -timing contract: one "lint: timing" line
+// per selected check on stderr, stdout untouched, exit status still
+// driven by the findings alone.
+func TestTimingFlag(t *testing.T) {
+	dir := writeTinyModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-timing", "-checks", "floatcmp,determinism"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %q", stdout.String())
+	}
+	var timingLines int
+	for _, line := range strings.Split(strings.TrimRight(stderr.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "lint: timing ") {
+			t.Errorf("unexpected stderr line %q", line)
+			continue
+		}
+		timingLines++
+	}
+	if timingLines != 2 {
+		t.Errorf("got %d timing lines, want 2 (one per selected check); stderr: %s", timingLines, stderr.String())
+	}
+	for _, name := range []string{"floatcmp", "determinism"} {
+		if !strings.Contains(stderr.String(), "lint: timing "+name) {
+			t.Errorf("no timing line for %s; stderr: %s", name, stderr.String())
+		}
+	}
+
+	// Without the flag the same run keeps stderr silent.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-checks", "floatcmp,determinism"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run without -timing = %d, want 0", code)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("run without -timing wrote to stderr: %q", stderr.String())
+	}
+}
+
+// TestExitCodes pins the CLI contract run() inherited from main:
+// 0 clean, 2 on usage errors.
+func TestExitCodes(t *testing.T) {
+	dir := writeTinyModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-checks", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown check: run = %d, want 2", code)
+	}
+	if code := run([]string{"-bogusflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: run = %d, want 2", code)
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-list: run = %d, want 0", code)
+	} else if !strings.Contains(stdout.String(), "alloccheck") {
+		t.Errorf("-list output lacks alloccheck:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,1029 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// alloccheck: static allocation discipline for hot paths. PR 5 made
+// the warm-started parametric re-solve 0 B/op, but that invariant
+// lived only in two benchmarks; this check makes it a compile-gated
+// contract. A function opts in with
+//
+//	//alloc:none
+//
+// in its doc comment, and the check verifies — transitively, over the
+// module call graph — that no path out of it reaches an allocation
+// site. Sites are classified per function body:
+//
+//   - composite literals and new/make that escape, under a
+//     conservative intra-procedural approximation (returned, stored
+//     through a pointer/map/global, bound to a local that escapes,
+//     captured by a closure, sent on a channel, boxed into an
+//     interface);
+//   - append whose destination is not a caller-provided slice (the
+//     destination, after stripping slice expressions, must be a plain
+//     parameter identifier — anything rooted in a field or local may
+//     grow a heap array);
+//   - map assignment, string concatenation, and string<->[]byte/[]rune
+//     conversions;
+//   - closure creation that captures variables, method values, and
+//     variadic calls that pack arguments into a fresh slice;
+//   - interface boxing: a non-pointer-shaped concrete value passed to
+//     an interface{}/any parameter, assigned to an interface, or
+//     returned as one (fmt-style calls hit packing + boxing + the
+//     external-call rule at once);
+//   - go statements, calls to external functions outside a small
+//     allowlist of known allocation-free stdlib surface, and dynamic
+//     calls through function values or interfaces.
+//
+// A site that allocates only on growth or first use is blessed in
+// place:
+//
+//	//alloc:amortized <reason>
+//
+// on or directly above the site (grow-on-demand scratch, eta-arena
+// refactorization, one-time handle creation). A reason-less amortized
+// directive, an unknown //alloc: directive, and an //alloc:none that
+// is not a function doc comment are all findings.
+//
+// Violations inside the annotated function are reported at the site;
+// violations reached through calls are reported at the annotated
+// function, naming the call path and the first offending site, so the
+// contract's owner sees the break without chasing the callee chain.
+//
+// Accepted limitations, on purpose (see DESIGN.md §9): the escape
+// approximation is flow-insensitive and not field-sensitive, argument
+// passing to a non-interface parameter is not treated as an escape
+// (the callee's own sites are checked instead), panic paths and defer
+// records are not charged, and reflection or assembly behind an
+// allowlisted call is invisible.
+
+const (
+	allocNoneDirective      = "//alloc:none"
+	allocAmortizedDirective = "//alloc:amortized"
+	allocDirectivePrefix    = "//alloc:"
+)
+
+// allocSite is one classified allocation in a function body.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// allocWorld is the shared interprocedural state: the annotated
+// functions, the lazily classified per-function sites, and the
+// precomputed findings.
+type allocWorld struct {
+	findings map[*Package][]worldFinding
+}
+
+// buildAllocWorld runs directive hygiene, classifies allocation sites
+// in every function reachable from an //alloc:none annotation, and
+// records the findings.
+func buildAllocWorld(prog *Program) *allocWorld {
+	aw := &allocWorld{findings: make(map[*Package][]worldFinding)}
+	cg := prog.CallGraph()
+
+	// Amortized blessings, per package: file -> line -> true.
+	blessedOf := make(map[*Package]map[string]map[int]bool, len(prog.Pkgs))
+	for _, pkg := range prog.Pkgs {
+		blessed := make(map[string]map[int]bool)
+		for _, f := range pkg.Files {
+			for _, cgrp := range f.Comments {
+				for _, c := range cgrp.List {
+					rest, ok := cutDirective(c.Text, allocAmortizedDirective)
+					if !ok {
+						continue
+					}
+					if rest == "" {
+						aw.findings[pkg] = append(aw.findings[pkg], worldFinding{
+							pos: c.Pos(),
+							msg: "alloc:amortized directive needs a reason: \"//alloc:amortized <reason>\"",
+						})
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					byLine := blessed[p.Filename]
+					if byLine == nil {
+						byLine = make(map[int]bool)
+						blessed[p.Filename] = byLine
+					}
+					byLine[p.Line] = true
+				}
+			}
+		}
+		blessedOf[pkg] = blessed
+	}
+	isBlessed := func(pkg *Package, pos token.Pos) bool {
+		p := pkg.Fset.Position(pos)
+		byLine := blessedOf[pkg][p.Filename]
+		return byLine != nil && (byLine[p.Line] || byLine[p.Line-1])
+	}
+
+	// Annotated functions, in package/file/declaration order, plus the
+	// set of //alloc:none comments legitimately placed in a func doc.
+	type annotated struct {
+		fn  *types.Func
+		fd  *ast.FuncDecl
+		pkg *Package
+	}
+	var roots []annotated
+	consumed := make(map[token.Pos]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					if _, ok := cutDirective(c.Text, allocNoneDirective); ok {
+						consumed[c.Pos()] = true
+						marked = true
+					}
+				}
+				if !marked {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil || fd.Body == nil {
+					aw.findings[pkg] = append(aw.findings[pkg], worldFinding{
+						pos: fd.Pos(),
+						msg: "//alloc:none on a function without a body cannot be verified",
+					})
+					continue
+				}
+				roots = append(roots, annotated{fn: fn, fd: fd, pkg: pkg})
+			}
+		}
+	}
+
+	// Directive hygiene: misplaced //alloc:none and unknown //alloc:
+	// spellings are findings, like confine's reason-less transfers.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cgrp := range f.Comments {
+				for _, c := range cgrp.List {
+					if _, ok := cutDirective(c.Text, allocNoneDirective); ok {
+						if !consumed[c.Pos()] {
+							aw.findings[pkg] = append(aw.findings[pkg], worldFinding{
+								pos: c.Pos(),
+								msg: "//alloc:none must be in a function declaration's doc comment",
+							})
+						}
+						continue
+					}
+					if _, ok := cutDirective(c.Text, allocAmortizedDirective); ok {
+						continue
+					}
+					if strings.HasPrefix(c.Text, allocDirectivePrefix) {
+						aw.findings[pkg] = append(aw.findings[pkg], worldFinding{
+							pos: c.Pos(),
+							msg: fmt.Sprintf("unknown alloc directive %q; known: //alloc:none, //alloc:amortized <reason>", c.Text),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Sites are classified lazily: only functions reachable from an
+	// annotation pay the walk.
+	siteCache := make(map[*types.Func][]allocSite)
+	sitesOf := func(fn *types.Func) []allocSite {
+		if s, ok := siteCache[fn]; ok {
+			return s
+		}
+		fd := cg.Decl(fn)
+		pkg := cg.DeclPkg(fn)
+		var s []allocSite
+		if fd != nil && pkg != nil && fd.Body != nil {
+			s = classifyAllocSites(prog, cg, pkg, fd, fn, func(pos token.Pos) bool { return isBlessed(pkg, pos) })
+		}
+		siteCache[fn] = s
+		return s
+	}
+
+	// Reachability from each annotated root: direct sites report at
+	// the site, sites in callees report at the root with the call
+	// path. BFS over the static call graph keeps paths shortest and
+	// the traversal order deterministic (byCaller preserves Sites
+	// order).
+	for _, root := range roots {
+		for _, site := range sitesOf(root.fn) {
+			aw.findings[root.pkg] = append(aw.findings[root.pkg], worldFinding{
+				pos: site.pos,
+				msg: fmt.Sprintf("%s in //alloc:none function %s", site.desc, funcPathName(root.fn)),
+			})
+		}
+		visited := map[*types.Func]bool{root.fn: true}
+		prev := make(map[*types.Func]*types.Func)
+		queue := []*types.Func{root.fn}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			for _, i := range cg.byCaller[fn] {
+				// A blessed call site is an amortized boundary: the callee
+				// allocates only on the cold/first-use path the reason
+				// documents, so the traversal does not follow the edge.
+				if st := cg.Sites[i]; st.Call != nil && isBlessed(st.Pkg, st.Call.Pos()) {
+					continue
+				}
+				callee := cg.Sites[i].Callee
+				if visited[callee] || cg.Decl(callee) == nil {
+					continue
+				}
+				visited[callee] = true
+				prev[callee] = fn
+				queue = append(queue, callee)
+				sites := sitesOf(callee)
+				if len(sites) == 0 {
+					continue
+				}
+				path := funcPathName(callee)
+				for at := fn; at != nil; at = prev[at] {
+					path = funcPathName(at) + " -> " + path
+				}
+				first := sites[0]
+				where := cg.DeclPkg(callee).Fset.Position(first.pos)
+				extra := ""
+				if len(sites) > 1 {
+					extra = fmt.Sprintf(" (+%d more)", len(sites)-1)
+				}
+				aw.findings[root.pkg] = append(aw.findings[root.pkg], worldFinding{
+					pos: root.fd.Name.Pos(),
+					msg: fmt.Sprintf("//alloc:none function %s: call path %s reaches allocation: %s (%s)%s",
+						funcPathName(root.fn), path, first.desc, where, extra),
+				})
+			}
+		}
+	}
+	return aw
+}
+
+// funcPathName renders fn for call-path reporting: Type.Method for
+// methods, the bare name otherwise.
+func funcPathName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// allocResolveAllow reports whether a call to the external function fn
+// is trusted not to allocate: the sync/atomic/math kernel the hot
+// paths lean on, slices (its sort is allocation-free), sort's binary
+// searches, strconv's append-style formatters (they grow the caller's
+// buffer, which the append rule already polices at the call site),
+// and time.Now/Since plus Duration arithmetic.
+func allocResolveAllow(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false // universe scope: error.Error and friends stay findings
+	}
+	switch pkg.Path() {
+	case "sync", "sync/atomic", "math", "math/bits", "math/rand", "slices":
+		return true
+	case "sort":
+		switch fn.Name() {
+		case "Search", "SearchInts", "SearchFloat64s", "SearchStrings":
+			return true
+		}
+	case "strconv":
+		return strings.HasPrefix(fn.Name(), "Append")
+	case "time":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if n, ok := t.(*types.Named); ok && n.Obj().Name() == "Duration" {
+				return true
+			}
+			return false
+		}
+		return fn.Name() == "Now" || fn.Name() == "Since"
+	}
+	return false
+}
+
+// allocScan carries one function's classification walk.
+type allocScan struct {
+	prog    *Program
+	cg      *CallGraph
+	pkg     *Package
+	fd      *ast.FuncDecl
+	fn      *types.Func
+	blessed func(token.Pos) bool
+
+	parents  map[ast.Node]ast.Node
+	params   map[types.Object]bool
+	escaping map[types.Object]bool
+	sites    []allocSite
+}
+
+// classifyAllocSites walks one function body and returns its
+// unblessed allocation sites in source order.
+func classifyAllocSites(prog *Program, cg *CallGraph, pkg *Package, fd *ast.FuncDecl, fn *types.Func, blessed func(token.Pos) bool) []allocSite {
+	as := &allocScan{
+		prog: prog, cg: cg, pkg: pkg, fd: fd, fn: fn, blessed: blessed,
+		parents:  make(map[ast.Node]ast.Node),
+		params:   make(map[types.Object]bool),
+		escaping: make(map[types.Object]bool),
+	}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			as.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					as.params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	as.markEscapingLocals()
+	as.scanSites()
+	return as.sites
+}
+
+func (as *allocScan) add(pos token.Pos, desc string) {
+	if as.blessed(pos) {
+		return
+	}
+	as.sites = append(as.sites, allocSite{pos: pos, desc: desc})
+}
+
+// parentOf returns n's parent, skipping parentheses.
+func (as *allocScan) parentOf(n ast.Node) ast.Node {
+	p := as.parents[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		p = as.parents[pe]
+	}
+}
+
+func (as *allocScan) objOf(id *ast.Ident) types.Object {
+	if obj := as.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return as.pkg.Info.Defs[id]
+}
+
+// isLocal reports whether obj is declared inside the scanned function
+// (parameters and receivers included).
+func (as *allocScan) isLocal(obj types.Object) bool {
+	if obj == nil || isPackageLevel(obj) {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() >= as.fd.Pos() && obj.Pos() < as.fd.End()
+}
+
+// markEscapingLocals is the flow-insensitive escape pre-pass: a local
+// is escaping when it is returned, sent on a channel, stored to heap,
+// boxed into an interface, captured by a closure, or has its address
+// taken outside a direct call argument.
+func (as *allocScan) markEscapingLocals() {
+	info := as.pkg.Info
+	mark := func(e ast.Expr) {
+		if root := rootIdent(e); root != nil {
+			if obj := as.objOf(root); as.isLocal(obj) {
+				as.escaping[obj] = true
+			}
+		}
+	}
+	ast.Inspect(as.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if _, heap := as.lhsHeapStore(lhs); heap {
+					mark(n.Rhs[i])
+					continue
+				}
+				if t := info.TypeOf(lhs); t != nil && types.IsInterface(t) {
+					mark(n.Rhs[i])
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				break
+			}
+			// &x handed straight to a call stays local by the
+			// argument-passing rule; any other &x may outlive the frame.
+			if p, ok := as.parentOf(n).(*ast.CallExpr); ok && argOfCall(p, n) {
+				break
+			}
+			mark(n.X)
+		case *ast.FuncLit:
+			for obj := range as.capturedVars(n) {
+				as.escaping[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// argOfCall reports whether e is one of call's arguments (not its Fun).
+func argOfCall(call *ast.CallExpr, e ast.Expr) bool {
+	for _, a := range call.Args {
+		if a == e || unparen(a) == e {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedVars returns the local variables lit closes over.
+func (as *allocScan) capturedVars(lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := as.pkg.Info.Uses[id]
+		if obj == nil || !as.isLocal(obj) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // the literal's own locals and parameters
+		}
+		out[obj] = true
+		return true
+	})
+	return out
+}
+
+// lhsHeapStore classifies an assignment target: true when a store
+// through it makes the value reachable beyond the frame (global,
+// pointer deref, map or slice element, field behind a pointer).
+func (as *allocScan) lhsHeapStore(lhs ast.Expr) (string, bool) {
+	info := as.pkg.Info
+	e := unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := as.objOf(x)
+			if obj == nil || x.Name == "_" {
+				return "", false
+			}
+			if isPackageLevel(obj) {
+				return "stored in package-level variable " + x.Name, true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return "stored through a pointer", true
+				}
+			}
+			e = unparen(x.X)
+		case *ast.IndexExpr:
+			t := info.TypeOf(x.X)
+			if t == nil {
+				return "", false
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				return "stored into a map", true
+			case *types.Slice, *types.Pointer:
+				return "stored into a heap-backed element", true
+			}
+			e = unparen(x.X) // array value: keep walking to the root
+		case *ast.StarExpr:
+			return "stored through a pointer", true
+		default:
+			return "", false
+		}
+	}
+}
+
+// pointerShaped reports whether a value of type t fits an interface's
+// data word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// boxes reports whether passing a value of type t where iface is
+// expected allocates: iface must be an interface, t a concrete
+// non-pointer-shaped type.
+func boxes(iface, t types.Type) bool {
+	if iface == nil || t == nil || !types.IsInterface(iface) {
+		return false
+	}
+	if types.IsInterface(t) || pointerShaped(t) {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// enclosingSig returns the signature of the innermost function
+// enclosing n (a literal or the scanned declaration).
+func (as *allocScan) enclosingSig(n ast.Node) *types.Signature {
+	for at := as.parents[n]; at != nil; at = as.parents[at] {
+		switch f := at.(type) {
+		case *ast.FuncLit:
+			if sig, ok := as.pkg.Info.TypeOf(f).(*types.Signature); ok {
+				return sig
+			}
+			return nil
+		case *ast.FuncDecl:
+			sig, _ := as.fn.Type().(*types.Signature)
+			return sig
+		}
+	}
+	sig, _ := as.fn.Type().(*types.Signature)
+	return sig
+}
+
+// scanSites is the classification pass proper.
+func (as *allocScan) scanSites() {
+	info := as.pkg.Info
+	ast.Inspect(as.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			as.scanCompositeLit(n)
+		case *ast.CallExpr:
+			as.scanCall(n)
+		case *ast.GoStmt:
+			as.add(n.Pos(), "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			as.scanFuncLit(n)
+		case *ast.BinaryExpr:
+			as.scanConcat(n)
+		case *ast.AssignStmt:
+			as.scanAssign(n)
+		case *ast.IncDecStmt:
+			if ix, ok := unparen(n.X).(*ast.IndexExpr); ok {
+				if t := info.TypeOf(ix.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						as.add(n.Pos(), "map assignment may allocate")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			as.scanValueSpec(n)
+		case *ast.ReturnStmt:
+			as.scanReturn(n)
+		case *ast.SelectorExpr:
+			as.scanMethodValue(n)
+		}
+		return true
+	})
+}
+
+// allocExprContext climbs from an allocation expression (composite
+// literal, new, make) to its consuming context and reports whether the
+// allocation escapes the frame under the conservative approximation.
+func (as *allocScan) allocExprContext(e ast.Expr) (string, bool) {
+	info := as.pkg.Info
+	cur := ast.Node(e)
+	for {
+		p := as.parentOf(cur)
+		switch p := p.(type) {
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				cur = p
+				continue
+			}
+			return "", false
+		case *ast.ReturnStmt:
+			if sig := as.enclosingSig(p); sig != nil && len(p.Results) == sig.Results().Len() {
+				for i, res := range p.Results {
+					if (res == cur || unparen(res) == cur) && types.IsInterface(sig.Results().At(i).Type()) {
+						return "boxed into an interface", true
+					}
+				}
+			}
+			return "returned", true
+		case *ast.SendStmt:
+			if p.Value == cur || unparen(p.Value) == cur {
+				return "sent on a channel", true
+			}
+			return "", false
+		case *ast.AssignStmt:
+			if len(p.Lhs) != len(p.Rhs) {
+				return "assigned in a multi-value context", true
+			}
+			for i, rhs := range p.Rhs {
+				if rhs != cur && unparen(rhs) != cur {
+					continue
+				}
+				lhs := unparen(p.Lhs[i])
+				if t := info.TypeOf(lhs); t != nil && types.IsInterface(t) {
+					return "boxed into an interface", true
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						return "", false
+					}
+					obj := as.objOf(id)
+					if as.isLocal(obj) {
+						if as.escaping[obj] {
+							return "bound to " + id.Name + ", which escapes", true
+						}
+						return "", false
+					}
+					if obj != nil && isPackageLevel(obj) {
+						return "stored in package-level variable " + id.Name, true
+					}
+					return "", false
+				}
+				if how, heap := as.lhsHeapStore(lhs); heap {
+					return how, true
+				}
+				return "", false
+			}
+			return "", false
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if (v != cur && unparen(v) != cur) || i >= len(p.Names) {
+					continue
+				}
+				obj := info.Defs[p.Names[i]]
+				if t := info.TypeOf(p.Names[i]); t != nil && types.IsInterface(t) {
+					return "boxed into an interface", true
+				}
+				if as.isLocal(obj) && as.escaping[obj] {
+					return "bound to " + p.Names[i].Name + ", which escapes", true
+				}
+			}
+			return "", false
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			// Element of an outer literal: the outer site speaks.
+			return "", false
+		case *ast.CallExpr:
+			// Argument passing is not an escape by itself; boxing into
+			// an interface parameter is flagged by the call scan.
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+func (as *allocScan) scanCompositeLit(cl *ast.CompositeLit) {
+	// Nested literals ride on the outermost one's classification.
+	switch as.parentOf(cl).(type) {
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return
+	}
+	how, esc := as.allocExprContext(cl)
+	if !esc {
+		return
+	}
+	// A struct or array literal is a plain value: copies move it
+	// between frames without touching the heap. It only allocates
+	// through its backing store (slice, map), its address (&T{}, the
+	// UnaryExpr climb folds that into the escape context), or boxing.
+	if p, ok := as.parentOf(cl).(*ast.UnaryExpr); !ok || p.Op != token.AND {
+		if t := as.pkg.Info.TypeOf(cl); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+			default:
+				if !strings.Contains(how, "boxed") {
+					return
+				}
+			}
+		}
+	}
+	as.add(cl.Pos(), "composite literal escapes ("+how+")")
+}
+
+func (as *allocScan) scanFuncLit(lit *ast.FuncLit) {
+	if p, ok := as.parentOf(lit).(*ast.CallExpr); ok && unparen(p.Fun) == ast.Expr(lit) {
+		return // immediately invoked: no closure object survives
+	}
+	if len(as.capturedVars(lit)) > 0 {
+		as.add(lit.Pos(), "closure captures variables and allocates")
+	}
+}
+
+func (as *allocScan) scanConcat(b *ast.BinaryExpr) {
+	info := as.pkg.Info
+	if b.Op != token.ADD {
+		return
+	}
+	t := info.TypeOf(b)
+	if t == nil {
+		return
+	}
+	if bt, ok := t.Underlying().(*types.Basic); !ok || bt.Info()&types.IsString == 0 {
+		return
+	}
+	if tv, ok := info.Types[b]; ok && tv.Value != nil {
+		return // constant-folded
+	}
+	// Report only the outermost + of a concatenation chain.
+	if p, ok := as.parentOf(b).(*ast.BinaryExpr); ok && p.Op == token.ADD {
+		if pt := info.TypeOf(p); pt != nil {
+			if bt, ok := pt.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+				return
+			}
+		}
+	}
+	as.add(b.Pos(), "string concatenation allocates")
+}
+
+func (as *allocScan) scanAssign(a *ast.AssignStmt) {
+	info := as.pkg.Info
+	for _, lhs := range a.Lhs {
+		if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+			if t := info.TypeOf(ix.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					as.add(lhs.Pos(), "map assignment may allocate")
+				}
+			}
+		}
+	}
+	if a.Tok == token.ADD_ASSIGN {
+		if t := info.TypeOf(a.Lhs[0]); t != nil {
+			if bt, ok := t.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+				as.add(a.Pos(), "string concatenation allocates")
+			}
+		}
+	}
+	// Boxing on plain assignment; allocation expressions already
+	// report through their own escape context.
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		rhs := unparen(a.Rhs[i])
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr:
+			continue
+		}
+		if boxes(info.TypeOf(lhs), info.TypeOf(rhs)) {
+			as.add(a.Rhs[i].Pos(), "value boxed into an interface")
+		}
+	}
+}
+
+func (as *allocScan) scanValueSpec(vs *ast.ValueSpec) {
+	info := as.pkg.Info
+	for i, v := range vs.Values {
+		if i >= len(vs.Names) {
+			break
+		}
+		rhs := unparen(v)
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr:
+			continue
+		}
+		if boxes(info.TypeOf(vs.Names[i]), info.TypeOf(rhs)) {
+			as.add(v.Pos(), "value boxed into an interface")
+		}
+	}
+}
+
+func (as *allocScan) scanReturn(r *ast.ReturnStmt) {
+	info := as.pkg.Info
+	sig := as.enclosingSig(r)
+	if sig == nil || len(r.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range r.Results {
+		rhs := unparen(res)
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr:
+			continue // their own sites speak
+		}
+		if tv, ok := info.Types[res]; ok && tv.IsNil() {
+			continue
+		}
+		if boxes(sig.Results().At(i).Type(), info.TypeOf(res)) {
+			as.add(res.Pos(), "return value boxed into an interface")
+		}
+	}
+}
+
+func (as *allocScan) scanMethodValue(sel *ast.SelectorExpr) {
+	s, ok := as.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	if p, ok := as.parentOf(sel).(*ast.CallExpr); ok && unparen(p.Fun) == ast.Expr(sel) {
+		return // ordinary method call
+	}
+	as.add(sel.Pos(), "method value allocates a bound-method closure")
+}
+
+// scanCall handles builtins (append, make, new), conversions, variadic
+// packing, interface boxing of arguments, and the external/dynamic
+// call rules.
+func (as *allocScan) scanCall(call *ast.CallExpr) {
+	info := as.pkg.Info
+	fun := unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				as.scanAppend(call)
+			case "make":
+				if how, esc := as.allocExprContext(call); esc {
+					as.add(call.Pos(), "make escapes ("+how+")")
+				}
+			case "new":
+				if how, esc := as.allocExprContext(call); esc {
+					as.add(call.Pos(), "new escapes ("+how+")")
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// Qualified builtin is impossible, but unsafe.* selectors land
+		// here; they never allocate.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "unsafe" {
+				return
+			}
+		}
+	}
+
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		as.scanConversion(call, tv.Type)
+		return
+	}
+
+	sig, _ := info.TypeOf(fun).(*types.Signature)
+	callee := staticCallee(info, call)
+
+	// Variadic packing.
+	if sig != nil && sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		as.add(call.Pos(), "variadic call packs arguments into a new slice")
+	}
+
+	// Interface boxing at the call boundary.
+	if sig != nil {
+		fixed := sig.Params().Len()
+		if sig.Variadic() {
+			fixed--
+		}
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case i < fixed:
+				pt = sig.Params().At(i).Type()
+			case sig.Variadic() && call.Ellipsis == token.NoPos:
+				if sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			case sig.Variadic():
+				pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			}
+			if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+				continue
+			}
+			if boxes(pt, info.TypeOf(arg)) {
+				as.add(arg.Pos(), "argument boxed into an interface parameter")
+			}
+		}
+	}
+
+	// Callee classification: module functions become call-graph edges;
+	// externals must be allowlisted; dynamic calls are opaque.
+	if callee != nil {
+		if as.cg.Decl(callee) != nil {
+			return // followed interprocedurally
+		}
+		if allocResolveAllow(callee) {
+			return
+		}
+		name := callee.Name()
+		if callee.Pkg() != nil {
+			name = callee.Pkg().Name() + "." + name
+		}
+		as.add(call.Pos(), "call to "+name+" (external, not allocation-free)")
+		return
+	}
+	if sig != nil {
+		as.add(call.Pos(), "dynamic call through a function value or interface may allocate")
+	}
+}
+
+// scanAppend applies the caller-provided-slice rule: append is clean
+// only when its destination, after stripping slice expressions, is a
+// plain parameter identifier — the caller owns the capacity. Anything
+// else may grow a heap array.
+func (as *allocScan) scanAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	e := unparen(call.Args[0])
+	for {
+		se, ok := e.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		e = unparen(se.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := as.objOf(id); obj != nil && as.params[obj] {
+			return
+		}
+	}
+	as.add(call.Pos(), "append may grow its backing array")
+}
+
+func (as *allocScan) scanConversion(call *ast.CallExpr, target types.Type) {
+	info := as.pkg.Info
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	src := info.TypeOf(arg)
+	if src == nil {
+		return
+	}
+	if tv, ok := info.Types[call]; ok && tv.Value != nil {
+		return // constant conversion
+	}
+	if types.IsInterface(target) {
+		if boxes(target, src) {
+			as.add(call.Pos(), "conversion boxes value into an interface")
+		}
+		return
+	}
+	tb, tIsBasic := target.Underlying().(*types.Basic)
+	sb, sIsBasic := src.Underlying().(*types.Basic)
+	if tIsBasic && tb.Info()&types.IsString != 0 {
+		if !sIsBasic || sb.Info()&types.IsString == 0 {
+			as.add(call.Pos(), "conversion to string allocates")
+		}
+		return
+	}
+	if sl, ok := target.Underlying().(*types.Slice); ok && sIsBasic && sb.Info()&types.IsString != 0 {
+		if eb, ok := sl.Elem().Underlying().(*types.Basic); ok {
+			switch eb.Kind() {
+			case types.Byte, types.Rune:
+				as.add(call.Pos(), "string-to-slice conversion allocates")
+			}
+		}
+	}
+}
+
+// newAllocCheck builds the alloccheck analyzer.
+func newAllocCheck() *Check {
+	return &Check{
+		Name: "alloccheck",
+		Doc:  "functions marked //alloc:none never reach an allocation site, transitively; //alloc:amortized <reason> blesses grow-on-demand sites",
+		Run: func(pass *Pass) {
+			aw := pass.Prog.allocWorld()
+			for _, f := range aw.findings[pass.Pkg] {
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		},
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocBareAmortizedDirective pins the one hygiene finding the
+// golden fixtures cannot host: a reason-less //alloc:amortized. Any
+// trailing text on the directive line parses as its reason, so a want
+// comment cannot share the line the way it does for the other
+// directive findings. The bare directive must both be reported and
+// fail to bless the site below it.
+func TestAllocBareAmortizedDirective(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module bare\n\ngo 1.22\n")
+	write("bare.go", `package bare
+
+// Buf is reusable scratch.
+type Buf struct{ b []byte }
+
+// Ensure grows the scratch to hold n bytes.
+//
+//alloc:none
+func (x *Buf) Ensure(n int) {
+	if cap(x.b) < n {
+		//alloc:amortized
+		x.b = make([]byte, 0, n)
+	}
+}
+`)
+	pkgs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading bare-directive module: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	check := newAllocCheck()
+	prog := NewProgram(pkgs)
+	var diags []Diagnostic
+	pass := &Pass{Check: check, Pkg: pkgs[0], Prog: prog, report: func(d Diagnostic) { diags = append(diags, d) }}
+	check.Run(pass)
+
+	var sawBare, sawSite bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			sawBare = true
+		}
+		if strings.Contains(d.Message, "make escapes") {
+			sawSite = true
+		}
+	}
+	if !sawBare {
+		t.Errorf("reason-less //alloc:amortized was not reported: %v", diags)
+	}
+	if !sawSite {
+		t.Errorf("bare directive blessed the make site anyway: %v", diags)
+	}
+}

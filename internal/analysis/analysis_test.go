@@ -93,7 +93,7 @@ func TestFixturesGolden(t *testing.T) {
 	pkgs := fixtures(t)
 	wants := collectWants(t)
 	for _, name := range []string{"determinism", "obsnilsafe", "floatcmp", "errchecklite",
-		"unitcheck", "planfreeze", "budgetflow", "confine", "lockcheck", "goleak"} {
+		"unitcheck", "planfreeze", "budgetflow", "confine", "lockcheck", "goleak", "alloccheck"} {
 		present := false
 		for k := range wants {
 			if k.check == name {

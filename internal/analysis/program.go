@@ -30,6 +30,9 @@ type Program struct {
 
 	lockOnce sync.Once
 	lock     *lockWorld
+
+	allocOnce sync.Once
+	alloc     *allocWorld
 }
 
 // NewProgram wraps the loaded packages. pkgs should be LoadDir output
@@ -77,6 +80,13 @@ func (prog *Program) confineWorld() *confineWorld {
 func (prog *Program) lockWorld() *lockWorld {
 	prog.lockOnce.Do(func() { prog.lock = buildLockWorld(prog) })
 	return prog.lock
+}
+
+// allocWorld returns the allocation-discipline state, building it on
+// first use.
+func (prog *Program) allocWorld() *allocWorld {
+	prog.allocOnce.Do(func() { prog.alloc = buildAllocWorld(prog) })
+	return prog.alloc
 }
 
 // pathHasSuffix reports whether the import path ends in suffix at a

@@ -8,14 +8,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Suite returns the project's full analyzer suite: the per-package
 // checks (determinism, obsnilsafe, floatcmp, errchecklite), the
 // dataflow checks (unitcheck, planfreeze, budgetflow), the
-// concurrency-safety checks (confine, lockcheck, goleak), plus the
-// suppress audit (which knows the other checks' names so it can flag
-// typos in directives).
+// concurrency-safety checks (confine, lockcheck, goleak), the
+// allocation-discipline check (alloccheck), plus the suppress audit
+// (which knows the other checks' names so it can flag typos in
+// directives).
 func Suite() []*Check {
 	checks := []*Check{
 		newDeterminismCheck(),
@@ -28,6 +30,7 @@ func Suite() []*Check {
 		newConfineCheck(),
 		newLockcheckCheck(),
 		newGoleakCheck(),
+		newAllocCheck(),
 	}
 	names := make([]string, len(checks))
 	for i, c := range checks {
@@ -68,6 +71,13 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	return RunWorkers(pkgs, checks, 0)
 }
 
+// CheckTiming is one check's accumulated wall time across every
+// (package, check) task, as reported by RunWorkersTimed.
+type CheckTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunWorkers is Run with an explicit worker count (0 means NumCPU).
 // Every (package, check) pair is one task; each task collects into its
 // own slice and the slices merge in task order before the final sort,
@@ -75,6 +85,17 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 // interprocedural state lives in one Program whose lazy builders are
 // sync.Once-guarded.
 func RunWorkers(pkgs []*Package, checks []*Check, workers int) []Diagnostic {
+	diags, _ := RunWorkersTimed(pkgs, checks, workers)
+	return diags
+}
+
+// RunWorkersTimed is RunWorkers plus per-check timing: each check's
+// entry sums the wall time of its tasks across all packages, sorted
+// slowest first (ties by name). Because the Program's interprocedural
+// state (call graph, alloc/confine worlds) is built lazily under
+// sync.Once, its construction cost lands on whichever check touches it
+// first — timings are a profile, not an isolated benchmark.
+func RunWorkersTimed(pkgs []*Package, checks []*Check, workers int) ([]Diagnostic, []CheckTiming) {
 	prog := NewProgram(pkgs)
 	type task struct {
 		pkg   *Package
@@ -99,6 +120,7 @@ func RunWorkers(pkgs []*Package, checks []*Check, workers int) []Diagnostic {
 		workers = 1
 	}
 	results := make([][]Diagnostic, len(tasks))
+	elapsed := make([]time.Duration, len(tasks))
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -117,7 +139,9 @@ func RunWorkers(pkgs []*Package, checks []*Check, workers int) []Diagnostic {
 						}
 					},
 				}
+				start := time.Now()
 				t.check.Run(pass)
+				elapsed[i] = time.Since(start)
 			}
 		}()
 	}
@@ -143,7 +167,26 @@ func RunWorkers(pkgs []*Package, checks []*Check, workers int) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
+	// Every selected check appears in the profile, even one whose
+	// Applies filter matched no package (it shows 0s).
+	perCheck := make(map[string]time.Duration, len(checks))
+	for _, c := range checks {
+		perCheck[c.Name] = 0
+	}
+	for i, t := range tasks {
+		perCheck[t.check.Name] += elapsed[i]
+	}
+	timings := make([]CheckTiming, 0, len(perCheck))
+	for name, d := range perCheck {
+		timings = append(timings, CheckTiming{Name: name, Elapsed: d})
+	}
+	sort.Slice(timings, func(i, j int) bool {
+		if timings[i].Elapsed != timings[j].Elapsed {
+			return timings[i].Elapsed > timings[j].Elapsed
+		}
+		return timings[i].Name < timings[j].Name
+	})
+	return diags, timings
 }
 
 // WriteText prints one "file:line:col: [check] message" line per

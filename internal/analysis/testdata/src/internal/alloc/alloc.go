@@ -1,0 +1,130 @@
+// Package alloc exercises the allocation-discipline analysis: a hot
+// accumulator annotated //alloc:none is walked through the clean
+// shapes (stack composite literal, caller-provided append), the
+// violation classes (method value, variadic packing, deep call-path
+// allocations), a blessed grow-on-demand site, and directive hygiene.
+package alloc
+
+// Ring is a fixed-capacity accumulator reused across epochs.
+type Ring struct {
+	buf []int
+	sum int
+}
+
+// point is a tiny value type; constructing one on the stack is free.
+type point struct{ x, y int }
+
+// Observe is the clean fast path: a non-escaping composite literal
+// and arithmetic only.
+//
+//alloc:none
+func (r *Ring) Observe(v int) {
+	p := point{x: v, y: -v}
+	r.sum += p.x + p.y + v
+}
+
+// Fill appends into the caller-provided slice: the caller owns the
+// capacity, so the append is clean under the parameter-rooted rule.
+//
+//alloc:none
+func Fill(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// sink records a callback for later.
+var sink func()
+
+// Reset clears the accumulator.
+func (r *Ring) Reset() { r.sum = 0 }
+
+// Arm leaks a bound method: materializing a method value allocates
+// the closure that binds the receiver.
+//
+//alloc:none
+func (r *Ring) Arm() {
+	sink = r.Reset // want alloccheck "method value allocates"
+}
+
+// total sums its variadic arguments; the callee itself is clean.
+func total(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// Tally packs its three arguments into a fresh slice at the call.
+//
+//alloc:none
+func (r *Ring) Tally(a, b, c int) {
+	r.sum += total(a, b, c) // want alloccheck "variadic call packs"
+}
+
+// Grow doubles the scratch buffer when the high-water mark rises; the
+// growth is amortized away over an epoch, so the site is blessed.
+//
+//alloc:none
+func (r *Ring) Grow(n int) {
+	if cap(r.buf) < n {
+		//alloc:amortized scratch grows to the high-water mark, then stays
+		r.buf = make([]int, 0, n)
+	}
+	r.buf = r.buf[:n]
+}
+
+// leakyHelper allocates on every call: the map insert and the string
+// key conversion are real per-call costs.
+func leakyHelper(m map[string]int, k []byte) {
+	m[string(k)] = len(k)
+}
+
+// Index is annotated but reaches leakyHelper's allocations; the
+// violation reports here, naming the call path.
+//
+//alloc:none
+func Index(m map[string]int, k []byte) { // want alloccheck "call path Index -> leakyHelper"
+	leakyHelper(m, k)
+}
+
+// rebuild allocates a fresh buffer; callers that only reach it on a
+// cold path bless the call edge instead of the sites inside.
+func (r *Ring) rebuild(n int) {
+	r.buf = make([]int, n)
+}
+
+// Refresh reaches rebuild's allocation only when the capacity is
+// stale: the blessed call edge is an amortized boundary, so the
+// traversal stops there and Refresh verifies clean.
+//
+//alloc:none
+func (r *Ring) Refresh(n int) {
+	if cap(r.buf) < n {
+		//alloc:amortized rebuild runs only when the high-water mark rises
+		r.rebuild(n)
+	}
+	r.buf = r.buf[:n]
+}
+
+// Keep returns a fresh ring from an annotated constructor: the
+// suppression documents the accepted one-time allocation and must
+// cover a real raw finding.
+//
+//alloc:none
+func Keep() *Ring {
+	//lint:ignore alloccheck one-time debug constructor; the pool replaces it
+	r := &Ring{}
+	return r
+}
+
+// Drift demonstrates directive hygiene: unknown spellings and
+// misplaced annotations are findings even outside an annotated
+// closure.
+func Drift() {
+	//alloc:lazy grow lazily // want alloccheck "unknown alloc directive"
+	//alloc:none // want alloccheck "must be in a function declaration's doc comment"
+	_ = point{x: 1}
+}

@@ -92,9 +92,17 @@ func (c *paramLP) installEmpty(cfg Config) {
 // wedged basis) breaks the chain and falls back to the legacy presolve
 // path on the same mutated model, which also re-arms the next call to
 // start a fresh chain.
+//
+// The steady state — an intact chain served warm, no tracing — is the
+// figure sweeps' inner loop and stays off the heap; the blessed call
+// edges below mark where the cold and error paths are allowed to
+// allocate (TestParametricSolveAllocFree pins the runtime truth).
+//
+//alloc:none
 func (c *paramLP) solve(cfg Config, budget float64) (*lp.Solution, error) {
 	c.own.assert("parametric planner")
 	if c.budgetRow >= 0 {
+		//alloc:amortized SetRHS writes one float in place; it allocates only to construct an invalid-row error
 		if err := c.model.SetRHS(c.budgetRow, budget-c.fixed); err != nil {
 			return nil, err
 		}
@@ -103,6 +111,7 @@ func (c *paramLP) solve(cfg Config, budget float64) (*lp.Solution, error) {
 	opts.Workspace = c.ws
 	opts.KeepBasis = true
 	opts.Warm = c.basis
+	//alloc:amortized first solve and broken-chain recovery run cold; warm re-solves reuse the workspace (lp's annotated warm chain, BenchmarkWarmResolveSteadyState)
 	sol, err := c.model.Solve(opts)
 	if err != nil {
 		return nil, err
@@ -112,5 +121,6 @@ func (c *paramLP) solve(cfg Config, budget float64) (*lp.Solution, error) {
 		return sol, nil
 	}
 	c.basis = nil
+	//alloc:amortized chain-break fallback re-solves cold through presolve; it never runs in an intact warm chain
 	return cfg.solveLP(c.model)
 }

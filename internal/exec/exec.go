@@ -9,7 +9,7 @@ package exec
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"prospector/internal/energy"
 	"prospector/internal/network"
@@ -33,9 +33,22 @@ func (a ValueAt) Outranks(b ValueAt) bool {
 	return a.Node < b.Node
 }
 
-// SortDesc sorts values from highest to lowest rank in place.
+// SortDesc sorts values from highest to lowest rank in place. It uses
+// the generic slices.SortFunc rather than sort.Slice: the latter boxes
+// the slice through interface{} and allocates a closure per call, which
+// would put two allocations on every message of the simulator's
+// otherwise allocation-free epoch drain.
 func SortDesc(vs []ValueAt) {
-	sort.Slice(vs, func(i, j int) bool { return vs[i].Outranks(vs[j]) })
+	slices.SortFunc(vs, func(a, b ValueAt) int {
+		switch {
+		case a.Outranks(b):
+			return -1
+		case b.Outranks(a):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // TrueTopK returns the top k readings of a ground-truth assignment.
@@ -114,6 +127,10 @@ func (e Env) instrumented() Env {
 
 // chargeMsg adds the cost of one unicast carrying nValues readings
 // plus extraBytes over the edge above v, applying failure inflation.
+// It runs once per message, so it must stay off the heap even with
+// metrics and tracing enabled.
+//
+//alloc:none
 func (e Env) chargeMsg(led *energy.Ledger, v network.NodeID, nValues, extraBytes int) {
 	m := e.Costs.Model()
 	// Per-edge Msg/Val costs come from the (possibly failure-inflated)
@@ -130,6 +147,8 @@ func (e Env) chargeMsg(led *energy.Ledger, v network.NodeID, nValues, extraBytes
 
 // chargeTrigger debits the broadcast trigger that starts a collection
 // phase.
+//
+//alloc:none
 func (e Env) chargeTrigger(led *energy.Ledger, p *plan.Plan) {
 	led.Trigger += p.TriggerCost(e.Net, e.Costs)
 	e.em.trigger(p)
@@ -168,7 +187,7 @@ func Run(env Env, p *plan.Plan, values []float64) (*Result, error) {
 	}
 	env = env.instrumented()
 	var res *Result
-	env.em.begin(obs.F("plan", p.Kind.String()))
+	env.em.begin(obs.FStr("plan", p.Kind.String()))
 	switch p.Kind {
 	case plan.Selection:
 		res = runSelection(env, p, values)

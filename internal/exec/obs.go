@@ -47,6 +47,10 @@ type execObs struct {
 	parent *obs.Span // caller-supplied enclosing span (Env.Span)
 	span   *obs.Span // current exec.epoch span
 	step   float64   // deterministic trace clock: one tick per message
+
+	// fields is the scratch the per-message emitters assemble records
+	// in, so tracing a message never packs a fresh variadic slice.
+	fields []obs.Field
 }
 
 // newExecObs resolves every handle up front; returns nil when both the
@@ -128,9 +132,9 @@ func (e *execObs) finish(led *energy.Ledger) {
 		return
 	}
 	e.span.End(e.step,
-		obs.F("energy_mj", led.Total()),
-		obs.F("messages", led.Messages),
-		obs.F("values", led.Values))
+		obs.FFloat("energy_mj", led.Total()),
+		obs.FInt("messages", int64(led.Messages)),
+		obs.FInt("values", int64(led.Values)))
 	e.span = nil
 }
 
@@ -165,13 +169,15 @@ func (e *execObs) msg(v network.NodeID, nValues, contentBytes int, cost float64)
 	if e.trace != nil {
 		// "dst" (not "parent"): parented events already use the parent
 		// key for the enclosing span's ID.
-		e.event("exec.msg",
-			obs.F("node", int(v)),
-			obs.F("dst", int(e.net.Parent(v))),
-			obs.F("values", nValues),
-			obs.F("bytes", contentBytes),
-			obs.F("tx_mj", e.model.TxShare(cost)),
-			obs.F("rx_mj", e.model.RxShare(cost)))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		e.fields = append(e.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FInt("dst", int64(e.net.Parent(v))),
+			obs.FInt("values", int64(nValues)),
+			obs.FInt("bytes", int64(contentBytes)),
+			obs.FFloat("tx_mj", e.model.TxShare(cost)),
+			obs.FFloat("rx_mj", e.model.RxShare(cost)))
+		e.event("exec.msg", e.fields...)
 	}
 }
 
@@ -194,7 +200,11 @@ func (e *execObs) trigger(p *plan.Plan) {
 					e.nodeEnergy[v].Add(c)
 				}
 				if e.trace != nil {
-					e.event("exec.trigger", obs.F("node", int(v)), obs.F("energy_mj", c))
+					//alloc:amortized the scratch grows to the widest record once, then is reused per event
+					e.fields = append(e.fields[:0],
+						obs.FInt("node", int64(v)),
+						obs.FFloat("energy_mj", c))
+					e.event("exec.trigger", e.fields...)
 				}
 				break
 			}
@@ -204,7 +214,10 @@ func (e *execObs) trigger(p *plan.Plan) {
 }
 
 // request records one request message (mop-up or naive pull) down the
-// edge above v.
+// edge above v. Like msg it runs once per message and must stay off
+// the heap.
+//
+//alloc:none
 func (e *execObs) request(v network.NodeID, cost float64) {
 	if e == nil {
 		return
@@ -213,6 +226,10 @@ func (e *execObs) request(v network.NodeID, cost float64) {
 	e.requests.Inc()
 	e.requestEnergy.Add(cost)
 	if e.trace != nil {
-		e.event("exec.request", obs.F("node", int(v)), obs.F("energy_mj", cost))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		e.fields = append(e.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FFloat("energy_mj", cost))
+		e.event("exec.request", e.fields...)
 	}
 }

@@ -54,6 +54,7 @@ func (f *factor) resetDiag(m int) {
 func (f *factor) clearEtas() {
 	f.etaRow = f.etaRow[:0]
 	f.etaPiv = f.etaPiv[:0]
+	//alloc:amortized first clear allocates the one-element offset slice; later clears reuse it
 	f.etaOff = append(f.etaOff[:0], 0)
 	f.etaIdx = f.etaIdx[:0]
 	f.etaVal = f.etaVal[:0]
@@ -68,15 +69,20 @@ func (f *factor) numEtas() int { return len(f.etaRow) }
 // appendEta records the pivot (w, leaveRow): the next B^-1 is E·B^-1
 // with E built from spike w. Only the spike's nonzeros are stored.
 func (f *factor) appendEta(w []float64, leaveRow int) {
+	//alloc:amortized eta arenas grow to the between-refactorization high-water mark, then are truncated in place
 	f.etaRow = append(f.etaRow, int32(leaveRow))
+	//alloc:amortized eta arenas grow to the between-refactorization high-water mark, then are truncated in place
 	f.etaPiv = append(f.etaPiv, w[leaveRow])
 	for i, wi := range w {
 		if i == leaveRow || isZero(wi) {
 			continue
 		}
+		//alloc:amortized eta arenas grow to the between-refactorization high-water mark, then are truncated in place
 		f.etaIdx = append(f.etaIdx, int32(i))
+		//alloc:amortized eta arenas grow to the between-refactorization high-water mark, then are truncated in place
 		f.etaVal = append(f.etaVal, wi)
 	}
+	//alloc:amortized eta arenas grow to the between-refactorization high-water mark, then are truncated in place
 	f.etaOff = append(f.etaOff, int32(len(f.etaVal)))
 	f.pivotsSince++
 }
@@ -255,6 +261,7 @@ func growF64(buf []float64, n int) []float64 {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
+	//alloc:amortized buffers grow to the high-water mark and are retained by the workspace
 	return make([]float64, n)
 }
 
@@ -262,6 +269,7 @@ func growInt(buf []int, n int) []int {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
+	//alloc:amortized buffers grow to the high-water mark and are retained by the workspace
 	return make([]int, n)
 }
 
@@ -269,6 +277,7 @@ func growVstat(buf []vstat, n int) []vstat {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
+	//alloc:amortized buffers grow to the high-water mark and are retained by the workspace
 	return make([]vstat, n)
 }
 
@@ -276,5 +285,6 @@ func growInt8(buf []int8, n int) []int8 {
 	if cap(buf) >= n {
 		return buf[:n]
 	}
+	//alloc:amortized buffers grow to the high-water mark and are retained by the workspace
 	return make([]int8, n)
 }

@@ -36,6 +36,24 @@ var solveSecondsBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // ones means the basis chain is not actually being reused.
 var warmPivotsBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// statusCounterName precomputes the lp.status.* counter names so the
+// per-solve metrics path never concatenates strings.
+var statusCounterName = [...]string{
+	Optimal:        "lp.status.optimal",
+	Infeasible:     "lp.status.infeasible",
+	Unbounded:      "lp.status.unbounded",
+	IterationLimit: "lp.status.iteration-limit",
+}
+
+// statusCounter returns the precomputed counter name for st, falling
+// back to a fixed name for out-of-range values.
+func statusCounter(st Status) string {
+	if st >= 0 && int(st) < len(statusCounterName) {
+		return statusCounterName[st]
+	}
+	return "lp.status.invalid"
+}
+
 // recordSolve publishes one solve's statistics; no-op without a
 // registry or tracer. The solve_seconds histogram is only fed when the
 // caller injected a clock (timed): a solver without Options.Now has no
@@ -53,7 +71,7 @@ var warmPivotsBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool, kind solveKind) {
 	if r := opts.Obs; r != nil {
 		r.Counter("lp.solves").Inc()
-		r.Counter("lp.status." + sol.Status.String()).Inc()
+		r.Counter(statusCounter(sol.Status)).Inc()
 		r.Counter("lp.iterations").Add(int64(sol.Iterations))
 		r.Counter("lp.pivots").Add(int64(sol.Pivots))
 		r.Counter("lp.degenerate_pivots").Add(int64(sol.DegeneratePivots))
@@ -85,10 +103,10 @@ func recordSolve(opts Options, sol *Solution, elapsed time.Duration, timed bool,
 	}
 	if opts.Trace != nil || opts.Span != nil {
 		fields := []obs.Field{
-			obs.F("status", sol.Status.String()),
-			obs.F("kind", kind.String()),
-			obs.F("iterations", sol.Iterations),
-			obs.F("pivots", sol.Pivots),
+			obs.FStr("status", sol.Status.String()),
+			obs.FStr("kind", kind.String()),
+			obs.FInt("iterations", int64(sol.Iterations)),
+			obs.FInt("pivots", int64(sol.Pivots)),
 		}
 		if opts.Span != nil {
 			opts.Span.Span("lp.solve", 0, 0, fields...)

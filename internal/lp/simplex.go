@@ -216,6 +216,8 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 }
 
 // run executes phase 1 then phase 2 and returns the final status.
+//
+//alloc:none
 func (s *solver) run() Status {
 	// Initial nonbasic point: every structural/slack column at its
 	// finite bound nearest zero; free columns at zero.

@@ -56,6 +56,8 @@ func (k solveKind) String() string {
 // numerically unusable, or classifies the model as infeasible or
 // unbounded — the cold run is the arbiter for terminal statuses, so a
 // warm chain can never misreport feasibility.
+//
+//alloc:none
 func (s *solver) warmRun(m *Model, b *Basis, ws *Workspace) (Status, solveKind) {
 	if !b.validFor(m) || len(b.basis) != s.m || len(b.stat) != s.nTotal {
 		return s.run(), solveWarmFallback

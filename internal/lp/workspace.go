@@ -52,6 +52,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // prepare sizes the solver shell for m and refreshes the per-solve
 // inputs (costs, bounds, right-hand sides) from the model, reusing the
 // cached column store when the structure is unchanged.
+//
+//alloc:none
 func (ws *Workspace) prepare(m *Model, opts Options) *solver {
 	rows := len(m.rows)
 	opts = opts.withDefaults(rows)
@@ -132,16 +134,19 @@ func (ws *Workspace) buildCols(m *Model, rows int) {
 	if cap(ws.arena) >= need {
 		ws.arena = ws.arena[:need]
 	} else {
+		//alloc:amortized arena grows to the structural high-water mark, then is reused
 		ws.arena = make([]centry, need)
 	}
 	if cap(ws.cols) >= nTotal {
 		ws.cols = ws.cols[:nTotal]
 	} else {
+		//alloc:amortized column headers grow to the structural high-water mark, then are reused
 		ws.cols = make([][]centry, nTotal)
 	}
 	if cap(ws.colLen) >= nStruct {
 		ws.colLen = ws.colLen[:nStruct]
 	} else {
+		//alloc:amortized per-column counts grow to the structural high-water mark, then are reused
 		ws.colLen = make([]int32, nStruct)
 	}
 	for j := range ws.colLen {
@@ -160,6 +165,7 @@ func (ws *Workspace) buildCols(m *Model, rows int) {
 	}
 	for r, rw := range m.rows {
 		for _, t := range rw.terms {
+			//alloc:amortized appends fill the capacity pre-carved from the arena above; they can never grow
 			ws.cols[t.Var] = append(ws.cols[t.Var], centry{row: r, coef: t.Coef})
 		}
 	}
@@ -192,6 +198,8 @@ func (ws *Workspace) buildCols(m *Model, rows int) {
 // takeSolution assembles the solve result into the workspace-owned
 // Solution. X and Duals are filled for Optimal and IterationLimit
 // outcomes and zeroed otherwise.
+//
+//alloc:none
 func (ws *Workspace) takeSolution(m *Model, s *solver, st Status) *Solution {
 	ws.x = growF64(ws.x, s.nStruct)
 	ws.duals = growF64(ws.duals, s.m)
@@ -236,6 +244,8 @@ func (ws *Workspace) takeSolution(m *Model, s *solver, st Status) *Solution {
 
 // captureBasis snapshots the final basis into the workspace-owned
 // Basis for a later warm re-solve.
+//
+//alloc:none
 func (ws *Workspace) captureBasis(m *Model, s *solver) *Basis {
 	b := &ws.basisOut
 	b.model = m
@@ -259,6 +269,8 @@ func (ws *Workspace) captureBasis(m *Model, s *solver) *Basis {
 
 // noteSolved records which solve the factor's state corresponds to, so
 // the next warm solve through this workspace can reuse it.
+//
+//alloc:none
 func (ws *Workspace) noteSolved(m *Model) {
 	ws.lastSeq = ws.seq
 	ws.lastModel = m

@@ -114,6 +114,8 @@ func sanitizeBounds(bounds []float64) []float64 {
 type Counter struct{ v int64 }
 
 // Add increments the counter by d. No-op on a nil counter.
+//
+//alloc:none
 func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
@@ -122,6 +124,8 @@ func (c *Counter) Add(d int64) {
 }
 
 // Inc increments the counter by one. No-op on a nil counter.
+//
+//alloc:none
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil counter).
@@ -136,6 +140,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ bits uint64 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//alloc:none
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -144,6 +150,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add accumulates d into the gauge. No-op on a nil gauge.
+//
+//alloc:none
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -180,6 +188,8 @@ type Histogram struct {
 // dedicated counter (see NaNCount) instead of a bucket: folding it
 // into Sum would poison the total for the rest of the run. No-op on a
 // nil histogram.
+//
+//alloc:none
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

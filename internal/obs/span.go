@@ -53,10 +53,10 @@ func (t *Tracer) StartSpan(parent *Span, name string, start float64, fields ...F
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	id := SpanID(t.seq + 1) // the begin record's seq is the span's ID
-	t.emitLocked("begin", name, []Field{
-		{Key: "id", Val: int64(id)},
-		{Key: "parent", Val: int64(pid)},
-		{Key: "t", Val: start},
+	t.emitLocked("begin", FStr("", name), []Field{
+		FInt("id", int64(id)),
+		FInt("parent", int64(pid)),
+		FFloat("t", start),
 	}, fields)
 	return &Span{t: t, id: id, parent: pid, name: name}
 }
@@ -80,6 +80,8 @@ func (s *Span) Name() string {
 // End closes the span at time end, attaching the final fields (summary
 // totals such as energy_mj or messages belong here). Multiple Ends
 // emit once; a nil span ignores the call.
+//
+//alloc:none
 func (s *Span) End(end float64, fields ...Field) {
 	if s == nil {
 		return
@@ -88,20 +90,22 @@ func (s *Span) End(end float64, fields ...Field) {
 		return
 	}
 	s.ended = true
-	s.t.emit("end", int64(s.id), []Field{
-		{Key: "t", Val: end},
+	s.t.emit("end", FInt("", int64(s.id)), []Field{
+		FFloat("t", end),
 	}, fields)
 }
 
 // Event emits an instantaneous record parented to this span. A nil
 // span ignores the call (matching Tracer.Event on a nil tracer).
+//
+//alloc:none
 func (s *Span) Event(name string, at float64, fields ...Field) {
 	if s == nil {
 		return
 	}
-	s.t.emit("ev", name, []Field{
-		{Key: "parent", Val: int64(s.id)},
-		{Key: "t", Val: at},
+	s.t.emit("ev", FStr("", name), []Field{
+		FInt("parent", int64(s.id)),
+		FFloat("t", at),
 	}, fields)
 }
 
@@ -118,6 +122,8 @@ func (s *Span) Child(name string, start float64, fields ...Field) *Span {
 // [start, end]; its ID is the record's seq. Used for fine-grained
 // leaves (one message transfer) where begin/end pairs would double the
 // trace volume. A nil span ignores the call.
+//
+//alloc:none
 func (s *Span) Span(name string, start, end float64, fields ...Field) {
 	if s == nil {
 		return
@@ -125,10 +131,10 @@ func (s *Span) Span(name string, start, end float64, fields ...Field) {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
 	id := s.t.seq + 1
-	s.t.emitLocked("span", name, []Field{
-		{Key: "id", Val: id},
-		{Key: "parent", Val: int64(s.id)},
-		{Key: "start", Val: start},
-		{Key: "end", Val: end},
+	s.t.emitLocked("span", FStr("", name), []Field{
+		FInt("id", id),
+		FInt("parent", int64(s.id)),
+		FFloat("start", start),
+		FFloat("end", end),
 	}, fields)
 }

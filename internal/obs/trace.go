@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"sync"
 )
@@ -58,29 +59,86 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Field is one key/value pair of a trace record.
+// fieldKind discriminates Field's tagged union.
+type fieldKind uint8
+
+const (
+	fieldInt fieldKind = iota
+	fieldFloat
+	fieldStr
+	fieldBool
+)
+
+// Field is one key/value pair of a trace record. The value is a tagged
+// union converted to its wire shape at construction time, so building
+// and emitting fields never boxes through interface{} and the trace
+// hot path stays allocation-free (enforced by alloccheck).
 type Field struct {
-	Key string
-	Val interface{}
+	Key  string
+	kind fieldKind
+	num  uint64 // fieldInt: the int64 bits; fieldFloat: Float64bits; fieldBool: 0/1
+	str  string
 }
 
-// F builds a Field.
-func F(key string, val interface{}) Field { return Field{Key: key, Val: val} }
+// FInt builds an integer field without boxing.
+func FInt(key string, v int64) Field { return Field{Key: key, kind: fieldInt, num: uint64(v)} }
+
+// FFloat builds a float field without boxing.
+func FFloat(key string, v float64) Field {
+	return Field{Key: key, kind: fieldFloat, num: math.Float64bits(v)}
+}
+
+// FStr builds a string field without boxing.
+func FStr(key, v string) Field { return Field{Key: key, kind: fieldStr, str: v} }
+
+// FBool builds a boolean field without boxing.
+func FBool(key string, v bool) Field {
+	f := Field{Key: key, kind: fieldBool}
+	if v {
+		f.num = 1
+	}
+	return f
+}
+
+// F builds a Field from an arbitrary value, converting to the wire
+// shape here so record assembly never reflects. The interface{}
+// signature boxes its argument; it is the cold convenience
+// constructor — hot paths use FInt/FFloat/FStr/FBool.
+func F(key string, val interface{}) Field {
+	switch v := val.(type) {
+	case int:
+		return FInt(key, int64(v))
+	case int64:
+		return FInt(key, v)
+	case float64:
+		return FFloat(key, v)
+	case bool:
+		return FBool(key, v)
+	case string:
+		return FStr(key, v)
+	default:
+		return FStr(key, fmt.Sprint(v))
+	}
+}
 
 // Event emits one instantaneous record at time at.
+//
+//alloc:none
 func (t *Tracer) Event(name string, at float64, fields ...Field) {
 	if t == nil {
 		return
 	}
-	t.emit("ev", name, []Field{{Key: "t", Val: at}}, fields)
+	t.emit("ev", FStr("", name), []Field{FFloat("t", at)}, fields)
 }
 
 // Span emits one interval record covering [start, end].
+//
+//alloc:none
 func (t *Tracer) Span(name string, start, end float64, fields ...Field) {
 	if t == nil {
 		return
 	}
-	t.emit("span", name, []Field{{Key: "start", Val: start}, {Key: "end", Val: end}}, fields)
+	t.emit("span", FStr("", name), []Field{FFloat("start", start), FFloat("end", end)}, fields)
 }
 
 // Err returns the first write error encountered (nil on a nil tracer).
@@ -93,10 +151,12 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// emit serializes one record. kindVal is the value of the kind key: a
-// name string for ev/span/begin records, a span ID int64 for end
-// records.
-func (t *Tracer) emit(kind string, kindVal interface{}, head, fields []Field) {
+// emit serializes one record. kindVal carries the value of the kind
+// key (its Key is ignored): a name for ev/span/begin records, a span
+// ID for end records.
+//
+//alloc:none
+func (t *Tracer) emit(kind string, kindVal Field, head, fields []Field) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.emitLocked(kind, kindVal, head, fields)
@@ -104,26 +164,31 @@ func (t *Tracer) emit(kind string, kindVal interface{}, head, fields []Field) {
 
 // emitLocked is emit with t.mu already held (StartSpan needs the next
 // seq and the record write to be one atomic step).
-func (t *Tracer) emitLocked(kind string, kindVal interface{}, head, fields []Field) {
+//
+//alloc:none
+func (t *Tracer) emitLocked(kind string, kindVal Field, head, fields []Field) {
 	if t.err != nil {
 		return
 	}
 	t.seq++
-	b := t.buf[:0]
+	t.buf = appendRecord(t.buf[:0], t.seq, kind, kindVal, head, fields)
+	//alloc:amortized sink write: the sink is caller-chosen; NewBufferedTracer amortizes it to a memcpy
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// appendRecord assembles one JSON-lines record into b — the caller's
+// scratch, so growth amortizes to the record-size high-water mark —
+// and returns the extended slice.
+func appendRecord(b []byte, seq int64, kind string, kindVal Field, head, fields []Field) []byte {
 	b = append(b, '{')
 	b = append(b, `"seq":`...)
-	b = strconv.AppendInt(b, t.seq, 10)
+	b = strconv.AppendInt(b, seq, 10)
 	b = append(b, ',', '"')
 	b = append(b, kind...)
 	b = append(b, '"', ':')
-	switch v := kindVal.(type) {
-	case int64:
-		b = strconv.AppendInt(b, v, 10)
-	case string:
-		b = strconv.AppendQuote(b, v)
-	default:
-		b = strconv.AppendQuote(b, fmt.Sprintf("%v", v))
-	}
+	b = appendFieldValue(b, kindVal)
 	for _, f := range head {
 		b = appendField(b, f)
 	}
@@ -131,29 +196,27 @@ func (t *Tracer) emitLocked(kind string, kindVal interface{}, head, fields []Fie
 		b = appendField(b, f)
 	}
 	b = append(b, '}', '\n')
-	t.buf = b
-	if _, err := t.w.Write(b); err != nil {
-		t.err = err
-	}
+	return b
 }
 
+// appendField appends ,"key":value to b.
 func appendField(b []byte, f Field) []byte {
 	b = append(b, ',')
 	b = strconv.AppendQuote(b, f.Key)
 	b = append(b, ':')
-	switch v := f.Val.(type) {
-	case int:
-		b = strconv.AppendInt(b, int64(v), 10)
-	case int64:
-		b = strconv.AppendInt(b, v, 10)
-	case float64:
-		b = strconv.AppendFloat(b, v, 'g', -1, 64)
-	case bool:
-		b = strconv.AppendBool(b, v)
-	case string:
-		b = strconv.AppendQuote(b, v)
+	return appendFieldValue(b, f)
+}
+
+// appendFieldValue appends f's value in its wire shape.
+func appendFieldValue(b []byte, f Field) []byte {
+	switch f.kind {
+	case fieldInt:
+		return strconv.AppendInt(b, int64(f.num), 10)
+	case fieldFloat:
+		return strconv.AppendFloat(b, math.Float64frombits(f.num), 'g', -1, 64)
+	case fieldBool:
+		return strconv.AppendBool(b, f.num != 0)
 	default:
-		b = strconv.AppendQuote(b, fmt.Sprintf("%v", v))
+		return strconv.AppendQuote(b, f.str)
 	}
-	return b
 }

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"prospector/internal/obs"
+	"prospector/internal/plan"
+)
+
+// TestDrainAllocFree pins the runtime half of drain's //alloc:none
+// claim (and seedTriggers'): once newSim has carved the arenas and one
+// epoch has warmed the event heap and the trace scratch, replaying
+// epochs performs zero heap allocations — with metrics and tracing
+// enabled. The medium is lossless so every epoch replays the same
+// event sequence and the warm capacities are exact.
+func TestDrainAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	net := randTree(rng, n)
+	vals := randValues(rng, n)
+	p, err := plan.NewFiltering(net, randBandwidth(rng, net, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(net)
+	cfg.Obs = obs.NewRegistry()
+	cfg.Trace = obs.NewTracer(io.Discard)
+	s := newSim(cfg, p, vals)
+	s.run() // warm: size the event heap, value pools, and trace scratch
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s.reset()
+		s.seedTriggers()
+		s.drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("drain allocated %v times per epoch, want 0", allocs)
+	}
+}
+
+// BenchmarkSimDrain measures the warmed per-epoch event loop; its
+// allocs/op must stay 0 (the CI bench smoke enforces this with
+// -benchmem).
+func BenchmarkSimDrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	net := randTree(rng, n)
+	vals := randValues(rng, n)
+	p, err := plan.NewFiltering(net, randBandwidth(rng, net, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(net)
+	s := newSim(cfg, p, vals)
+	s.run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.reset()
+		s.seedTriggers()
+		s.drain()
+	}
+}

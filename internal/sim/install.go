@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"prospector/internal/network"
@@ -54,8 +53,8 @@ func (in *installer) run() {
 	in.delivered = make([]bool, n)
 	in.delivered[network.Root] = true
 	in.em.begin("sim.install",
-		obs.F("plan", in.plan.Kind.String()),
-		obs.F("nodes", n))
+		obs.FStr("plan", in.plan.Kind.String()),
+		obs.FInt("nodes", int64(n)))
 	// The queue carries evTrySend events whose node is the RECEIVING
 	// child: the parent transmits that child's bundle.
 	for _, c := range in.cfg.Net.Children(network.Root) {
@@ -63,8 +62,8 @@ func (in *installer) run() {
 			in.schedule(0, evTrySend, c)
 		}
 	}
-	for in.queue.Len() > 0 {
-		e := heap.Pop(&in.queue).(event)
+	for !in.queue.empty() {
+		e := in.queue.pop()
 		in.now = e.at
 		switch e.kind {
 		case evTrySend:

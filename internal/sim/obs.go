@@ -50,6 +50,10 @@ type simObs struct {
 	trace  *obs.Tracer
 	parent *obs.Span // caller-supplied enclosing span (Config.Span)
 	span   *obs.Span // current sim.epoch / sim.install span
+
+	// fields is the scratch the per-event emitters assemble records in,
+	// so tracing an event never packs a fresh variadic slice.
+	fields []obs.Field
 }
 
 func newSimObs(r *obs.Registry, tr *obs.Tracer, net *network.Network) *simObs {
@@ -123,18 +127,18 @@ func (o *simObs) delivered(v network.NodeID, nValues, contentBytes int, start, e
 	if o.trace != nil {
 		// "dst" (not "parent"): the record's parent key is taken by the
 		// enclosing span's ID.
-		fields := []obs.Field{
-			obs.F("node", int(v)),
-			obs.F("dst", int(o.net.Parent(v))),
-			obs.F("values", nValues),
-			obs.F("bytes", contentBytes),
-			obs.F("tx_mj", txMJ),
-			obs.F("rx_mj", rxMJ),
-		}
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FInt("dst", int64(o.net.Parent(v))),
+			obs.FInt("values", int64(nValues)),
+			obs.FInt("bytes", int64(contentBytes)),
+			obs.FFloat("tx_mj", txMJ),
+			obs.FFloat("rx_mj", rxMJ))
 		if o.span != nil {
-			o.span.Span("sim.xfer", start, end, fields...)
+			o.span.Span("sim.xfer", start, end, o.fields...)
 		} else {
-			o.trace.Span("sim.xfer", start, end, fields...)
+			o.trace.Span("sim.xfer", start, end, o.fields...)
 		}
 	}
 }
@@ -145,17 +149,17 @@ func (o *simObs) installed(v network.NodeID, bytes int, start, end, txMJ, rxMJ f
 	if o == nil || o.trace == nil {
 		return
 	}
-	fields := []obs.Field{
-		obs.F("node", int(v)),
-		obs.F("dst", int(o.net.Parent(v))),
-		obs.F("bytes", bytes),
-		obs.F("tx_mj", txMJ),
-		obs.F("rx_mj", rxMJ),
-	}
+	//alloc:amortized the scratch grows to the widest record once, then is reused per event
+	o.fields = append(o.fields[:0],
+		obs.FInt("node", int64(v)),
+		obs.FInt("dst", int64(o.net.Parent(v))),
+		obs.FInt("bytes", int64(bytes)),
+		obs.FFloat("tx_mj", txMJ),
+		obs.FFloat("rx_mj", rxMJ))
 	if o.span != nil {
-		o.span.Span("sim.bundle", start, end, fields...)
+		o.span.Span("sim.bundle", start, end, o.fields...)
 	} else {
-		o.trace.Span("sim.bundle", start, end, fields...)
+		o.trace.Span("sim.bundle", start, end, o.fields...)
 	}
 }
 
@@ -165,7 +169,11 @@ func (o *simObs) trigger(v network.NodeID, at, energyMJ float64) {
 	}
 	o.triggers.Inc()
 	if o.trace != nil {
-		o.emitEvent("sim.trigger", at, obs.F("node", int(v)), obs.F("energy_mj", energyMJ))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FFloat("energy_mj", energyMJ))
+		o.emitEvent("sim.trigger", at, o.fields...)
 	}
 }
 
@@ -175,7 +183,11 @@ func (o *simObs) deferred(v network.NodeID, at, until float64) {
 	}
 	o.deferrals.Inc()
 	if o.trace != nil {
-		o.emitEvent("sim.defer", at, obs.F("node", int(v)), obs.F("until", until))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FFloat("until", until))
+		o.emitEvent("sim.defer", at, o.fields...)
 	}
 }
 
@@ -188,11 +200,13 @@ func (o *simObs) loss(v, sender network.NodeID, at float64, attempt int, txMJ fl
 	}
 	o.retrans.Inc()
 	if o.trace != nil {
-		o.emitEvent("sim.loss", at,
-			obs.F("node", int(v)),
-			obs.F("sender", int(sender)),
-			obs.F("attempt", attempt),
-			obs.F("tx_mj", txMJ))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0],
+			obs.FInt("node", int64(v)),
+			obs.FInt("sender", int64(sender)),
+			obs.FInt("attempt", int64(attempt)),
+			obs.FFloat("tx_mj", txMJ))
+		o.emitEvent("sim.loss", at, o.fields...)
 	}
 }
 
@@ -202,7 +216,9 @@ func (o *simObs) drop(v network.NodeID, at float64) {
 	}
 	o.dropped.Inc()
 	if o.trace != nil {
-		o.emitEvent("sim.drop", at, obs.F("node", int(v)))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0], obs.FInt("node", int64(v)))
+		o.emitEvent("sim.drop", at, o.fields...)
 	}
 }
 
@@ -211,7 +227,9 @@ func (o *simObs) deadline(v network.NodeID, at float64) {
 		return
 	}
 	if o.trace != nil {
-		o.emitEvent("sim.deadline", at, obs.F("node", int(v)))
+		//alloc:amortized the scratch grows to the widest record once, then is reused per event
+		o.fields = append(o.fields[:0], obs.FInt("node", int64(v)))
+		o.emitEvent("sim.deadline", at, o.fields...)
 	}
 }
 
@@ -224,9 +242,9 @@ func (o *simObs) finish(latency float64, led *energy.Ledger) {
 	o.latency.Set(latency)
 	if o.span != nil {
 		o.span.End(latency,
-			obs.F("energy_mj", led.Total()),
-			obs.F("messages", led.Messages),
-			obs.F("values", led.Values))
+			obs.FFloat("energy_mj", led.Total()),
+			obs.FInt("messages", int64(led.Messages)),
+			obs.FInt("values", int64(led.Values)))
 		o.span = nil
 	}
 }

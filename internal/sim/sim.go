@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -119,22 +118,57 @@ const (
 	evDeadline                  // node's slot deadline: send what you have
 )
 
-type eventQueue []event
+// eventQueue is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every pushed and popped event through
+// interface{}, putting one heap allocation on every scheduling step of
+// the epoch drain; the typed heap keeps the drain allocation-free.
+type eventQueue struct{ items []event }
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (q *eventQueue) empty() bool { return len(q.items) == 0 }
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
 	}
-	return q[i].seq < q[j].seq
+	return q.items[i].seq < q.items[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	e := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	//alloc:amortized the heap grows to the epoch's outstanding-event high-water mark, then is reused
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items = q.items[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		s := l
+		if r := l + 1; r < n && q.less(r, l) {
+			s = r
+		}
+		if !q.less(s, i) {
+			break
+		}
+		q.items[i], q.items[s] = q.items[s], q.items[i]
+		i = s
+	}
+	return top
 }
 
 // sim is the mutable run state.
@@ -149,13 +183,20 @@ type sim struct {
 	now   float64
 
 	// Per-node protocol state.
-	expected  []int // children still awaited
-	deadline  []float64
-	sent      []bool
-	gaveUp    []bool
-	lists     [][]exec.ValueAt // received/owned values
-	childList map[network.NodeID][]exec.ValueAt
-	childProv map[network.NodeID]int
+	expected []int // children still awaited
+	deadline []float64
+	sent     []bool
+	gaveUp   []bool
+	// lists[v] holds v's received/owned values; the backing storage is
+	// carved from listArena with capacity SubtreeSize(v), so pooling
+	// appends never grow during the drain.
+	lists     [][]exec.ValueAt
+	listArena []exec.ValueAt
+	// childList[v] is v's delivered payload (aliasing lists[v]'s sorted
+	// prefix); childOK[v] marks that the message actually arrived.
+	childList [][]exec.ValueAt
+	childOK   []bool
+	childProv []int
 	attempts  []int
 
 	// Medium state: the time each node's neighborhood frees up.
@@ -221,8 +262,9 @@ func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
 		sent:      make([]bool, n),
 		gaveUp:    make([]bool, n),
 		lists:     make([][]exec.ValueAt, n),
-		childList: make(map[network.NodeID][]exec.ValueAt, n),
-		childProv: make(map[network.NodeID]int, n),
+		childList: make([][]exec.ValueAt, n),
+		childOK:   make([]bool, n),
+		childProv: make([]int, n),
 		attempts:  make([]int, n),
 		busyUntil: make([]float64, n),
 		subHeight: make([]int, n),
@@ -248,6 +290,21 @@ func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
 		}
 		s.subHeight[v] = h
 	})
+	// Pool storage: node v can hold at most its subtree's node count
+	// (its own reading plus every delivered child payload), so carving
+	// that capacity per node from one arena makes pooling appends
+	// growth-free for the whole epoch.
+	total := 0
+	for v := 0; v < n; v++ {
+		total += net.SubtreeSize(network.NodeID(v))
+	}
+	s.listArena = make([]exec.ValueAt, total)
+	off := 0
+	for v := 0; v < n; v++ {
+		sz := net.SubtreeSize(network.NodeID(v))
+		s.lists[v] = s.listArena[off : off : off+sz]
+		off += sz
+	}
 	// Slot: the longest message (subtree-size values) plus margin.
 	if cfg.SlotSeconds > 0 {
 		s.slot = cfg.SlotSeconds
@@ -270,7 +327,7 @@ func newSim(cfg Config, p *plan.Plan, values []float64) *sim {
 
 func (s *sim) schedule(at float64, kind eventKind, node network.NodeID) {
 	s.seq++
-	heap.Push(&s.queue, event{at: at, seq: s.seq, kind: kind, node: node})
+	s.queue.push(event{at: at, seq: s.seq, kind: kind, node: node})
 }
 
 // msgDuration returns the airtime of a message carrying nValues plus
@@ -283,8 +340,8 @@ func (s *sim) msgDuration(nValues, extra int) float64 {
 func (s *sim) run() {
 	net := s.cfg.Net
 	s.em.begin("sim.epoch",
-		obs.F("plan", s.plan.Kind.String()),
-		obs.F("nodes", net.Size()))
+		obs.FStr("plan", s.plan.Kind.String()),
+		obs.FInt("nodes", int64(net.Size())))
 	// Trigger propagation: each internal node with participating
 	// children rebroadcasts; depth d hears it after d trigger-hops.
 	trigDur := s.msgDuration(0, 0) / 2 // broadcasts skip the handshake
@@ -300,14 +357,34 @@ func (s *sim) run() {
 			s.chargeTrigger(v, float64(net.Depth(v))*trigDur)
 		}
 	}
+	s.seedTriggers()
+	s.drain()
+	s.finish()
+}
+
+// seedTriggers queues the trigger arrival of every participating node:
+// depth-d nodes hear the rebroadcast chain after d trigger-hops.
+//
+//alloc:none
+func (s *sim) seedTriggers() {
+	net := s.cfg.Net
+	trigDur := s.msgDuration(0, 0) / 2
 	for _, v := range net.Preorder() {
 		if v == network.Root || s.plan.UsesEdge(v) {
-			at := float64(net.Depth(v)) * trigDur
-			s.schedule(at, evTrigger, v)
+			s.schedule(float64(net.Depth(v))*trigDur, evTrigger, v)
 		}
 	}
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(event)
+}
+
+// drain runs the event loop to exhaustion. This is the per-epoch hot
+// path: every handler works in state pre-carved by newSim (the typed
+// event heap, the arena-backed value pools, the resolved metric
+// handles), so a drained epoch allocates nothing at steady state.
+//
+//alloc:none
+func (s *sim) drain() {
+	for !s.queue.empty() {
+		e := s.queue.pop()
 		s.now = e.at
 		switch e.kind {
 		case evTrigger:
@@ -320,7 +397,46 @@ func (s *sim) run() {
 			s.onDeadline(e.node)
 		}
 	}
-	s.finish()
+}
+
+// reset re-arms the simulator for another epoch over the same plan and
+// values, keeping every buffer's capacity so a warmed simulator can
+// replay epochs without allocating.
+func (s *sim) reset() {
+	s.queue.items = s.queue.items[:0]
+	s.seq, s.now = 0, 0
+	for i := range s.sent {
+		s.expected[i] = 0
+		s.deadline[i] = 0
+		s.sent[i] = false
+		s.gaveUp[i] = false
+		s.lists[i] = s.lists[i][:0]
+		s.childList[i] = nil
+		s.childOK[i] = false
+		s.childProv[i] = 0
+		s.attempts[i] = 0
+		s.busyUntil[i] = 0
+		s.firstTry[i] = -1
+		s.res.NodeEnergy[i] = 0
+		s.res.EdgeAttempts[i] = 0
+		s.res.EdgeFailures[i] = 0
+	}
+	res := s.res
+	*res = Result{
+		NodeEnergy:   res.NodeEnergy,
+		EdgeAttempts: res.EdgeAttempts,
+		EdgeFailures: res.EdgeFailures,
+	}
+	net := s.cfg.Net
+	order := net.Preorder()
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		v := order[idx]
+		for _, c := range net.Children(v) {
+			if s.plan.UsesEdge(c) {
+				s.expected[v]++
+			}
+		}
+	}
 }
 
 // chargeTrigger debits one trigger rebroadcast at v, heard at hearAt.
@@ -352,6 +468,7 @@ func (s *sim) chargeDelivery(v, parent network.NodeID, nValues int, cost float64
 // onTrigger initializes a node: it reads its sensor, arms its deadline,
 // and — if it awaits no children — queues its transmission.
 func (s *sim) onTrigger(v network.NodeID) {
+	//alloc:amortized the pool's capacity is pre-carved to the subtree size in newSim; appends never grow
 	s.lists[v] = append(s.lists[v], exec.ValueAt{Node: v, Val: s.values[v]})
 	// Deadline: enough slots for the whole subtree below to drain.
 	s.deadline[v] = s.now + float64(s.subHeight[v]+1)*s.slot
@@ -432,6 +549,7 @@ func (s *sim) onTrySend(v network.NodeID) {
 		s.firstTry[v], s.now+dur, s.cfg.Model.TxShare(cost), s.cfg.Model.RxShare(cost))
 	s.sent[v] = true
 	s.childList[v] = payload
+	s.childOK[v] = true
 	s.childProv[v] = provenCnt
 	s.schedule(s.now+dur, evDelivery, v)
 }
@@ -449,13 +567,19 @@ func (s *sim) outgoing(v network.NodeID) ([]exec.ValueAt, int) {
 	if s.plan.Kind == plan.Proof {
 		provenCnt = s.provenPrefix(v, send)
 	}
-	return append([]exec.ValueAt(nil), send...), provenCnt
+	// The payload aliases the node's pooled list instead of copying:
+	// outgoing runs only until the node's send succeeds, so the prefix
+	// is never re-sorted afterwards, and straggler deliveries append
+	// past it without disturbing it (capacity is pre-carved, so the
+	// append cannot move the backing array either).
+	return send, provenCnt
 }
 
 // onDelivery merges an arrived message into the parent and may release
 // the parent's own transmission.
 func (s *sim) onDelivery(v network.NodeID) {
 	parent := s.cfg.Net.Parent(v)
+	//alloc:amortized the pool's capacity is pre-carved to the subtree size in newSim; appends never grow
 	s.lists[parent] = append(s.lists[parent], s.childList[v]...)
 	if parent == network.Root {
 		if s.now > s.res.Latency {
@@ -517,10 +641,10 @@ func (s *sim) provenAt(v network.NodeID, w exec.ValueAt) bool {
 		if !s.plan.UsesEdge(c) {
 			return false // proof plans use all edges; unused => undelivered
 		}
-		lst, ok := s.childList[c]
-		if !ok {
+		if !s.childOK[c] {
 			return false // child's message never arrived
 		}
+		lst := s.childList[c]
 		if len(lst) == net.SubtreeSize(c) {
 			continue // (c.3)
 		}

@@ -129,8 +129,13 @@ func BenchmarkConfine(b *testing.B) { benchmarkOneCheck(b, "confine") }
 // per-function may/must dataflows plus the guarded-by call-site pass.
 func BenchmarkLockcheck(b *testing.B) { benchmarkOneCheck(b, "lockcheck") }
 
+// BenchmarkAlloccheck measures the allocation-discipline analysis:
+// directive scan, per-function allocation-site classification with the
+// escape approximation, and the BFS from every //alloc:none root.
+func BenchmarkAlloccheck(b *testing.B) { benchmarkOneCheck(b, "alloccheck") }
+
 // TestConcurrencyChecksRerunDeterministic pins byte determinism of the
-// three concurrency checks specifically: two independent runs (fresh
+// interprocedural checks specifically: independent runs (fresh
 // interprocedural worlds each time) at different worker counts must
 // render the identical diagnostic stream.
 func TestConcurrencyChecksRerunDeterministic(t *testing.T) {
@@ -141,7 +146,7 @@ func TestConcurrencyChecksRerunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading repository: %v", err)
 	}
-	checks, err := analysis.SelectChecks(analysis.Suite(), []string{"confine", "lockcheck", "goleak"})
+	checks, err := analysis.SelectChecks(analysis.Suite(), []string{"confine", "lockcheck", "goleak", "alloccheck"})
 	if err != nil {
 		t.Fatal(err)
 	}
