@@ -6,6 +6,7 @@
 //
 //	experiments [-fig all|3|4|5|7|8|9|samplesize|installcost|spatial|lossymedium|naivetradeoff] [-csv DIR] [-quick] [-plot]
 //	            [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR] [-manifest FILE]
+//	            [-flight FILE] [-flight-rules FILE] [-hold DURATION]
 //
 // -quick shrinks every experiment to a smoke-test scale (seconds
 // instead of minutes).
@@ -16,13 +17,22 @@
 // exit ("-" for stdout); -trace streams JSON-lines trace events, one
 // span per figure so tracetool can attribute work per experiment;
 // -listen serves the live registry (/metrics in Prometheus text
-// format, /snapshot.json) while the sweep runs — the main use case for
-// watching long sweeps; -pprof serves net/http/pprof (value with ":")
-// or writes cpu.prof/heap.prof into a directory; -manifest writes the
-// run ledger ("-" for stdout) — one JSON document with the run's
-// flags, environment, final metrics, per-figure wall time, and (when
-// -trace names a file) the trace-derived aggregates — the artifact
-// `regress check` gates on.
+// format, /snapshot.json, plus the telemetry surfaces /healthz,
+// /readyz, and /debug/telemetry) while the sweep runs — the main use
+// case for watching long sweeps; -pprof serves net/http/pprof (value
+// with ":") or writes cpu.prof/heap.prof into a directory; -manifest
+// writes the run ledger ("-" for stdout) — one JSON document with the
+// run's flags, environment, final metrics, per-figure wall time, and
+// (when -trace names a file) the trace-derived aggregates — the
+// artifact `regress check` gates on.
+//
+// Live telemetry: a collector windows the registry's series, sampled
+// once per finished figure (now = figure index) and, under -listen,
+// once per second (wall clock, plus the go.* runtime bridge). -flight
+// keeps a bounded ring of recent trace records and dumps them to FILE
+// when a rule from -flight-rules (the regress JSON grammar, judged
+// against the live windowed series) breaches; -hold keeps the -listen
+// endpoints up for a grace period after the sweep completes.
 package main
 
 import (
@@ -36,6 +46,16 @@ import (
 	"prospector/internal/experiments"
 	"prospector/internal/ledger"
 	"prospector/internal/obs"
+	"prospector/internal/obs/telemetry"
+	"prospector/internal/regress"
+)
+
+// telemetryWindow is how many ticks each windowed series retains;
+// flightCapacity bounds the flight recorder's record ring. A full
+// sweep samples once per figure plus once per second under -listen.
+const (
+	telemetryWindow = 256
+	flightCapacity  = 4096
 )
 
 func main() {
@@ -48,6 +68,9 @@ func main() {
 	listen := flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 	pprofArg := flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 	manifest := flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
+	flight := flag.String("flight", "", "dump the last retained trace records here when a live telemetry rule breaches")
+	flightRls := flag.String("flight-rules", "", "JSON rules (regress grammar) judged against live windowed series")
+	hold := flag.Duration("hold", 0, "keep the -listen endpoints up this long after the sweep completes")
 	flag.Parse()
 	startUnix := time.Now().Unix()
 
@@ -70,18 +93,36 @@ func main() {
 		}
 	}
 	defer closeObs()
+	// The breakdown tables want a registry even when -metrics is off;
+	// EnsureRegistry keeps every surface (exposition, manifest, live
+	// telemetry) observing the same one.
+	reg := ocli.EnsureRegistry()
+	// Live telemetry: the collector windows the registry's series; the
+	// flight ring taps the tracer (creating one if -trace is off) so a
+	// breach can dump the recent records.
+	var fl *telemetry.Flight
+	if *flight != "" {
+		fl = telemetry.NewFlight(flightCapacity)
+		ocli.EnsureTracer(fl)
+	}
+	var rules []regress.Rule
+	if *flightRls != "" {
+		var err error
+		if rules, err = telemetry.LoadRules(*flightRls); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	mon := telemetry.NewMonitor(telemetry.NewCollector(reg, telemetryWindow), fl, rules, *flight)
 	if *listen != "" {
-		bound, err := ocli.Serve(*listen)
+		bound, err := ocli.Serve(*listen, telemetry.Endpoints(mon.Collector())...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving /metrics and /snapshot.json on %s\n", bound)
-	}
-	// The breakdown tables want a registry even when -metrics is off.
-	reg := ocli.Registry()
-	if reg == nil {
-		reg = obs.NewRegistry()
+		fmt.Printf("serving /metrics, /snapshot.json, /healthz, /readyz, and /debug/telemetry on %s\n", bound)
+		stopTicker := telemetry.StartTicker(mon, telemetry.NewRuntimeBridge(reg), time.Second)
+		defer stopTicker()
 	}
 	experiments.SetObs(reg, ocli.Tracer())
 
@@ -223,6 +264,13 @@ func main() {
 		fmt.Println(experiments.Breakdown(before, reg.Snapshot()))
 		wallSeconds[res.ID] = time.Since(start).Seconds()
 		fmt.Printf("(%s took %.1fs)\n\n", res.ID, wallSeconds[res.ID])
+		// One telemetry tick per finished figure: windowed deltas read
+		// as per-figure costs, and the flight rules get judged between
+		// figures rather than mid-sweep.
+		if err := mon.Sample(float64(i)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, res.ID+".csv")
 			f, err := os.Create(path)
@@ -241,6 +289,11 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+
+	if *hold > 0 && *listen != "" {
+		fmt.Printf("holding endpoints for %s\n", *hold)
+		time.Sleep(*hold)
 	}
 
 	if *manifest != "" {

@@ -10,6 +10,7 @@
 //	           [-planner greedy|lp-lf|lp+lf|proof|exact|naive] [-seed SEED] [-epochs E]
 //	           [-describe] [-dot FILE] [-sim] [-loss P]
 //	           [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR] [-manifest FILE]
+//	           [-flight FILE] [-flight-rules FILE] [-hold DURATION]
 //
 // -sim executes through the discrete-event mote simulator (reporting
 // latency and per-node energy) instead of the analytic executor;
@@ -20,11 +21,22 @@
 // the run is wrapped in a root "query" span so tracetool can rebuild
 // the full tree (query → plan/solve → epochs → per-node rounds);
 // -listen serves the live registry at ADDR (/metrics in Prometheus
-// text format, /snapshot.json) while the run executes; -pprof either
+// text format, /snapshot.json, plus the telemetry surfaces /healthz,
+// /readyz, and /debug/telemetry) while the run executes; -pprof either
 // serves net/http/pprof (value with a ":") or writes cpu.prof/heap.prof
 // into a directory; -manifest writes the run ledger ("-" for stdout) —
 // flags, environment, final metrics, and trace-derived aggregates when
 // -trace names a file — after the run completes successfully.
+//
+// Live telemetry: whenever a registry exists, a telemetry collector
+// windows its series — epoch-driven (now = epoch index) during the
+// run, interval-driven (wall seconds, plus the go.* runtime bridge)
+// under -listen. -flight keeps a bounded ring of recent trace records
+// and dumps them to FILE when a rule from -flight-rules (the regress
+// JSON grammar, judged against the live windowed series) breaches;
+// read the dump with tracetool flight. -hold keeps the -listen
+// endpoints up for a grace period after the run completes, so probes
+// and scrapes can observe a short run's final state.
 package main
 
 import (
@@ -42,11 +54,55 @@ import (
 	"prospector/internal/lp"
 	"prospector/internal/network"
 	"prospector/internal/obs"
+	"prospector/internal/obs/telemetry"
 	"prospector/internal/plan"
+	"prospector/internal/regress"
 	"prospector/internal/sample"
 	"prospector/internal/sim"
 	"prospector/internal/workload"
 )
+
+// telemetryWindow is how many ticks each windowed series retains;
+// flightCapacity bounds the flight recorder's record ring. Both are
+// sized for a default run (tens of epochs, a few hundred spans per
+// epoch) with headroom for -listen interval sampling.
+const (
+	telemetryWindow = 256
+	flightCapacity  = 4096
+)
+
+// epochMSBounds buckets the wall-clock milliseconds an epoch took.
+// This is a wall-clock family: internal/ledger quarantines it (and its
+// derived quantiles) into the manifest's environment block.
+var epochMSBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// liveObs carries the per-epoch telemetry hooks through the reporting
+// loops: the wall-clock epoch-duration histogram and the monitor tick
+// that refreshes the windows and judges the flight rules.
+type liveObs struct {
+	mon     *telemetry.Monitor
+	epochMS *obs.Histogram
+	prev    time.Time
+}
+
+func newLiveObs(reg *obs.Registry, mon *telemetry.Monitor) *liveObs {
+	return &liveObs{mon: mon,
+		epochMS: reg.Histogram("exec.epoch_ms", epochMSBounds), prev: time.Now()}
+}
+
+// epoch observes one finished epoch — wall milliseconds since the
+// previous epoch boundary — and samples the monitor on the epoch-index
+// clock, so windowed series like exec.epoch_mj.p99 advance once per
+// epoch during the run.
+func (lv *liveObs) epoch(e int) error {
+	if lv == nil {
+		return nil
+	}
+	now := time.Now()
+	lv.epochMS.Observe(float64(now.Sub(lv.prev).Microseconds()) / 1000)
+	lv.prev = now
+	return lv.mon.Sample(float64(e))
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -73,6 +129,9 @@ func run() (err error) {
 		listen     = flag.String("listen", "", "serve live /metrics and /snapshot.json at this address for the run's lifetime")
 		pprofArg   = flag.String("pprof", "", "serve net/http/pprof at ADDR (contains ':') or write cpu/heap profiles into DIR")
 		manifest   = flag.String("manifest", "", "write the run manifest (JSON) here at exit ('-' for stdout)")
+		flight     = flag.String("flight", "", "dump the last retained trace records here when a live telemetry rule breaches")
+		flightRls  = flag.String("flight-rules", "", "JSON rules (regress grammar) judged against live windowed series")
+		hold       = flag.Duration("hold", 0, "keep the -listen endpoints up this long after the run completes")
 	)
 	flag.Parse()
 	startUnix := time.Now().Unix()
@@ -82,11 +141,12 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	// A manifest without metrics would be an empty ledger; give the run
-	// a registry even when -metrics is off.
+	// A manifest without metrics would be an empty ledger, and the live
+	// telemetry surfaces need series to window; give the run a registry
+	// whenever any consumer of one is enabled.
 	reg := ocli.Registry()
-	if reg == nil && *manifest != "" {
-		reg = obs.NewRegistry()
+	if reg == nil && (*manifest != "" || *listen != "" || *flight != "" || *flightRls != "") {
+		reg = ocli.EnsureRegistry()
 	}
 	// Registered before the Close defer so it runs after it (LIFO): the
 	// manifest parses the trace file, which Close flushes.
@@ -121,12 +181,43 @@ func run() (err error) {
 			fmt.Fprintln(os.Stderr, "prospector:", cerr)
 		}
 	}()
+	// Live telemetry rides along whenever a registry exists: the
+	// collector windows every registered series, and -flight taps the
+	// tracer (creating one if -trace is off) so the recent record ring
+	// is on hand for a breach dump.
+	var mon *telemetry.Monitor
+	if reg != nil {
+		var fl *telemetry.Flight
+		if *flight != "" {
+			fl = telemetry.NewFlight(flightCapacity)
+			ocli.EnsureTracer(fl)
+		}
+		var rules []regress.Rule
+		if *flightRls != "" {
+			if rules, err = telemetry.LoadRules(*flightRls); err != nil {
+				return err
+			}
+		}
+		mon = telemetry.NewMonitor(telemetry.NewCollector(reg, telemetryWindow), fl, rules, *flight)
+	}
+	lv := newLiveObs(reg, mon)
 	if *listen != "" {
-		bound, err := ocli.Serve(*listen)
+		bound, err := ocli.Serve(*listen, telemetry.Endpoints(mon.Collector())...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("serving /metrics and /snapshot.json on %s\n", bound)
+		fmt.Printf("serving /metrics, /snapshot.json, /healthz, /readyz, and /debug/telemetry on %s\n", bound)
+		// Interval sampling keeps the windows (and the go.* runtime
+		// gauges) moving while serving, even between epochs; the epoch
+		// loop ticks the same collector on the epoch-index clock.
+		stopTicker := telemetry.StartTicker(mon, telemetry.NewRuntimeBridge(reg), time.Second)
+		defer stopTicker()
+		if *hold > 0 {
+			defer func() {
+				fmt.Printf("holding endpoints for %s\n", *hold)
+				time.Sleep(*hold)
+			}()
+		}
 	}
 	// The root span makes the whole run one tree for tracetool; its End
 	// is deferred after Close's defer, so it lands before the flush.
@@ -195,6 +286,9 @@ func run() (err error) {
 			fmt.Printf("epoch %2d: phase1=%.1f mJ phase2=%.1f mJ proven=%d/%d mopped=%v top=%v\n",
 				e, res.Phase1.Total(), res.Phase2.Total(), res.ProvenPhase1, *k,
 				res.MoppedUp, heads(res.Answer, 3))
+			if err := lv.epoch(e); err != nil {
+				return err
+			}
 		}
 		return nil
 	case "proof":
@@ -210,13 +304,13 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		return report(env, p, truth, *k)
+		return report(env, p, truth, *k, lv)
 	case "naive":
 		// The NAIVE-k baseline plan, runnable through -sim and tracing
 		// like any other filtering plan (the budget does not apply).
 		fmt.Printf("NAIVE-%d plan: %v\n", *k, naivePlan)
 		return finish(naivePlan, env, net, truth, *k, *describe, *dotFile,
-			*useSim, *lossProb, rng, reg, ocli, root)
+			*useSim, *lossProb, rng, reg, ocli, root, lv)
 	default:
 		var pl core.Planner
 		switch *planner {
@@ -238,7 +332,7 @@ func run() (err error) {
 		}
 		fmt.Printf("%s plan: %v\n", pl.Name(), p)
 		return finish(p, env, net, truth, *k, *describe, *dotFile,
-			*useSim, *lossProb, rng, reg, ocli, root)
+			*useSim, *lossProb, rng, reg, ocli, root, lv)
 	}
 }
 
@@ -247,7 +341,7 @@ func run() (err error) {
 // or the analytic executor.
 func finish(p *plan.Plan, env exec.Env, net *network.Network, truth [][]float64,
 	k int, describe bool, dotFile string, useSim bool, loss float64,
-	rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span) error {
+	rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span, lv *liveObs) error {
 	if describe {
 		fmt.Print(p.Describe(net))
 	}
@@ -258,9 +352,9 @@ func finish(p *plan.Plan, env exec.Env, net *network.Network, truth [][]float64,
 		fmt.Printf("wrote %s\n", dotFile)
 	}
 	if useSim {
-		return simReport(net, p, truth, k, loss, rng, reg, ocli, root)
+		return simReport(net, p, truth, k, loss, rng, reg, ocli, root, lv)
 	}
-	return report(env, p, truth, k)
+	return report(env, p, truth, k, lv)
 }
 
 func writeDOT(net *network.Network, p *plan.Plan, path string) error {
@@ -277,7 +371,7 @@ func writeDOT(net *network.Network, p *plan.Plan, path string) error {
 
 // simReport executes the plan through the discrete-event simulator,
 // reporting latency, retransmissions, and the hottest radios.
-func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span) error {
+func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, loss float64, rng *rand.Rand, reg *obs.Registry, ocli *obs.CLI, root *obs.Span, lv *liveObs) error {
 	if p.Kind == plan.Selection {
 		return fmt.Errorf("-sim supports filtering/proof plans (use -planner lp+lf or proof)")
 	}
@@ -311,6 +405,9 @@ func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, los
 		}
 		fmt.Printf("epoch %2d: cost=%.1f mJ latency=%.2fs accuracy=%.0f%% retrans=%d dropped=%d\n",
 			e, res.Ledger.Total(), res.Latency, 100*acc, res.Retransmissions, res.Dropped)
+		if err := lv.epoch(e); err != nil {
+			return err
+		}
 	}
 	n := float64(len(truth))
 	fmt.Printf("mean: cost=%.1f mJ latency=%.2fs accuracy=%.1f%% (%d retransmissions total)\n",
@@ -333,7 +430,7 @@ func simReport(net *network.Network, p *plan.Plan, truth [][]float64, k int, los
 	return nil
 }
 
-func report(env exec.Env, p *plan.Plan, truth [][]float64, k int) error {
+func report(env exec.Env, p *plan.Plan, truth [][]float64, k int, lv *liveObs) error {
 	totalAcc, totalCost := 0.0, 0.0
 	for e, vals := range truth {
 		res, err := exec.Run(env, p, vals)
@@ -345,6 +442,9 @@ func report(env exec.Env, p *plan.Plan, truth [][]float64, k int) error {
 		totalCost += res.Ledger.Total()
 		fmt.Printf("epoch %2d: cost=%.1f mJ accuracy=%.0f%% proven=%d top=%v\n",
 			e, res.Ledger.Total(), 100*acc, res.Proven, heads(res.Returned, 3))
+		if err := lv.epoch(e); err != nil {
+			return err
+		}
 	}
 	n := float64(len(truth))
 	fmt.Printf("mean: cost=%.1f mJ accuracy=%.1f%%\n", totalCost/n, 100*totalAcc/n)

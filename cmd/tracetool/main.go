@@ -8,12 +8,15 @@
 //	tracetool critpath  trace.jsonl         longest latency chain per round
 //	tracetool attribute trace.jsonl         per-node energy / message shares
 //	tracetool diff [-exit-zero] a.jsonl b.jsonl   per-phase deltas, A = baseline
+//	tracetool flight    flight.jsonl        breach report over a flight-recorder dump
 //
 // All output is deterministic: the same trace bytes produce the same
 // report bytes.
 //
 // Exit codes: 0 when the report is clean (for diff: the traces agree),
-// 1 when diff finds any difference, 2 on usage or load errors.
+// 1 when diff finds any difference, 2 on usage or load errors —
+// including an empty or record-free input, which exits 2 with a
+// one-line diagnostic instead of printing a zero-filled report.
 // -exit-zero makes diff informational: differences still print but the
 // exit code stays 0.
 package main
@@ -38,7 +41,7 @@ func main() {
 // clean, 1 differences found (diff), 2 usage or load errors.
 func run(args []string) (int, error) {
 	if len(args) < 1 {
-		return 2, fmt.Errorf("usage: tracetool <summary|tree|critpath|attribute|diff> <trace.jsonl> [trace2.jsonl]")
+		return 2, fmt.Errorf("usage: tracetool <summary|tree|critpath|attribute|diff|flight> <trace.jsonl> [trace2.jsonl]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -85,8 +88,26 @@ func run(args []string) (int, error) {
 			return 1, nil
 		}
 		return 0, nil
+	case "flight":
+		if len(rest) != 1 {
+			return 2, fmt.Errorf("usage: tracetool flight <flight.jsonl>")
+		}
+		f, err := os.Open(rest[0])
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		d, err := traceanalysis.ParseFlight(f)
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", rest[0], err)
+		}
+		if len(d.Trace.Records) == 0 {
+			return 2, fmt.Errorf("%s: flight dump has a header but no trace records", rest[0])
+		}
+		fmt.Print(d.Render())
+		return 0, nil
 	default:
-		return 2, fmt.Errorf("unknown subcommand %q (want summary, tree, critpath, attribute, or diff)", cmd)
+		return 2, fmt.Errorf("unknown subcommand %q (want summary, tree, critpath, attribute, diff, or flight)", cmd)
 	}
 }
 
@@ -99,6 +120,11 @@ func load(path string) (*traceanalysis.Trace, error) {
 	t, err := traceanalysis.Parse(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// An empty (or record-free) trace would render as a zero-filled
+	// report; fail loudly instead so scripts notice the missing data.
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("%s: trace contains no records", path)
 	}
 	return t, nil
 }

@@ -62,3 +62,61 @@ func TestDiffExitCodes(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptyTraceExitsTwo pins the empty-input diagnostic: a trace (or
+// flight dump) with no records must exit 2 with an error, never print
+// a zero-filled report.
+func TestEmptyTraceExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Header-only flight dump: valid header line, zero trace records.
+	headerOnly := filepath.Join(dir, "header-only.jsonl")
+	hdr := `{"flight":"prospector/flight/v1","series":"x","kind":"exact","got":1,"want":"exactly 0","tick":3,"now":3,"records":0,"dropped":0}` + "\n"
+	if err := os.WriteFile(headerOnly, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"summary", "tree", "critpath", "attribute"} {
+		code, err := run([]string{sub, empty})
+		if code != 2 || err == nil {
+			t.Errorf("%s on empty trace = %d, %v; want 2 with error", sub, code, err)
+		}
+	}
+	if code, err := run([]string{"diff", empty, empty}); code != 2 || err == nil {
+		t.Errorf("diff on empty traces = %d, %v; want 2 with error", code, err)
+	}
+	if code, err := run([]string{"flight", empty}); code != 2 || err == nil {
+		t.Errorf("flight on empty file = %d, %v; want 2 with error", code, err)
+	}
+	if code, err := run([]string{"flight", headerOnly}); code != 2 || err == nil {
+		t.Errorf("flight on header-only dump = %d, %v; want 2 with error", code, err)
+	}
+	// A plain trace is not a flight dump: no header, exit 2.
+	plain := filepath.Join(dir, "plain.jsonl")
+	writeTrace(t, plain, 1)
+	if code, err := run([]string{"flight", plain}); code != 2 || err == nil {
+		t.Errorf("flight on plain trace = %d, %v; want 2 with error", code, err)
+	}
+}
+
+// TestFlightReportsBreach runs the flight analysis end to end on a
+// synthetic dump and checks the report carries the breach facts.
+func TestFlightReportsBreach(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.jsonl")
+	writeTrace(t, trace, 2)
+	recs, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := filepath.Join(dir, "flight.jsonl")
+	hdr := `{"flight":"prospector/flight/v1","series":"exec.messages.delta","kind":"abs<=","got":7,"want":"within ±0 of 0","tick":4,"now":4,"records":2,"dropped":1,"note":"injected"}` + "\n"
+	if err := os.WriteFile(dump, append([]byte(hdr), recs...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, err := run([]string{"flight", dump}); code != 0 || err != nil {
+		t.Fatalf("flight = %d, %v; want 0", code, err)
+	}
+}

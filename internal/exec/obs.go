@@ -19,6 +19,11 @@ import (
 //	exec.energy_mj.trigger        gauge, accumulated trigger energy
 //	exec.energy_mj.requests       gauge, accumulated request energy
 //	exec.node.<id>.energy_mj      gauge, per-node radio spend (TX+RX+trigger)
+//	exec.epoch_mj                 histogram, total energy per executed epoch
+//
+// exec.epoch_mj gets one observation per entry-point run (the ledger
+// total at finish), so the telemetry collector's windowed quantiles
+// over it read as live energy-per-epoch percentiles.
 //
 // With Env.Trace set, each entry point (Run, NaiveOne, NaiveBatch,
 // MopUp) wraps its work in an "exec.epoch" span on a deterministic
@@ -40,6 +45,7 @@ type execObs struct {
 	messages, values, bytes, requests *obs.Counter
 	collectEnergy, triggerEnergy      *obs.Gauge
 	requestEnergy                     *obs.Gauge
+	epochMJ                           *obs.Histogram
 	lvlMsgs, lvlBytes                 []*obs.Counter // indexed by sender depth
 	nodeEnergy                        []*obs.Gauge   // indexed by node
 
@@ -69,6 +75,7 @@ func newExecObs(r *obs.Registry, tr *obs.Tracer, net *network.Network, model ene
 		collectEnergy: r.Gauge("exec.energy_mj.collection"),
 		triggerEnergy: r.Gauge("exec.energy_mj.trigger"),
 		requestEnergy: r.Gauge("exec.energy_mj.requests"),
+		epochMJ:       r.Histogram("exec.epoch_mj", epochMJBounds),
 		trace:         tr,
 	}
 	if r != nil {
@@ -126,11 +133,17 @@ func (e *execObs) begin(fields ...obs.Field) {
 	e.span = e.trace.StartSpan(e.parent, "exec.epoch", e.step, fields...)
 }
 
-// finish ends the epoch span with the run's ledger totals.
+// epochMJBounds buckets per-epoch energy totals: sub-mJ idle epochs up
+// through multi-joule full-collection rounds on large networks.
+var epochMJBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// finish ends the epoch span with the run's ledger totals and observes
+// the epoch's energy into exec.epoch_mj.
 func (e *execObs) finish(led *energy.Ledger) {
 	if e == nil {
 		return
 	}
+	e.epochMJ.Observe(led.Total())
 	e.span.End(e.step,
 		obs.FFloat("energy_mj", led.Total()),
 		obs.FInt("messages", int64(led.Messages)),

@@ -77,7 +77,22 @@ type Environment struct {
 // wallClockSeries names the histogram families whose observations are
 // wall-clock readings. The family's histogram (any label block) and
 // its derived quantile gauges are relocated into the environment.
-var wallClockSeries = []string{"lp.solve_seconds"}
+var wallClockSeries = []string{"lp.solve_seconds", "exec.epoch_ms"}
+
+// wallClockPrefixes names whole metric families that are inherently
+// nondeterministic: every series under a listed prefix is relocated.
+// go.* is the telemetry runtime bridge (heap, GC, goroutines, sched
+// latency) — runtime state can never appear in the deterministic block.
+var wallClockPrefixes = []string{"go."}
+
+func hasWallClockPrefix(key string) bool {
+	for _, p := range wallClockPrefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // New assembles a manifest from a run's identity, its final registry
 // snapshot, and the environment block. The snapshot is copied; wall-
@@ -150,6 +165,9 @@ func emptySnapshot() *obs.Snapshot {
 // wall-clock families: the bare family name or the family with a label
 // block.
 func isWallClockHistogram(key string) bool {
+	if hasWallClockPrefix(key) {
+		return true
+	}
 	for _, name := range wallClockSeries {
 		if key == name || strings.HasPrefix(key, name+"{") {
 			return true
@@ -161,6 +179,9 @@ func isWallClockHistogram(key string) bool {
 // isWallClockGauge matches the derived quantile gauges of a wall-clock
 // family (<family>.p50 and friends, with or without labels).
 func isWallClockGauge(key string) bool {
+	if hasWallClockPrefix(key) {
+		return true
+	}
 	for _, name := range wallClockSeries {
 		if strings.HasPrefix(key, name+".p") {
 			return true

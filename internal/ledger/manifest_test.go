@@ -111,6 +111,49 @@ func TestManifestQuarantinesWallClock(t *testing.T) {
 	}
 }
 
+// TestManifestQuarantinesRuntimeFamily pins the prefix quarantine: the
+// telemetry runtime bridge's go.* gauges and the exec.epoch_ms wall
+// histogram must relocate to the environment block wholesale.
+func TestManifestQuarantinesRuntimeFamily(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("go.goroutines").Set(12)
+	reg.Gauge("go.heap_bytes").Set(1 << 20)
+	reg.Histogram("exec.epoch_ms", []float64{1, 10, 100}).Observe(3)
+	reg.Counter("exec.messages").Add(5)
+	m := ledger.New("test", nil, reg.Snapshot(), ledger.Environment{})
+
+	for k := range m.Metrics.Gauges {
+		if strings.HasPrefix(k, "go.") {
+			t.Errorf("runtime gauge %s still in Metrics", k)
+		}
+	}
+	if _, ok := m.Metrics.Histograms["exec.epoch_ms"]; ok {
+		t.Errorf("exec.epoch_ms still in Metrics")
+	}
+	wall := m.Environment.WallClockMetrics
+	if wall == nil {
+		t.Fatalf("no WallClockMetrics block")
+	}
+	if _, ok := wall.Gauges["go.goroutines"]; !ok {
+		t.Errorf("go.goroutines not relocated to Environment")
+	}
+	if _, ok := wall.Histograms["exec.epoch_ms"]; !ok {
+		t.Errorf("exec.epoch_ms not relocated to Environment")
+	}
+	if m.Metrics.Counters["exec.messages"] != 5 {
+		t.Errorf("deterministic counter disturbed")
+	}
+	db, err := m.DeterministicBytes()
+	if err != nil {
+		t.Fatalf("DeterministicBytes: %v", err)
+	}
+	for _, s := range []string{"go.goroutines", "exec.epoch_ms"} {
+		if bytes.Contains(db, []byte(s)) {
+			t.Errorf("DeterministicBytes still contains %s", s)
+		}
+	}
+}
+
 // TestManifestRoundTrip writes and re-reads a manifest, and rejects a
 // document with the wrong schema.
 func TestManifestRoundTrip(t *testing.T) {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -26,6 +27,8 @@ type CLI struct {
 	pprofDir    string
 	stopServe   func() error
 	stopPprof   func() error
+	pprofDone   chan struct{} // closed when the pprof server goroutine exits
+	closed      bool
 }
 
 // StartCLI interprets the three standard observability flags:
@@ -77,8 +80,13 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 			// rest of the CLI.
 			srv := &http.Server{Addr: pprofArg}
 			c.stopPprof = srv.Close
+			done := make(chan struct{})
+			c.pprofDone = done
 			go func() {
 				// An unusable address only costs the profiling endpoint.
+				// Closing done lets Close join the goroutine, so a
+				// Close-before-serve race cannot leak it.
+				defer close(done)
 				_ = srv.ListenAndServe()
 			}()
 		} else {
@@ -104,22 +112,55 @@ func StartCLI(metrics, trace, pprofArg string) (*CLI, error) {
 }
 
 // Serve exposes the CLI's registry at addr (/metrics in Prometheus
-// text format, /snapshot.json) for the lifetime of the process,
-// creating a registry first if the flags alone didn't. It returns the
-// bound address, so ":0" picks a free port. No-op on a nil CLI.
-func (c *CLI) Serve(addr string) (string, error) {
+// text format, /snapshot.json, plus any injected extra endpoints such
+// as the telemetry surfaces) for the lifetime of the process, creating
+// a registry first if the flags alone didn't. It returns the bound
+// address, so ":0" picks a free port. No-op on a nil CLI.
+func (c *CLI) Serve(addr string, extra ...Endpoint) (string, error) {
 	if c == nil {
 		return "", nil
 	}
 	if c.reg == nil {
 		c.reg = NewRegistry()
 	}
-	bound, stop, err := Serve(addr, c.reg)
+	bound, stop, err := Serve(addr, c.reg, extra...)
 	if err != nil {
 		return "", err
 	}
 	c.stopServe = stop
 	return bound, nil
+}
+
+// EnsureTracer returns the CLI's tracer, creating one that writes to
+// sink when tracing was not enabled by flags, or teeing sink into the
+// existing tracer when it was. This is how the flight recorder taps
+// the record stream whether or not -trace is on: either way every
+// subsequent record lands in sink. Returns nil on a nil CLI.
+func (c *CLI) EnsureTracer(sink io.Writer) *Tracer {
+	if c == nil {
+		return nil
+	}
+	if c.tracer == nil {
+		c.tracer = NewTracer(sink)
+	} else {
+		c.tracer.Tee(sink)
+	}
+	return c.tracer
+}
+
+// EnsureRegistry returns the CLI's registry, creating one when the
+// flags alone didn't enable metrics. Callers that need a registry
+// regardless of -metrics (manifests, live telemetry, -listen) use this
+// so every surface observes the same registry. Returns nil on a nil
+// CLI.
+func (c *CLI) EnsureRegistry() *Registry {
+	if c == nil {
+		return nil
+	}
+	if c.reg == nil {
+		c.reg = NewRegistry()
+	}
+	return c.reg
 }
 
 // Registry returns the metrics registry, nil when metrics are disabled
@@ -143,10 +184,17 @@ func (c *CLI) Tracer() *Tracer {
 // Close flushes everything the flags enabled: the metrics exposition,
 // the trace file, the CPU profile, and a final heap profile. It
 // returns the first error encountered but always attempts every step.
+// Close is idempotent: the second and later calls are no-ops, so a
+// "close early on error" path composing with a deferred Close cannot
+// double-write the metrics exposition or double-close files.
 func (c *CLI) Close() error {
 	if c == nil {
 		return nil
 	}
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -174,6 +222,9 @@ func (c *CLI) Close() error {
 	if c.stopPprof != nil {
 		keep(c.stopPprof())
 		c.stopPprof = nil
+		// Join the server goroutine: after Close returns, nothing of the
+		// CLI is still running (asserted by TestCLICloseJoinsPprofServer).
+		<-c.pprofDone
 	}
 	if c.traceFile != nil {
 		keep(c.traceFile.Close())

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCLICloseIdempotent pins the Close contract: the second and later
+// calls are no-ops — no double-written exposition, no double-closed
+// files, no panic — including on a zero CLI with nothing enabled.
+func TestCLICloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	c, err := StartCLI(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Registry().Counter("x").Add(1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+2, err)
+		}
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(again) {
+		t.Fatalf("repeated Close rewrote the exposition:\nfirst:\n%s\nafter:\n%s", first, again)
+	}
+
+	zero, err := StartCLI("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zero.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zero.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilCLI *CLI
+	if err := nilCLI.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLICloseJoinsPprofServer pins the pprof-server teardown: Close
+// must stop the server goroutine and wait for it, so an immediate
+// Close (even racing the goroutine's ListenAndServe) neither panics
+// nor leaks. The done channel is the same goleak-style termination
+// signal the analyzer requires of every goroutine.
+func TestCLICloseJoinsPprofServer(t *testing.T) {
+	c, err := StartCLI("", "", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.pprofDone == nil {
+		t.Fatal("pprof server path did not arm its done channel")
+	}
+	// Close before the server goroutine has necessarily even started
+	// serving: it must still join cleanly.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.pprofDone:
+		// joined: the goroutine exited before Close returned
+	case <-time.After(5 * time.Second):
+		t.Fatal("pprof server goroutine still running after Close")
+	}
+	// And again: idempotent on the server path too.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,42 +16,68 @@ import (
 //	/snapshot.json  the registry snapshot as one JSON document
 //
 // Both endpoints take a fresh snapshot per request; the registry stays
-// lock-free for writers in between.
+// lock-free for writers in between. Every response carries
+// Cache-Control: no-store — these are live documents, and a cached
+// snapshot would silently report a stale run.
 
-// Handler returns an HTTP handler exposing the registry. A nil
-// registry serves empty (but well-formed) documents, so the endpoint
-// can be wired up before deciding whether metrics are on.
-func Handler(reg *Registry) http.Handler {
+// Endpoint is one extra HTTP surface mounted next to the registry
+// exposition, e.g. the telemetry endpoints (/healthz, /readyz,
+// /debug/telemetry) from internal/obs/telemetry — which this package
+// cannot name without an import cycle, so callers inject them.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
+// Handler returns an HTTP handler exposing the registry plus any extra
+// endpoints. A nil registry serves empty (but well-formed) documents,
+// so the endpoint can be wired up before deciding whether metrics are
+// on.
+func Handler(reg *Registry, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		// The snapshot is already in memory; an exposition write error
 		// just means the scraper hung up.
 		_ = reg.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		_ = reg.Snapshot().WriteJSON(w)
 	})
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+	}
 	return mux
 }
 
 // Serve starts the exposition server on addr (e.g. ":9090"). It
 // listens eagerly — a bad address fails the run up front — then serves
 // in the background for the lifetime of the process. It returns the
-// bound address (useful with ":0") and a stop function.
-func Serve(addr string, reg *Registry) (string, func() error, error) {
+// bound address (useful with ":0") and a stop function that shuts the
+// server down and waits for the serve goroutine to exit, so callers
+// (and leak-sensitive tests) observe a clean teardown.
+func Serve(addr string, reg *Registry, extra ...Endpoint) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, extra...)}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		// Serve returns ErrServerClosed on Close; anything else only
 		// costs the exposition endpoint, never the run.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), srv.Close, nil
+	stop := func() error {
+		err := srv.Close()
+		<-done
+		return err
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 // WritePrometheus emits the snapshot in the Prometheus text exposition

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionHeaders pins the response headers of both registry
+// surfaces: a correct Content-Type and Cache-Control: no-store, so no
+// intermediary ever serves a stale exposition of a live run.
+func TestExpositionHeaders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	cases := []struct {
+		path     string
+		wantType string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/snapshot.json", "application/json"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != c.wantType {
+			t.Errorf("%s Content-Type = %q, want %q", c.path, got, c.wantType)
+		}
+		if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want %q", c.path, got, "no-store")
+		}
+	}
+}
+
+// TestHandlerExtraEndpoints checks injected endpoints (the telemetry
+// surfaces) mount next to the registry exposition.
+func TestHandlerExtraEndpoints(t *testing.T) {
+	h := Handler(NewRegistry(), Endpoint{
+		Path: "/healthz",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("ok\n"))
+		}),
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	// The registry surfaces must still be there alongside the extras.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics with extras = %d", resp.StatusCode)
+	}
+}

@@ -90,6 +90,60 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Sizes returns the number of registered counters, gauges, and
+// histograms (all zero on a nil registry). A cheap change detector for
+// pollers that mirror the registry (internal/obs/telemetry resyncs its
+// probe set only when a size moves).
+func (r *Registry) Sizes() (counters, gauges, hists int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters), len(r.gauges), len(r.hists)
+}
+
+// EachCounter calls f for every registered counter. Iteration order is
+// unspecified; f must not call registry methods (the registry mutex is
+// held). No-op on a nil registry.
+func (r *Registry) EachCounter(f func(name string, c *Counter)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		f(k, v)
+	}
+}
+
+// EachGauge calls f for every registered gauge, under the same
+// contract as EachCounter. No-op on a nil registry.
+func (r *Registry) EachGauge(f func(name string, g *Gauge)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.gauges {
+		f(k, v)
+	}
+}
+
+// EachHistogram calls f for every registered histogram, under the same
+// contract as EachCounter (methods on the histogram itself are fine —
+// only the registry is locked). No-op on a nil registry.
+func (r *Registry) EachHistogram(f func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.hists {
+		f(k, v)
+	}
+}
+
 // sanitizeBounds sorts the finite bucket edges and removes duplicates,
 // NaNs, and infinities (the overflow bucket already covers +Inf).
 func sanitizeBounds(bounds []float64) []float64 {
@@ -250,8 +304,36 @@ func (h *Histogram) BucketCounts() []int64 {
 		return nil
 	}
 	out := make([]int64, len(h.counts))
-	for i := range h.counts {
-		out[i] = atomic.LoadInt64(&h.counts[i])
-	}
+	h.ReadBucketCounts(out)
 	return out
+}
+
+// NumBuckets returns the bucket count including the overflow bucket
+// (0 on a nil histogram), so pollers can size a reusable dst for
+// ReadBucketCounts once: bounds are immutable after creation.
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+// ReadBucketCounts fills dst with the current per-bucket counts (last
+// is overflow) without allocating, reading at most len(dst) buckets.
+// It returns the histogram's bucket count so a short dst is
+// detectable; 0 on a nil histogram.
+//
+//alloc:none
+func (h *Histogram) ReadBucketCounts(dst []int64) int {
+	if h == nil {
+		return 0
+	}
+	n := len(h.counts)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return len(h.counts)
 }

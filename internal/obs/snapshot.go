@@ -103,11 +103,23 @@ func (s *Snapshot) addDerivedQuantiles() {
 // an empty histogram reports 0, and one with no finite buckets reports
 // the mean (the only location signal it has). q is clamped to [0, 1].
 func (h HistogramSnapshot) Quantile(q float64) float64 {
-	if h.Count == 0 || len(h.Counts) != len(h.Bounds)+1 {
+	return BucketQuantile(h.Bounds, h.Counts, h.Count, h.Sum, q)
+}
+
+// BucketQuantile is the allocation-free core of HistogramSnapshot.
+// Quantile, shared with the windowed-quantile path in
+// internal/obs/telemetry (which feeds it per-tick bucket deltas
+// instead of cumulative counts). counts has len(bounds)+1 entries, the
+// last being the overflow bucket; count and sum are the matching
+// totals.
+//
+//alloc:none
+func BucketQuantile(bounds []float64, counts []int64, count int64, sum float64, q float64) float64 {
+	if count == 0 || len(counts) != len(bounds)+1 {
 		return 0
 	}
-	if len(h.Bounds) == 0 {
-		return h.Sum / float64(h.Count)
+	if len(bounds) == 0 {
+		return sum / float64(count)
 	}
 	if q < 0 {
 		q = 0
@@ -115,18 +127,18 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.Count)
+	rank := q * float64(count)
 	cum := int64(0)
-	for i, bc := range h.Counts[:len(h.Bounds)] {
+	for i, bc := range counts[:len(bounds)] {
 		prev := cum
 		cum += bc
 		if bc == 0 || float64(cum) < rank {
 			continue
 		}
-		hi := h.Bounds[i]
+		hi := bounds[i]
 		lo := 0.0
 		if i > 0 {
-			lo = h.Bounds[i-1]
+			lo = bounds[i-1]
 		} else if hi <= 0 {
 			// No defensible lower edge below a non-positive first bound.
 			return hi
@@ -140,7 +152,7 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 		}
 		return lo + (hi-lo)*pos
 	}
-	return h.Bounds[len(h.Bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // WriteText emits the registry expvar-style: one sorted "name value"

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"prospector/internal/obs"
+)
+
+// RuntimeBridge samples the Go runtime's own health (goroutines, heap,
+// GC, scheduler latency) into ordinary registry gauges, so runtime
+// state rides the same pipeline as application metrics: windowed by
+// the collector, served at /metrics and /debug/telemetry, judgeable by
+// flight rules. Stdlib-only, built on runtime/metrics.
+//
+// Every published gauge carries the go. prefix; internal/ledger
+// quarantines that family into the manifest's environment block, so
+// the bridge never perturbs manifest determinism.
+type RuntimeBridge struct {
+	samples []metrics.Sample
+	gauges  []func(metrics.Value)
+}
+
+// runtime/metrics keys the bridge reads. Kept to stable, portable
+// keys; a key the runtime no longer exports reads as KindBad and its
+// gauge simply stops updating.
+const (
+	keyGoroutines = "/sched/goroutines:goroutines"
+	keyHeapBytes  = "/memory/classes/heap/objects:bytes"
+	keyGCCycles   = "/gc/cycles/total:gc-cycles"
+	keyGCPause    = "/gc/pauses:seconds"
+	keySchedLat   = "/sched/latencies:seconds"
+)
+
+// NewRuntimeBridge registers the go.* gauges on reg and returns the
+// bridge. Call Sample before each collector tick (or let StartTicker
+// do it) to refresh them.
+func NewRuntimeBridge(reg *obs.Registry) *RuntimeBridge {
+	b := &RuntimeBridge{}
+	scalar := func(key string, g *obs.Gauge) {
+		b.samples = append(b.samples, metrics.Sample{Name: key})
+		b.gauges = append(b.gauges, func(v metrics.Value) {
+			switch v.Kind() {
+			case metrics.KindUint64:
+				g.Set(float64(v.Uint64()))
+			case metrics.KindFloat64:
+				g.Set(v.Float64())
+			}
+		})
+	}
+	dist := func(key string, p50, p99 *obs.Gauge) {
+		b.samples = append(b.samples, metrics.Sample{Name: key})
+		b.gauges = append(b.gauges, func(v metrics.Value) {
+			if v.Kind() != metrics.KindFloat64Histogram {
+				return
+			}
+			h := v.Float64Histogram()
+			p50.Set(histQuantile(h, 0.50))
+			p99.Set(histQuantile(h, 0.99))
+		})
+	}
+	scalar(keyGoroutines, reg.Gauge("go.goroutines"))
+	scalar(keyHeapBytes, reg.Gauge("go.heap_bytes"))
+	scalar(keyGCCycles, reg.Gauge("go.gc_cycles"))
+	dist(keyGCPause, reg.Gauge("go.gc_pause_p50_seconds"), reg.Gauge("go.gc_pause_p99_seconds"))
+	dist(keySchedLat, reg.Gauge("go.sched_latency_p50_seconds"), reg.Gauge("go.sched_latency_p99_seconds"))
+	return b
+}
+
+// Sample reads the runtime metrics and refreshes the gauges. Nil-safe.
+func (b *RuntimeBridge) Sample() {
+	if b == nil {
+		return
+	}
+	metrics.Read(b.samples)
+	for i, s := range b.samples {
+		b.gauges[i](s.Value)
+	}
+}
+
+// histQuantile extracts quantile q from a runtime cumulative-count
+// histogram. Buckets with a ±Inf boundary fall back to their finite
+// neighbor, so the result is always a usable number.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum < target {
+			continue
+		}
+		// Bucket i spans Buckets[i] .. Buckets[i+1]; prefer the upper
+		// boundary, falling back to the lower when it is +Inf.
+		hi := h.Buckets[i+1]
+		if !math.IsInf(hi, 0) {
+			return hi
+		}
+		lo := h.Buckets[i]
+		if !math.IsInf(lo, 0) {
+			return lo
+		}
+		return 0
+	}
+	return 0
+}

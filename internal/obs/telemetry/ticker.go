@@ -1,0 +1,39 @@
+package telemetry
+
+import "time"
+
+// StartTicker drives the monitor on a wall-clock interval, for
+// long-running -listen processes where no epoch loop supplies ticks.
+// Each firing refreshes the runtime bridge (if any) and samples the
+// monitor with now = seconds since start, so the windowed time axis is
+// relative and rates come out per second. The returned stop function
+// halts the loop and blocks until the goroutine has exited.
+//
+// Wall-clock sampling is reserved for serving mode: deterministic
+// sim/exec drivers tick the monitor from their epoch loops instead.
+func StartTicker(m *Monitor, b *RuntimeBridge, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	t := time.NewTicker(interval)
+	go func() {
+		defer close(finished)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				b.Sample()
+				_ = m.Sample(now.Sub(start).Seconds())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

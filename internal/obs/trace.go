@@ -42,6 +42,20 @@ func NewBufferedTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bw, bw: bw}
 }
 
+// Tee routes a copy of every subsequent record to w in addition to the
+// tracer's existing sink. The copy is written per record, ahead of any
+// internal buffering, so a bounded capture (the telemetry flight
+// recorder) sees each record as it is emitted even when the primary
+// sink is a buffered file. No-op on a nil tracer.
+func (t *Tracer) Tee(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w = io.MultiWriter(w, t.w)
+}
+
 // Flush drains the internal buffer (a no-op for unbuffered tracers and
 // on a nil tracer) and returns the first error the tracer has seen,
 // which a failed flush becomes part of.

@@ -45,15 +45,19 @@ func Check(b *Baseline, m *ledger.Manifest) *Report {
 			})
 			continue
 		}
-		if v, bad := judge(rule, got); bad {
+		if v, bad := Judge(rule, got); bad {
 			rep.Violations = append(rep.Violations, v)
 		}
 	}
 	return rep
 }
 
-// judge applies one rule to an observed value.
-func judge(rule Rule, got float64) (Violation, bool) {
+// Judge applies one rule to an observed value, returning the violation
+// and true when the value falls outside the rule's acceptance region.
+// Exported for live evaluation: the telemetry flight recorder judges
+// windowed series against the same rule grammar the CI gate uses on
+// manifests.
+func Judge(rule Rule, got float64) (Violation, bool) {
 	bad := false
 	switch rule.Kind {
 	case "exact":

@@ -50,7 +50,7 @@ func TestJudgeEveryKind(t *testing.T) {
 		{"NaN fails band", Rule{Series: "s", Kind: "quantile-band", Min: fp(-1e18), Max: fp(1e18)}, math.NaN(), true},
 	}
 	for _, c := range cases {
-		v, bad := judge(c.rule, c.got)
+		v, bad := Judge(c.rule, c.got)
 		if bad != c.bad {
 			t.Errorf("%s: judge = %v, want %v", c.name, bad, c.bad)
 			continue

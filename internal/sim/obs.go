@@ -20,6 +20,12 @@ import (
 //	sim.deferrals             counter, sends postponed by carrier sense
 //	sim.dropped               counter, messages abandoned after MaxRetries
 //	sim.latency_seconds       gauge, trigger-to-last-root-reception time
+//	sim.epoch_mj              histogram, total energy per simulated epoch
+//	sim.epoch_latency_seconds histogram, per-epoch collection latency
+//
+// The two epoch histograms get one observation per run (at finish), so
+// the telemetry collector's windowed quantiles over them read as live
+// per-epoch energy and latency percentiles.
 //
 // The delivered-message counters deliberately mirror exec.messages /
 // exec.values / exec.bytes / exec.level.*: under a loss-free medium the
@@ -46,6 +52,7 @@ type simObs struct {
 	lvlMsgs, lvlBytes                     []*obs.Counter
 	triggers, retrans, deferrals, dropped *obs.Counter
 	latency                               *obs.Gauge
+	epochMJ, epochLatency                 *obs.Histogram
 
 	trace  *obs.Tracer
 	parent *obs.Span // caller-supplied enclosing span (Config.Span)
@@ -61,16 +68,18 @@ func newSimObs(r *obs.Registry, tr *obs.Tracer, net *network.Network) *simObs {
 		return nil
 	}
 	o := &simObs{
-		net:       net,
-		messages:  r.Counter("sim.messages"),
-		values:    r.Counter("sim.values"),
-		bytes:     r.Counter("sim.bytes"),
-		triggers:  r.Counter("sim.triggers"),
-		retrans:   r.Counter("sim.retransmissions"),
-		deferrals: r.Counter("sim.deferrals"),
-		dropped:   r.Counter("sim.dropped"),
-		latency:   r.Gauge("sim.latency_seconds"),
-		trace:     tr,
+		net:          net,
+		messages:     r.Counter("sim.messages"),
+		values:       r.Counter("sim.values"),
+		bytes:        r.Counter("sim.bytes"),
+		triggers:     r.Counter("sim.triggers"),
+		retrans:      r.Counter("sim.retransmissions"),
+		deferrals:    r.Counter("sim.deferrals"),
+		dropped:      r.Counter("sim.dropped"),
+		latency:      r.Gauge("sim.latency_seconds"),
+		epochMJ:      r.Histogram("sim.epoch_mj", epochMJBounds),
+		epochLatency: r.Histogram("sim.epoch_latency_seconds", epochLatencyBounds),
+		trace:        tr,
 	}
 	if r != nil {
 		maxDepth := 0
@@ -233,13 +242,23 @@ func (o *simObs) deadline(v network.NodeID, at float64) {
 	}
 }
 
-// finish sets the latency gauge and closes the phase span with the
-// run's ledger totals.
+// epochMJBounds buckets per-epoch energy totals: sub-mJ idle epochs up
+// through multi-joule full-collection rounds on large networks.
+var epochMJBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// epochLatencyBounds buckets per-epoch collection latency on the
+// simulated clock (trigger to last root reception).
+var epochLatencyBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// finish sets the latency gauge, observes the epoch histograms, and
+// closes the phase span with the run's ledger totals.
 func (o *simObs) finish(latency float64, led *energy.Ledger) {
 	if o == nil {
 		return
 	}
 	o.latency.Set(latency)
+	o.epochMJ.Observe(led.Total())
+	o.epochLatency.Observe(latency)
 	if o.span != nil {
 		o.span.End(latency,
 			obs.FFloat("energy_mj", led.Total()),

@@ -1,0 +1,72 @@
+package traceanalysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"prospector/internal/traceanalysis"
+)
+
+const flightDoc = `{"flight":"prospector/flight/v1","series":"lat.p99","kind":"abs<=","got":9.5,"want":"within ±1 of 5","tick":6,"now":6,"records":3,"dropped":2,"note":"latency blew up"}
+{"seq":5,"begin":"exec.epoch","id":5,"parent":0,"t":4}
+{"seq":6,"ev":"exec.msg","parent":5,"t":4.5,"bytes":12}
+{"seq":7,"end":5,"t":5}
+`
+
+func TestParseFlight(t *testing.T) {
+	d, err := traceanalysis.ParseFlight(strings.NewReader(flightDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Header
+	if h.Series != "lat.p99" || h.Kind != "abs<=" || h.Got != 9.5 ||
+		h.Tick != 6 || h.Records != 3 || h.Dropped != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+	if len(d.Trace.Records) != 3 || d.Trace.SpanCount() != 1 {
+		t.Fatalf("trace: %d records, %d spans", len(d.Trace.Records), d.Trace.SpanCount())
+	}
+	out := d.Render()
+	for _, want := range []string{
+		"lat.p99 abs<= got 9.5", "within ±1 of 5", "latency blew up",
+		"tick:   6", "seq 5..7", "ev exec.msg", "begin exec.epoch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: rendering twice yields identical bytes.
+	if d.Render() != out {
+		t.Fatal("Render is not deterministic")
+	}
+}
+
+func TestParseFlightRejectsNonDumps(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"no header":     `{"seq":1,"begin":"query","id":1,"parent":0,"t":0}` + "\n",
+		"wrong schema":  `{"flight":"other/v9","series":"x"}` + "\n",
+		"not json":      "hello\n",
+		"bad fragment":  `{"flight":"prospector/flight/v1","series":"x"}` + "\nnot json\n",
+		"reordered seq": `{"flight":"prospector/flight/v1","series":"x"}` + "\n" + `{"seq":2,"ev":"a","t":0}` + "\n" + `{"seq":1,"ev":"b","t":0}` + "\n",
+	}
+	for name, doc := range cases {
+		if _, err := traceanalysis.ParseFlight(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFlightHeaderOnly(t *testing.T) {
+	doc := `{"flight":"prospector/flight/v1","series":"x","kind":"exact","records":0}` + "\n"
+	d, err := traceanalysis.ParseFlight(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Trace.Records) != 0 {
+		t.Fatalf("records = %d, want 0", len(d.Trace.Records))
+	}
+	if !strings.Contains(d.Render(), "records: none") {
+		t.Fatalf("header-only render:\n%s", d.Render())
+	}
+}

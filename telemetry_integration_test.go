@@ -1,0 +1,228 @@
+// Live-telemetry integration: the windowed series a running process
+// serves at /debug/telemetry, and the flight recorder's deterministic
+// breach dump, exercised through the same module seams the binaries
+// wire up (registry → collector → HTTP surface, tracer → flight ring →
+// monitor → dump).
+package prospector
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/network"
+	"prospector/internal/obs"
+	"prospector/internal/obs/telemetry"
+	"prospector/internal/plan"
+	"prospector/internal/regress"
+	"prospector/internal/sample"
+	"prospector/internal/sim"
+	"prospector/internal/traceanalysis"
+	"prospector/internal/workload"
+)
+
+// TestDebugTelemetryLiveWarmHitRate drives a warm LP budget sweep with
+// a collector ticking between plans and scrapes /debug/telemetry in
+// the middle of the run: the windowed lp.warm_hit_rate series must be
+// live (present, current, nonzero) while the chain is still running.
+func TestDebugTelemetryLiveWarmHitRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const (
+		nodes, k, nSamples = 40, 8, 10
+	)
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sample.MustNewSet(nodes, k, 0)
+	if err := set.AddAll(workload.Draw(src, nSamples)); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := core.Config{Net: net, Costs: plan.NewCosts(net, energy.DefaultModel()),
+		Samples: set, K: k, Obs: reg}
+	pl, err := core.NewLPFilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := telemetry.NewCollector(reg, 32)
+	srv := httptest.NewServer(obs.Handler(reg, telemetry.Endpoints(col)...))
+	defer srv.Close()
+
+	scrape := func() *telemetry.Export {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/telemetry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e telemetry.Export
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		return &e
+	}
+
+	// Before the first tick the process is alive but not ready.
+	for _, probe := range []struct {
+		path string
+		want int
+	}{
+		{"/healthz", http.StatusOK},
+		{"/readyz", http.StatusServiceUnavailable},
+	} {
+		resp, err := http.Get(srv.URL + probe.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != probe.want {
+			t.Fatalf("%s before first tick = %d, want %d", probe.path, resp.StatusCode, probe.want)
+		}
+	}
+
+	budgets := []float64{30, 55, 85, 120, 170, 240}
+	for i, b := range budgets {
+		if _, err := pl.Plan(b); err != nil {
+			t.Fatalf("budget %g: %v", b, err)
+		}
+		col.Sample(float64(i))
+		if i == 3 { // mid-run, chain warm, sweep still going
+			e := scrape()
+			series := e.Series["lp.warm_hit_rate"]
+			if len(series) == 0 {
+				t.Fatalf("mid-run /debug/telemetry has no lp.warm_hit_rate window; series: %d", len(e.Series))
+			}
+			if last := series[len(series)-1]; last <= 0 {
+				t.Fatalf("mid-run lp.warm_hit_rate = %g, want > 0 (warm chain live)", last)
+			}
+			if e.Ticks != int64(i)+1 {
+				t.Fatalf("mid-run ticks = %d, want %d", e.Ticks, i+1)
+			}
+			resp, err := http.Get(srv.URL + "/readyz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/readyz mid-run = %d, want 200", resp.StatusCode)
+			}
+		}
+	}
+	// After the sweep the window holds the whole rate history; the
+	// final value must match the registry's own gauge.
+	e := scrape()
+	series := e.Series["lp.warm_hit_rate"]
+	if len(series) != len(budgets) {
+		t.Fatalf("lp.warm_hit_rate window = %d samples, want %d", len(series), len(budgets))
+	}
+	if got, want := series[len(series)-1], reg.Gauge("lp.warm_hit_rate").Value(); got != want {
+		t.Fatalf("windowed warm_hit_rate = %g, gauge = %g", got, want)
+	}
+}
+
+// flightDumpOnce runs a seeded sim workload with the flight recorder
+// tapping the tracer and a rule that breaches on the first epoch, and
+// returns the dump bytes.
+func flightDumpOnce(t *testing.T, seed int64, dir string, run int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		nodes, k, nSamples, epochs = 30, 5, 8, 4
+	)
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sample.MustNewSet(nodes, k, 0)
+	if err := set.AddAll(workload.Draw(src, nSamples)); err != nil {
+		t.Fatal(err)
+	}
+	costs := plan.NewCosts(net, energy.DefaultModel())
+
+	reg := obs.NewRegistry()
+	fl := telemetry.NewFlight(64)
+	tr := obs.NewTracer(fl) // every record lands in the ring
+	dump := filepath.Join(dir, "flight.jsonl")
+
+	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: k, Obs: reg, Trace: tr}
+	pl, err := core.NewLPFilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := core.NaiveKPlan(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(0.4 * (naive.CollectionCost(net, costs) + naive.TriggerCost(net, costs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every simulated epoch observes sim.epoch_mj once, so this
+	// breaches on the first tick, with the planning spans and the first
+	// epoch's rounds in the ring.
+	mon := telemetry.NewMonitor(telemetry.NewCollector(reg, 16), fl, []regress.Rule{
+		{Series: "sim.epoch_mj.delta", Kind: "abs<=", Value: 0, Tolerance: 0,
+			Note: "injected: every epoch observes once"},
+	}, dump)
+
+	scfg := sim.DefaultConfig(net)
+	scfg.Obs = reg
+	scfg.Trace = tr
+	truth := workload.Draw(src, epochs)
+	for e, vals := range truth {
+		if _, err := sim.Run(scfg, p, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Sample(float64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !mon.Dumped() {
+		t.Fatalf("run %d: rule never breached", run)
+	}
+	b, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFlightDumpSameSeedDeterministic pins the flight recorder's
+// byte determinism: two runs of the same seeded sim workload must dump
+// identical bytes, and the dump must round-trip through the
+// traceanalysis flight reader.
+func TestFlightDumpSameSeedDeterministic(t *testing.T) {
+	a := flightDumpOnce(t, 7, t.TempDir(), 1)
+	b := flightDumpOnce(t, 7, t.TempDir(), 2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed flight dumps differ:\nrun1 %d bytes\nrun2 %d bytes", len(a), len(b))
+	}
+	d, err := traceanalysis.ParseFlight(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("dump does not parse as a flight document: %v", err)
+	}
+	if d.Header.Series != "sim.epoch_mj.delta" || len(d.Trace.Records) == 0 {
+		t.Fatalf("parsed dump: header %+v, %d records", d.Header, len(d.Trace.Records))
+	}
+	if d.Trace.SpanCount() == 0 {
+		t.Fatal("dump retained no spans")
+	}
+}
