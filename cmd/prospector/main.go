@@ -11,6 +11,7 @@
 //	           [-describe] [-dot FILE] [-sim] [-loss P]
 //	           [-metrics FILE] [-trace FILE] [-listen ADDR] [-pprof ADDR|DIR] [-manifest FILE]
 //	           [-flight FILE] [-flight-rules FILE] [-hold DURATION]
+//	           [-serve] [-serve-for D] [-serve-queue N] [-serve-workers N] [-serve-batch N]
 //
 // -sim executes through the discrete-event mote simulator (reporting
 // latency and per-node energy) instead of the analytic executor;
@@ -37,6 +38,19 @@
 // read the dump with tracetool flight. -hold keeps the -listen
 // endpoints up for a grace period after the run completes, so probes
 // and scrapes can observe a short run's final state.
+//
+// Serving: -serve turns the process into a long-lived plan service
+// (internal/serve) instead of a one-shot run. The planning state is
+// frozen into snapshots at startup, and /plan answers concurrent
+// budget queries from a pool of warm-chain planner workers with
+// budget-sorted batching, request coalescing, and admission control
+// (see internal/serve). Requires -listen; -planner picks the default
+// kind (greedy, lp-lf, lp+lf, or proof — exact and naive are not
+// servable) and /plan?planner= overrides it per request. -serve-for
+// bounds the service lifetime (0: until SIGINT/SIGTERM); -serve-queue,
+// -serve-workers, and -serve-batch tune admission and dispatch. With
+// -flight but no -flight-rules, the serving tier's stock rules
+// (queue saturation, any shed, p99 solve latency) arm the recorder.
 package main
 
 import (
@@ -44,7 +58,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
+	"sync"
+	"syscall"
 	"time"
 
 	"prospector/internal/core"
@@ -58,6 +75,7 @@ import (
 	"prospector/internal/plan"
 	"prospector/internal/regress"
 	"prospector/internal/sample"
+	"prospector/internal/serve"
 	"prospector/internal/sim"
 	"prospector/internal/workload"
 )
@@ -132,8 +150,17 @@ func run() (err error) {
 		flight     = flag.String("flight", "", "dump the last retained trace records here when a live telemetry rule breaches")
 		flightRls  = flag.String("flight-rules", "", "JSON rules (regress grammar) judged against live windowed series")
 		hold       = flag.Duration("hold", 0, "keep the -listen endpoints up this long after the run completes")
+
+		serveMode    = flag.Bool("serve", false, "run as a long-lived plan service on -listen instead of a one-shot run")
+		serveFor     = flag.Duration("serve-for", 0, "shut the plan service down after this long (0: until SIGINT/SIGTERM)")
+		serveQueue   = flag.Int("serve-queue", 64, "plan service admission bound: max queued requests before shedding")
+		serveWorkers = flag.Int("serve-workers", 1, "plan service workers (warm chains) per planner key")
+		serveBatch   = flag.Int("serve-batch", 16, "max requests one worker dispatch serves as a single sorted sweep")
 	)
 	flag.Parse()
+	if *serveMode && *listen == "" {
+		return fmt.Errorf("-serve requires -listen")
+	}
 	startUnix := time.Now().Unix()
 	startWall := time.Now()
 
@@ -197,11 +224,19 @@ func run() (err error) {
 			if rules, err = telemetry.LoadRules(*flightRls); err != nil {
 				return err
 			}
+		} else if *serveMode && *flight != "" {
+			// A serving process with a flight recorder but no explicit
+			// rules gets the serving tier's stock set.
+			rules = serve.DefaultFlightRules(*serveQueue)
 		}
 		mon = telemetry.NewMonitor(telemetry.NewCollector(reg, telemetryWindow), fl, rules, *flight)
 	}
 	lv := newLiveObs(reg, mon)
-	if *listen != "" {
+	// In serve mode the HTTP surface is mounted by serveLoop once the
+	// planning state exists — serve.Endpoints owns /healthz, /readyz,
+	// and /debug/telemetry there, so mounting telemetry.Endpoints here
+	// too would register duplicate mux patterns.
+	if *listen != "" && !*serveMode {
 		bound, err := ocli.Serve(*listen, telemetry.Endpoints(mon.Collector())...)
 		if err != nil {
 			return err
@@ -253,6 +288,13 @@ func run() (err error) {
 	cfg := core.Config{Net: net, Costs: costs, Samples: set, K: *k, Obs: reg,
 		Trace: ocli.Tracer(), Span: root, LP: lp.Options{Now: time.Now}}
 	env := exec.Env{Net: net, Costs: costs, Obs: reg, Trace: ocli.Tracer(), Span: root}
+
+	if *serveMode {
+		return serveLoop(ocli, mon, cfg, serveSettings{
+			listen: *listen, kind: *planner, seed: *seed, nodes: *nodes, k: *k,
+			queue: *serveQueue, workers: *serveWorkers, batch: *serveBatch, dur: *serveFor,
+		})
+	}
 
 	naivePlan, err := core.NaiveKPlan(net, *k)
 	if err != nil {
@@ -334,6 +376,92 @@ func run() (err error) {
 		return finish(p, env, net, truth, *k, *describe, *dotFile,
 			*useSim, *lossProb, rng, reg, ocli, root, lv)
 	}
+}
+
+// serveSettings carries the -serve* flags into serveLoop.
+type serveSettings struct {
+	listen, kind          string
+	seed                  int64
+	nodes, k              int
+	queue, workers, batch int
+	dur                   time.Duration
+}
+
+// serveLoop runs the process as a plan service: freeze the planning
+// state into snapshots, stand up the worker pool, mount the serving
+// surface on -listen, and drain cleanly on SIGINT/SIGTERM or after
+// -serve-for elapses.
+func serveLoop(ocli *obs.CLI, mon *telemetry.Monitor, cfg core.Config, st serveSettings) error {
+	base := serve.Key{
+		Network: fmt.Sprintf("seed%d-n%d", st.seed, st.nodes),
+		Gen:     cfg.Samples.Gen(),
+		Planner: st.kind,
+		K:       st.k,
+	}
+	// One snapshot per planner kind, built lazily and shared by every
+	// worker of that kind's pool key.
+	var mu sync.Mutex
+	snaps := make(map[string]*core.Snapshot)
+	getSnap := func(kind string) (*core.Snapshot, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if s, ok := snaps[kind]; ok {
+			return s, nil
+		}
+		s, err := core.NewSnapshot(cfg, kind)
+		if err != nil {
+			return nil, err
+		}
+		snaps[kind] = s
+		return s, nil
+	}
+	// Fail fast: the default kind must freeze cleanly before listening.
+	if _, err := getSnap(st.kind); err != nil {
+		return err
+	}
+	provider := func(key serve.Key) (serve.PlannerSource, error) {
+		if key.Network != base.Network || key.Gen != base.Gen {
+			return nil, fmt.Errorf("this process serves %s/gen%d only", base.Network, base.Gen)
+		}
+		if key.K != base.K {
+			return nil, fmt.Errorf("this process serves k=%d only", base.K)
+		}
+		return getSnap(key.Planner)
+	}
+	svc, err := serve.New(serve.Options{
+		QueueDepth: st.queue, WorkersPerKey: st.workers, BatchMax: st.batch,
+		Now: time.Now, Obs: cfg.Obs,
+	}, provider)
+	if err != nil {
+		return err
+	}
+	bound, err := ocli.Serve(st.listen, serve.Endpoints(svc, base, mon.Collector())...)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	fmt.Printf("plan service on %s: /plan (default planner %s, k=%d), /metrics, /snapshot.json, /healthz, /readyz, /debug/telemetry\n",
+		bound, st.kind, st.k)
+	stopTicker := telemetry.StartTicker(mon, telemetry.NewRuntimeBridge(cfg.Obs), time.Second)
+	defer stopTicker()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var timeout <-chan time.Time
+	if st.dur > 0 {
+		tm := time.NewTimer(st.dur)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v; draining the plan queue\n", s)
+	case <-timeout:
+		fmt.Printf("served for %s; draining the plan queue\n", st.dur)
+	}
+	svc.Close()
+	return nil
 }
 
 // finish runs the shared tail of every non-exact planner mode:

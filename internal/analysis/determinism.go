@@ -15,6 +15,7 @@ var deterministicPkgs = []string{
 	"/internal/exec",
 	"/internal/core",
 	"/internal/lp",
+	"/internal/serve",
 	"/internal/traceanalysis",
 	"/internal/ledger",
 	"/internal/regress",

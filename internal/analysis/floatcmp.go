@@ -11,6 +11,7 @@ import (
 // equality on computed floats silently depends on rounding.
 var floatcmpScope = map[string][]string{
 	"/internal/lp":            {"isZero", "sameFloat"},
+	"/internal/serve":         {"sameBudget"},
 	"/internal/stats":         {"exactly"},
 	"/internal/traceanalysis": {},
 	"/internal/ledger":        {},

@@ -1,0 +1,36 @@
+package lp
+
+// Clone returns an independently mutable copy of the model. The
+// in-place mutators (SetRHS, SetObjCoef, SetVarBound) and structural
+// edits (AddVar, AddConstr) on either side never affect the other:
+// the objective, bound, name, and row slices are copied with exact
+// capacity, so even an append reallocates instead of sharing a
+// backing array.
+//
+// Constraint term slices are shared between the original and the
+// clone. They are read-only after construction — SetRHS rewrites the
+// row's rhs field (copied per clone), never its terms — which is what
+// makes cloning a built parametric program cheap enough to do once
+// per pool worker (see core.Snapshot).
+//
+// The clone keeps the original's StructVersion, but a Basis captured
+// from a solve of one model is never warm-startable on another:
+// Basis validity is checked by model pointer identity, so each clone
+// starts its own warm chain with one cold solve.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		obj:           make([]float64, len(m.obj)),
+		lo:            make([]float64, len(m.lo)),
+		hi:            make([]float64, len(m.hi)),
+		names:         make([]string, len(m.names)),
+		rows:          make([]row, len(m.rows)),
+		maximize:      m.maximize,
+		structVersion: m.structVersion,
+	}
+	copy(c.obj, m.obj)
+	copy(c.lo, m.lo)
+	copy(c.hi, m.hi)
+	copy(c.names, m.names)
+	copy(c.rows, m.rows)
+	return c
+}

@@ -1,0 +1,205 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"prospector/internal/core"
+	"prospector/internal/obs"
+	"prospector/internal/serve"
+)
+
+// The serving benchmarks answer the PR's headline question: at 8
+// concurrent clients pacing over a shared budget axis, how many
+// plans/sec does the pool serve versus (a) one warm planner behind a
+// mutex and (b) one cold planner behind a mutex? The pool's edge is
+// coalescing — equal in-flight budgets cost one warm resolve — so the
+// win is architectural, not parallelism (these run on any core count).
+//
+// Measured with:
+//
+//	go test ./internal/serve/ -run - -bench BenchmarkServe -benchtime 2s -benchmem
+
+const benchClients = 8
+
+// benchAxis is the shared budget axis the clients walk in lockstep:
+// 32 budgets at a fine stride, the resolution a dashboard sweeping an
+// energy budget actually queries at. Ascending, so a worker batch is
+// one warm sweep of short dual-simplex recoveries.
+func benchAxis() []float64 {
+	axis := make([]float64, 32)
+	for i := range axis {
+		axis[i] = 60 + 5*float64(i)
+	}
+	return axis
+}
+
+func benchScenario(b *testing.B, reg *obs.Registry) core.Config {
+	cfg := makeConfig(b, 3, 60, 10, 15)
+	cfg.Obs = reg
+	return cfg
+}
+
+// runClients splits b.N plan requests across benchClients goroutines,
+// each walking benchAxis round-robin, and reports plans/sec.
+func runClients(b *testing.B, plan func(budget float64) error) {
+	axis := benchAxis()
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	b.ResetTimer()
+	for c := 0; c < benchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := b.N / benchClients
+			if c < b.N%benchClients {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				if err := plan(axis[i%len(axis)]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+}
+
+// reportWarmHitRate publishes the chain health of a benchmark run and
+// enforces the serving-tier floor (hit rate >= 0.9) once enough solves
+// accumulated to make the ratio meaningful (short -benchtime smoke
+// runs are exempt).
+func reportWarmHitRate(b *testing.B, reg *obs.Registry) {
+	warm := float64(reg.Counter("lp.warm_resolves").Value())
+	cold := float64(reg.Counter("lp.cold_solves").Value())
+	fall := float64(reg.Counter("lp.warm_fallbacks").Value())
+	total := warm + cold + fall
+	if total == 0 {
+		return
+	}
+	rate := warm / total
+	b.ReportMetric(rate, "warm_hit_rate")
+	if total >= 20 && rate < 0.9 {
+		b.Fatalf("lp.warm_hit_rate = %.3f (warm %g cold %g fallback %g), want >= 0.9", rate, warm, cold, fall)
+	}
+}
+
+func BenchmarkServeThroughput(b *testing.B) {
+	b.Run("pool8", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		cfg := benchScenario(b, reg)
+		svc, err := serve.New(serve.Options{
+			QueueDepth: 256, BatchMax: 32, Now: time.Now, Obs: reg,
+		}, snapshotProvider(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		key := serve.Key{Network: "n60", Gen: cfg.Samples.Gen(), Planner: core.KindLPFilter, K: cfg.K}
+		runClients(b, func(budget float64) error {
+			_, err := svc.Submit(key, budget, time.Time{})
+			return err
+		})
+		reportWarmHitRate(b, reg)
+	})
+
+	// The baseline the acceptance bar is measured against: the same 8
+	// clients serialized onto ONE warm parametric planner by a mutex.
+	// Warm chains but no coalescing — every request pays a solve.
+	b.Run("mutex8", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		cfg := benchScenario(b, reg)
+		snap, err := core.NewSnapshot(cfg, core.KindLPFilter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := snap.NewPlanner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		runClients(b, func(budget float64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			_, err := pl.Plan(budget)
+			return err
+		})
+		reportWarmHitRate(b, reg)
+	})
+
+	// Floor reference: one cold planner (warm path and presolve off)
+	// behind a mutex — what serving costs without the parametric tier.
+	b.Run("cold8", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		cfg := benchScenario(b, reg)
+		cfg.DisableWarm = true
+		cfg.DisablePresolve = true
+		pl, err := core.NewLPFilter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		runClients(b, func(budget float64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			_, err := pl.Plan(budget)
+			return err
+		})
+	})
+}
+
+// BenchmarkServeCoalesced isolates the coalescing win itself: bursts
+// of 64 concurrent submissions spanning 8 distinct budgets, served
+// with batching on (one sweep, 8 solves, 56 coalesced) versus
+// BatchMax=1 (every request its own dispatch).
+func BenchmarkServeCoalesced(b *testing.B) {
+	run := func(b *testing.B, batchMax int) {
+		reg := obs.NewRegistry()
+		cfg := benchScenario(b, reg)
+		svc, err := serve.New(serve.Options{
+			QueueDepth: 256, BatchMax: batchMax, Now: time.Now, Obs: reg,
+		}, snapshotProvider(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		key := serve.Key{Network: "n60", Gen: cfg.Samples.Gen(), Planner: core.KindLPFilter, K: cfg.K}
+		axis := benchAxis()[:8]
+		const burst = 64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, burst)
+			for j := 0; j < burst; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					_, errs[j] = svc.Submit(key, axis[j%len(axis)], time.Time{})
+				}(j)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*burst)/b.Elapsed().Seconds(), "plans/s")
+		reportWarmHitRate(b, reg)
+	}
+	b.Run("burst", func(b *testing.B) { run(b, 64) })
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+}

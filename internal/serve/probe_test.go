@@ -1,0 +1,66 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"prospector/internal/core"
+	"prospector/internal/obs"
+	"prospector/internal/serve"
+)
+
+// TestServeWaveProbe is a diagnostic, not a gate: it mirrors the
+// pool8 benchmark shape and logs the coalescing metrics so wave
+// cohesion can be inspected. Run with -v.
+func TestServeWaveProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	reg := obs.NewRegistry()
+	cfg := makeConfig(t, 3, 60, 10, 15)
+	cfg.Obs = reg
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 256, BatchMax: 32, Now: time.Now, Obs: reg,
+	}, snapshotProvider(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	key := serve.Key{Network: "n60", Gen: cfg.Samples.Gen(), Planner: core.KindLPFilter, K: cfg.K}
+
+	axis := benchAxis()
+	const clients = 8
+	const perClient = 250
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := svc.Submit(key, axis[i%len(axis)], time.Time{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	req := reg.Counter("serve.requests").Value()
+	coal := reg.Counter("serve.coalesced").Value()
+	warm := reg.Counter("lp.warm_resolves").Value()
+	cold := reg.Counter("lp.cold_solves").Value()
+	t.Logf("requests=%d coalesced=%d (%.1f%%) warm=%d cold=%d plans/s=%.0f",
+		req, coal, 100*float64(coal)/float64(req), warm, cold,
+		float64(req)/elapsed.Seconds())
+	h := reg.Histogram("serve.batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	t.Logf("batch_size: count=%d sum=%.0f bounds=%v buckets=%v",
+		h.Count(), h.Sum(), h.Bounds(), h.BucketCounts())
+	pm := reg.Histogram("serve.plan_ms", nil)
+	bw := reg.Histogram("serve.batch_wait_ms", nil)
+	t.Logf("plan_ms: count=%d sum=%.1fms; batch_wait_ms: count=%d sum=%.1fms; wall=%.1fms",
+		pm.Count(), pm.Sum(), bw.Count(), bw.Sum(), float64(elapsed.Milliseconds()))
+}

@@ -1,0 +1,501 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prospector/internal/core"
+	"prospector/internal/energy"
+	"prospector/internal/network"
+	"prospector/internal/obs"
+	"prospector/internal/plan"
+	"prospector/internal/regress"
+	"prospector/internal/sample"
+	"prospector/internal/serve"
+	"prospector/internal/workload"
+)
+
+// makeConfig builds one deterministic planning scenario.
+func makeConfig(t testing.TB, seed int64, nodes, k, nSamples int) core.Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := network.Build(network.DefaultBuildConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewGaussianField(workload.DefaultGaussianConfig(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sample.MustNewSet(nodes, k, 0)
+	if err := set.AddAll(workload.Draw(src, nSamples)); err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{Net: net, Costs: plan.NewCosts(net, energy.DefaultModel()), Samples: set, K: k}
+}
+
+// snapshotProvider serves real core snapshots for one scenario: any
+// of the four planner kinds at the scenario's k; everything else is a
+// provider error (the HTTP 400 path).
+func snapshotProvider(cfg core.Config) serve.Provider {
+	return func(key serve.Key) (serve.PlannerSource, error) {
+		if key.K != cfg.K {
+			return nil, fmt.Errorf("no snapshot for k=%d (serving k=%d)", key.K, cfg.K)
+		}
+		snap, err := core.NewSnapshot(cfg, key.Planner)
+		if err != nil {
+			return nil, err
+		}
+		return snap, nil
+	}
+}
+
+// planKey compares plans structurally (Kind + Bandwidth + Chosen),
+// like core's plansEqual.
+func plansEqual(a, b *plan.Plan) bool {
+	return a.Kind == b.Kind &&
+		reflect.DeepEqual(a.Bandwidth, b.Bandwidth) &&
+		reflect.DeepEqual(a.Chosen, b.Chosen)
+}
+
+// fakeClock is a race-safe monotonic test clock: every Now call
+// advances it by step.
+type fakeClock struct {
+	ns   int64
+	step int64
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{step: int64(step)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	return time.Unix(0, atomic.AddInt64(&c.ns, c.step))
+}
+
+// blockingSource is a controllable PlannerSource: every Plan call
+// signals started and waits for one release, so tests can stall the
+// worker with the queue in a known state.
+type blockingSource struct {
+	started chan struct{}
+	release chan struct{}
+	solves  atomic.Int64
+	plan    *plan.Plan
+}
+
+func newBlockingSource(t *testing.T) *blockingSource {
+	t.Helper()
+	net, err := network.New([]network.NodeID{0, 0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.NewFiltering(net, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &blockingSource{
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+		plan:    p,
+	}
+}
+
+func (b *blockingSource) NewPlanner() (core.Planner, error) {
+	return &blockingPlanner{src: b}, nil
+}
+
+type blockingPlanner struct{ src *blockingSource }
+
+func (p *blockingPlanner) Name() string { return "blocking" }
+
+func (p *blockingPlanner) Plan(budget float64) (*plan.Plan, error) {
+	p.src.started <- struct{}{}
+	<-p.src.release
+	p.src.solves.Add(1)
+	if budget < 0 {
+		return nil, fmt.Errorf("blocking: negative budget %g", budget)
+	}
+	return p.src.plan, nil
+}
+
+func sourceProvider(src serve.PlannerSource) serve.Provider {
+	return func(serve.Key) (serve.PlannerSource, error) { return src, nil }
+}
+
+// waitGauge polls a gauge until it reaches want (the queue settling).
+func waitGauge(t *testing.T, g *obs.Gauge, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Value() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge stuck at %g, want %g", g.Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeCoalescesEqualBudgets pins the coalescing contract
+// deterministically: with the worker stalled and the queue loaded
+// with 5 requests at budget X and 3 at budget Y, releasing the worker
+// must produce exactly one solve per distinct budget, with every
+// duplicate answered from the shared plan.
+func TestServeCoalescesEqualBudgets(t *testing.T) {
+	src := newBlockingSource(t)
+	reg := obs.NewRegistry()
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 64, BatchMax: 16, Now: newFakeClock(time.Microsecond).Now, Obs: reg,
+	}, sourceProvider(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		go drain(src)
+		svc.Close()
+	}()
+	key := serve.Key{Network: "test", Planner: "blocking", K: 1}
+
+	// Stall the worker on a sentinel request.
+	stall := submitAsync(svc, key, 999)
+	<-src.started
+
+	// Load the queue while the worker is busy.
+	const xDup, yDup = 5, 3
+	var resps []chan submitResult
+	for i := 0; i < xDup; i++ {
+		resps = append(resps, submitAsync(svc, key, 10))
+	}
+	for i := 0; i < yDup; i++ {
+		resps = append(resps, submitAsync(svc, key, 20))
+	}
+	waitGauge(t, reg.Gauge("serve.queue_depth"), float64(xDup+yDup))
+
+	// Release the stall, then the two batched solves (X once, Y once).
+	src.release <- struct{}{} // sentinel completes
+	<-src.started             // batch dispatch: solve for X
+	src.release <- struct{}{}
+	<-src.started // solve for Y
+	src.release <- struct{}{}
+
+	if r := <-stall; r.err != nil {
+		t.Fatalf("sentinel: %v", r.err)
+	}
+	for i, ch := range resps {
+		r := <-ch
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if !plansEqual(r.plan, src.plan) {
+			t.Fatalf("request %d: wrong plan %v", i, r.plan)
+		}
+	}
+	if got := src.solves.Load(); got != 3 {
+		t.Fatalf("solves = %d, want 3 (sentinel + one per distinct budget)", got)
+	}
+	if got := reg.Counter("serve.coalesced").Value(); got != xDup+yDup-2 {
+		t.Fatalf("serve.coalesced = %d, want %d", got, xDup+yDup-2)
+	}
+}
+
+type submitResult struct {
+	plan *plan.Plan
+	err  error
+}
+
+func submitAsync(svc *serve.Service, key serve.Key, budget float64) chan submitResult {
+	ch := make(chan submitResult, 1)
+	go func() {
+		p, err := svc.Submit(key, budget, time.Time{})
+		ch <- submitResult{plan: p, err: err}
+	}()
+	return ch
+}
+
+// drain releases a blockingSource forever (teardown helper).
+func drain(src *blockingSource) {
+	for {
+		select {
+		case src.release <- struct{}{}:
+		case <-time.After(2 * time.Second):
+			return
+		}
+	}
+}
+
+// TestServeShedsWhenQueueFull: with the worker stalled and the queue
+// at its depth bound, the next submission sheds immediately with
+// ErrQueueFull, Ready reports the saturation, and the shed counters
+// advance.
+func TestServeShedsWhenQueueFull(t *testing.T) {
+	src := newBlockingSource(t)
+	reg := obs.NewRegistry()
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 3, BatchMax: 16, Now: newFakeClock(time.Microsecond).Now, Obs: reg,
+	}, sourceProvider(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		go drain(src)
+		svc.Close()
+	}()
+	key := serve.Key{Network: "test", Planner: "blocking", K: 1}
+
+	stall := submitAsync(svc, key, 1)
+	<-src.started // worker busy; queue empty
+	var queued []chan submitResult
+	for i := 0; i < 3; i++ {
+		queued = append(queued, submitAsync(svc, key, float64(10+i)))
+	}
+	waitGauge(t, reg.Gauge("serve.queue_depth"), 3)
+
+	if _, err := svc.Submit(key, 50, time.Time{}); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("submit over capacity: err = %v, want ErrQueueFull", err)
+	}
+	if err := svc.Ready(); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("Ready at capacity: %v, want ErrQueueFull", err)
+	}
+	if got := reg.Counter("serve.shed.full").Value(); got != 1 {
+		t.Fatalf("serve.shed.full = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.shed_total").Value(); got != 1 {
+		t.Fatalf("serve.shed_total = %d, want 1", got)
+	}
+
+	// Unblock everything; the queued requests must all be served.
+	go drain(src)
+	if r := <-stall; r.err != nil {
+		t.Fatal(r.err)
+	}
+	for i, ch := range queued {
+		if r := <-ch; r.err != nil {
+			t.Fatalf("queued %d: %v", i, r.err)
+		}
+	}
+	if err := svc.Ready(); err != nil {
+		t.Fatalf("Ready after drain: %v", err)
+	}
+}
+
+// TestServeCloseDrainsThenRejects: Close lets queued requests finish,
+// joins the workers, and rejects later submissions with ErrClosed.
+func TestServeCloseDrainsThenRejects(t *testing.T) {
+	src := newBlockingSource(t)
+	reg := obs.NewRegistry()
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 16, BatchMax: 4, Now: newFakeClock(time.Microsecond).Now, Obs: reg,
+	}, sourceProvider(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := serve.Key{Network: "test", Planner: "blocking", K: 1}
+
+	stall := submitAsync(svc, key, 1)
+	<-src.started
+	var queued []chan submitResult
+	for i := 0; i < 4; i++ {
+		queued = append(queued, submitAsync(svc, key, float64(10+i)))
+	}
+	waitGauge(t, reg.Gauge("serve.queue_depth"), 4)
+
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	go drain(src)
+
+	if r := <-stall; r.err != nil {
+		t.Fatal(r.err)
+	}
+	for i, ch := range queued {
+		if r := <-ch; r.err != nil {
+			t.Fatalf("queued %d after Close: %v (Close must drain, not drop)", i, r.err)
+		}
+	}
+	<-closed
+	if got := reg.Gauge("serve.workers").Value(); got != 0 {
+		t.Fatalf("serve.workers = %g after Close, want 0", got)
+	}
+	if _, err := svc.Submit(key, 5, time.Time{}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+	if got := reg.Counter("serve.shed.closed").Value(); got != 1 {
+		t.Fatalf("serve.shed.closed = %d, want 1", got)
+	}
+}
+
+// TestServeDeadlineShed: a request whose deadline has passed by
+// dispatch time is shed with ErrDeadline, not solved.
+func TestServeDeadlineShed(t *testing.T) {
+	src := newBlockingSource(t)
+	reg := obs.NewRegistry()
+	// Every clock read advances 10ms: any deadline under that is
+	// guaranteed stale at dispatch.
+	clock := newFakeClock(10 * time.Millisecond)
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 16, BatchMax: 4, Now: clock.Now, Obs: reg,
+	}, sourceProvider(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		go drain(src)
+		svc.Close()
+	}()
+	key := serve.Key{Network: "test", Planner: "blocking", K: 1}
+
+	stall := submitAsync(svc, key, 1)
+	<-src.started
+	expired := submitAsync2(svc, key, 10, clock.Now().Add(time.Millisecond))
+	waitGauge(t, reg.Gauge("serve.queue_depth"), 1)
+	src.release <- struct{}{} // sentinel completes; next dispatch judges the deadline
+
+	if r := <-expired; !errors.Is(r.err, serve.ErrDeadline) {
+		t.Fatalf("expired request: %v, want ErrDeadline", r.err)
+	}
+	if r := <-stall; r.err != nil {
+		t.Fatal(r.err)
+	}
+	if got := src.solves.Load(); got != 1 {
+		t.Fatalf("solves = %d, want 1 (the expired request must not solve)", got)
+	}
+	if got := reg.Counter("serve.shed.deadline").Value(); got != 1 {
+		t.Fatalf("serve.shed.deadline = %d, want 1", got)
+	}
+}
+
+func submitAsync2(svc *serve.Service, key serve.Key, budget float64, deadline time.Time) chan submitResult {
+	ch := make(chan submitResult, 1)
+	go func() {
+		p, err := svc.Submit(key, budget, deadline)
+		ch <- submitResult{plan: p, err: err}
+	}()
+	return ch
+}
+
+// TestServePlannerErrorIsIsolated: a failing budget answers only its
+// own request; neighbors in the same batch still get plans.
+func TestServePlannerErrorIsIsolated(t *testing.T) {
+	src := newBlockingSource(t)
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 16, BatchMax: 8, Now: newFakeClock(time.Microsecond).Now,
+	}, sourceProvider(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	key := serve.Key{Network: "test", Planner: "blocking", K: 1}
+	go drain(src)
+
+	bad := submitAsync(svc, key, -5) // blockingPlanner fails on negative budgets
+	good := submitAsync(svc, key, 7)
+	if r := <-bad; r.err == nil {
+		t.Fatal("negative budget: expected a planner error")
+	}
+	if r := <-good; r.err != nil || !plansEqual(r.plan, src.plan) {
+		t.Fatalf("good neighbor: plan %v err %v", r.plan, r.err)
+	}
+}
+
+// TestServeCoalescedShuffledMatchesCold is the serving-tier
+// determinism gate (the pool analog of TestWarmDifferentialMatchesCold):
+// a shuffled, duplicate-heavy budget axis submitted concurrently
+// through the pool — batched, budget-sorted, coalesced, warm-solved —
+// must return plans bitwise-identical to serving each budget on a
+// fresh cold planner (DisableWarm + DisablePresolve).
+func TestServeCoalescedShuffledMatchesCold(t *testing.T) {
+	cfg := makeConfig(t, 7, 25, 5, 6)
+	reg := obs.NewRegistry()
+	obsCfg := cfg
+	obsCfg.Obs = reg
+	svc, err := serve.New(serve.Options{
+		QueueDepth: 256, BatchMax: 16, Now: time.Now, Obs: reg,
+	}, snapshotProvider(obsCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	axis := []float64{30, 50, 80, 130, 210, 340}
+	// Duplicate-heavy shuffled request stream.
+	rng := rand.New(rand.NewSource(41))
+	var budgets []float64
+	for i := 0; i < 48; i++ {
+		budgets = append(budgets, axis[rng.Intn(len(axis))])
+	}
+
+	// Cold reference: a fresh planner per budget, warm path and
+	// presolve both off (the warm-vs-cold differential convention).
+	coldCfg := cfg
+	coldCfg.DisableWarm = true
+	coldCfg.DisablePresolve = true
+	want := make(map[float64]*plan.Plan)
+	for _, b := range axis {
+		pl, err := core.NewLPFilter(coldCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pl.Plan(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[b] = p
+	}
+
+	key := serve.Key{Network: "n25", Gen: cfg.Samples.Gen(), Planner: core.KindLPFilter, K: cfg.K}
+	var wg sync.WaitGroup
+	errs := make([]error, len(budgets))
+	for i, b := range budgets {
+		wg.Add(1)
+		go func(i int, b float64) {
+			defer wg.Done()
+			p, err := svc.Submit(key, b, time.Time{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !plansEqual(p, want[b]) {
+				errs[i] = fmt.Errorf("budget %.1f: pool plan %v != cold plan %v", b, p, want[b])
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pool's chains must actually be warm: one cold solve per
+	// worker, everything else warm.
+	if colds := reg.Counter("lp.cold_solves").Value(); colds < 1 {
+		t.Fatal("no cold solve recorded; the pool never opened a chain")
+	}
+	if warms := reg.Counter("lp.warm_resolves").Value(); warms == 0 {
+		t.Fatal("no warm resolves recorded; the pool is not serving from warm chains")
+	}
+}
+
+// TestServeDefaultFlightRules: the stock serving rules must pass the
+// regress grammar validation telemetry.LoadRules applies.
+func TestServeDefaultFlightRules(t *testing.T) {
+	rules := serve.DefaultFlightRules(8)
+	b := regress.Baseline{Name: "serve-defaults", Rules: rules}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Series] = true
+	}
+	for _, want := range []string{"serve.queue_depth", "serve.shed_total.delta", "serve.plan_ms.p99"} {
+		if !names[want] {
+			t.Fatalf("default rules missing series %s", want)
+		}
+	}
+}
